@@ -1,0 +1,189 @@
+package pads_test
+
+// End-to-end exercise of every command-line tool: build the binaries once,
+// then drive each over small synthetic inputs. This is the closest the test
+// suite comes to the paper's day-to-day workflow (generate -> profile ->
+// format -> convert -> query -> compile).
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func buildTools(t *testing.T) string {
+	t.Helper()
+	bin := t.TempDir()
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/...")
+	cmd.Dir = "."
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build ./cmd/...: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func run(t *testing.T, bin, tool string, stdin []byte, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(bin, tool), args...)
+	if stdin != nil {
+		cmd.Stdin = bytes.NewReader(stdin)
+	}
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("%s %v: %v\nstderr: %s", tool, args, err, stderr.String())
+	}
+	return stdout.String()
+}
+
+func TestCLIToolsEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped with -short")
+	}
+	bin := buildTools(t)
+	work := t.TempDir()
+
+	// padsgen: synthesize a CLF corpus.
+	clfData := run(t, bin, "padsgen", nil, "-corpus", "clf", "-n", "120", "-seed", "3")
+	if got := strings.Count(clfData, "\n"); got != 120 {
+		t.Fatalf("padsgen produced %d lines", got)
+	}
+	clfPath := filepath.Join(work, "clf.txt")
+	if err := os.WriteFile(clfPath, []byte(clfData), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// padsacc: the section 5.2 accumulator report.
+	acc := run(t, bin, "padsacc", nil, "-desc", "testdata/clf.pads", "-field", "length", clfPath)
+	for _, want := range []string{"120 records", "<top>.length : uint32", "pcnt-bad"} {
+		if !strings.Contains(acc, want) {
+			t.Errorf("padsacc output missing %q:\n%s", want, acc)
+		}
+	}
+
+	// padsfmt: Figure 8 formatting.
+	formatted := run(t, bin, "padsfmt", nil, "-desc", "testdata/clf.pads", "-delims", "|", "-datefmt", "%D:%T", clfPath)
+	if got := strings.Count(formatted, "\n"); got != 120 {
+		t.Errorf("padsfmt produced %d lines", got)
+	}
+	if !strings.Contains(formatted, "|-|-|") {
+		t.Errorf("padsfmt output shape unexpected:\n%s", formatted[:200])
+	}
+
+	// padsxml: schema and conversion.
+	schema := run(t, bin, "padsxml", nil, "-desc", "testdata/clf.pads", "-schema")
+	if !strings.Contains(schema, `<xs:complexType name="entry_t">`) {
+		t.Error("padsxml -schema missing entry_t")
+	}
+	xmlOut := run(t, bin, "padsxml", nil, "-desc", "testdata/clf.pads", "-root", "log", clfPath)
+	if !strings.Contains(xmlOut, "<log>") || !strings.Contains(xmlOut, "<entry_t>") {
+		t.Errorf("padsxml output shape unexpected:\n%s", xmlOut[:200])
+	}
+
+	// padsquery: aggregates and node sets.
+	count := run(t, bin, "padsquery", nil, "-desc", "testdata/clf.pads", "-q", "count(/elt)", clfPath)
+	if strings.TrimSpace(count) != "120" {
+		t.Errorf("padsquery count = %q", count)
+	}
+	nodes := run(t, bin, "padsquery", nil, "-desc", "testdata/clf.pads", "-q", "/elt[response >= 500]/response", clfPath)
+	if !strings.Contains(nodes, "nodes -->") {
+		t.Errorf("padsquery nodes output unexpected:\n%s", nodes)
+	}
+
+	// padsc: check, pretty-print, schema, and code generation.
+	checked := run(t, bin, "padsc", nil, "-check", "testdata/sirius.pads")
+	if !strings.Contains(checked, "source type out_sum") {
+		t.Errorf("padsc -check = %q", checked)
+	}
+	printed := run(t, bin, "padsc", nil, "-print", "testdata/sirius.pads")
+	if !strings.Contains(printed, "Pstruct order_header_t") {
+		t.Error("padsc -print lost declarations")
+	}
+	genPath := filepath.Join(work, "gen.go")
+	run(t, bin, "padsc", nil, "-go", genPath, "-pkg", "x", "testdata/clf.pads")
+	gen, err := os.ReadFile(genPath)
+	if err != nil || !strings.Contains(string(gen), "package x") {
+		t.Errorf("padsc -go output bad: %v", err)
+	}
+
+	// cobol2pads: copybook translation pipes into padsc.
+	translated := run(t, bin, "cobol2pads", nil, "testdata/billing.cpy")
+	if !strings.Contains(translated, "Pbcd(:9:) balance") {
+		t.Errorf("cobol2pads output missing packed decimal:\n%s", translated)
+	}
+	cpyPads := filepath.Join(work, "billing.pads")
+	if err := os.WriteFile(cpyPads, []byte(translated), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	run(t, bin, "padsc", nil, "-check", cpyPads)
+
+	// padsgen from a description.
+	generated := run(t, bin, "padsgen", nil, "-desc", "testdata/kitchen.pads", "-n", "2", "-seed", "5")
+	if len(generated) == 0 {
+		t.Error("padsgen -desc produced nothing")
+	}
+
+	// padsbench: a miniature Figure 10 run (Go comparators only).
+	bench := run(t, bin, "padsbench", nil, "-n", "2000", "-runs", "1", "-noperl")
+	for _, want := range []string{"vetting", "selection", "record count", "ratio"} {
+		if !strings.Contains(bench, want) {
+			t.Errorf("padsbench output missing %q", want)
+		}
+	}
+	lev := run(t, bin, "padsbench", nil, "-leverage")
+	if !strings.Contains(lev, "leverage ratio") {
+		t.Errorf("padsbench -leverage = %q", lev)
+	}
+}
+
+// TestExamplesRun builds and executes every example program over small
+// inputs, so the documented entry points stay green.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped with -short")
+	}
+	bin := t.TempDir()
+	cmd := exec.Command("go", "build", "-o", bin, "./examples/...")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build ./examples/...: %v\n%s", err, out)
+	}
+	repoRoot, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch := t.TempDir()
+
+	cases := []struct {
+		name string
+		args []string
+		dir  string // "" = scratch (programs that write files), else repo root
+		want string
+	}{
+		{"quickstart", nil, "", "accumulator report for the response field"},
+		{"sirius", []string{"500"}, "", "wrote sirius.clean and sirius.err"},
+		{"weblog", []string{"400"}, repoRoot, "=== formatted records (Figure 8) ==="},
+		{"netflow", []string{"30"}, repoRoot, "top talkers:"},
+		{"cobol", []string{"50"}, repoRoot, "accumulator report for the balance field"},
+	}
+	for _, c := range cases {
+		cmd := exec.Command(filepath.Join(bin, c.name), c.args...)
+		if c.dir == "" {
+			cmd.Dir = scratch
+		} else {
+			cmd.Dir = c.dir
+		}
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Errorf("example %s: %v\n%s", c.name, err, out)
+			continue
+		}
+		if !strings.Contains(string(out), c.want) {
+			t.Errorf("example %s output missing %q:\n%s", c.name, c.want, out)
+		}
+	}
+}

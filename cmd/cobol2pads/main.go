@@ -1,0 +1,39 @@
+// Command cobol2pads translates a Cobol copybook into a PADS description —
+// the section 5.2 tool built for AT&T's Altair project so its ~4000 daily
+// Cobol files could be profiled automatically.
+//
+// Usage:
+//
+//	cobol2pads billing.cpy > billing.pads
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"pads/internal/cliutil"
+	"pads/internal/cobol"
+	"pads/internal/dsl"
+	"pads/internal/sema"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: cobol2pads copybook.cpy")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		cliutil.Fatal(err)
+	}
+	prog, err := cobol.Translate(string(src))
+	if err != nil {
+		cliutil.Fatal(err)
+	}
+	// Sanity: the translation must check.
+	if _, errs := sema.Check(prog); len(errs) > 0 {
+		fmt.Fprintf(os.Stderr, "cobol2pads: internal error: translation does not check: %v\n", errs[0])
+		os.Exit(1)
+	}
+	fmt.Print(dsl.Print(prog))
+}

@@ -1,0 +1,72 @@
+// Command padsacc is the generated accumulator program of section 5.2: it
+// parses a data source against its description and prints the statistical
+// profile — good/bad counts, numeric ranges, and the top values of every
+// component.
+//
+// Usage:
+//
+//	padsacc -desc weblog.pads [-field length] [-track 1000] [-top 10] data.log
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"pads/internal/accum"
+	"pads/internal/cliutil"
+	"pads/internal/padsrt"
+)
+
+func main() {
+	descPath := flag.String("desc", "", "PADS description file (required)")
+	field := flag.String("field", "", "report only this dotted component path (e.g. length or header.order_num)")
+	track := flag.Int("track", 1000, "distinct values to track per component")
+	top := flag.Int("top", 10, "values to print per component")
+	disc := flag.String("disc", "newline", "record discipline: newline, none, fixed:N, lenprefix[:N]")
+	ebcdic := flag.Bool("ebcdic", false, "treat the ambient coding as EBCDIC")
+	le := flag.Bool("le", false, "little-endian binary integers")
+	flag.Parse()
+
+	if *descPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: padsacc -desc description.pads [flags] [data]")
+		os.Exit(2)
+	}
+	desc := cliutil.MustCompile(*descPath)
+	opts, err := cliutil.SourceOptions(*disc, *ebcdic, *le)
+	if err != nil {
+		cliutil.Fatal(err)
+	}
+	in, err := cliutil.OpenData(flag.Arg(0))
+	if err != nil {
+		cliutil.Fatal(err)
+	}
+	defer in.Close()
+
+	s := padsrt.NewSource(bufio.NewReaderSize(in, 1<<20), opts...)
+	rr, err := desc.Records(s, nil)
+	if err != nil {
+		cliutil.Fatal(err)
+	}
+	acc := accum.New(accum.Config{MaxTracked: *track, TopN: *top})
+	n := 0
+	for rr.More() {
+		acc.Add(rr.Read())
+		n++
+	}
+	if err := rr.Err(); err != nil {
+		cliutil.Fatal(err)
+	}
+
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	fmt.Fprintf(out, "%d records\n\n", n)
+	if *field != "" {
+		if err := acc.ReportField(out, "<top>", *field); err != nil {
+			cliutil.Fatal(err)
+		}
+		return
+	}
+	acc.Report(out, "<top>")
+}

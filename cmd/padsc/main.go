@@ -1,0 +1,105 @@
+// Command padsc is the PADS compiler: it checks a description and emits the
+// generated Go library (parser, printer, verifier, masks, parse
+// descriptors), the XML Schema of the canonical embedding, or the
+// pretty-printed description.
+//
+// Usage:
+//
+//	padsc -go out.go -pkg clf description.pads     # generate the Go library
+//	padsc -schema out.xsd description.pads         # generate the XML Schema
+//	padsc -print description.pads                  # pretty-print (round trip)
+//	padsc -check description.pads                  # check only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pads/internal/codegen"
+	"pads/internal/dsl"
+	"pads/internal/padsrt"
+	"pads/internal/sema"
+	"pads/internal/xmlgen"
+)
+
+func main() {
+	goOut := flag.String("go", "", "write the generated Go library to this file")
+	pkg := flag.String("pkg", "gen", "package name for generated Go code")
+	maskSpec := flag.String("mask", "", "specialize the generated parser to a fixed mask: ignore, set, check, or checkandset (default: run-time masks)")
+	schemaOut := flag.String("schema", "", "write the generated XML Schema to this file")
+	printSrc := flag.Bool("print", false, "pretty-print the checked description to stdout")
+	checkOnly := flag.Bool("check", false, "check the description and exit")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: padsc [-go out.go -pkg name] [-schema out.xsd] [-print] [-check] description.pads")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	prog, perrs := dsl.Parse(string(src))
+	for _, e := range perrs {
+		fmt.Fprintf(os.Stderr, "%s:%v\n", path, e)
+	}
+	if len(perrs) > 0 {
+		os.Exit(1)
+	}
+	desc, serrs := sema.Check(prog)
+	for _, e := range serrs {
+		fmt.Fprintf(os.Stderr, "%s:%v\n", path, e)
+	}
+	if len(serrs) > 0 {
+		os.Exit(1)
+	}
+	if *checkOnly {
+		fmt.Printf("%s: %d declarations, source type %s\n", path, len(prog.Decls), desc.Source.DeclName())
+		return
+	}
+	if *printSrc {
+		fmt.Print(dsl.Print(prog))
+	}
+	if *schemaOut != "" {
+		if err := os.WriteFile(*schemaOut, []byte(xmlgen.Schema(desc)), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	if *goOut != "" {
+		opts := codegen.Options{Package: *pkg, Source: path}
+		switch *maskSpec {
+		case "":
+		case "ignore":
+			m := padsrt.Ignore
+			opts.Specialize = &m
+		case "set":
+			m := padsrt.Set
+			opts.Specialize = &m
+		case "check":
+			m := padsrt.Check
+			opts.Specialize = &m
+		case "checkandset":
+			m := padsrt.CheckAndSet
+			opts.Specialize = &m
+		default:
+			fatal(fmt.Errorf("unknown -mask %q", *maskSpec))
+		}
+		code, err := codegen.Generate(desc, opts)
+		if err != nil {
+			if code != "" {
+				os.WriteFile(*goOut, []byte(code), 0o644)
+			}
+			fatal(err)
+		}
+		if err := os.WriteFile(*goOut, []byte(code), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "padsc:", err)
+	os.Exit(1)
+}

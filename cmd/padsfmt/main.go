@@ -1,0 +1,67 @@
+// Command padsfmt is the generated formatting program of section 5.3.1: it
+// converts ad hoc data into delimited text suitable for loading into a
+// spreadsheet or relational database (Figure 8 of the paper).
+//
+// Usage:
+//
+//	padsfmt -desc weblog.pads -delims "|" -datefmt "%D:%T" data.log
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pads/internal/cliutil"
+	"pads/internal/fmtconv"
+	"pads/internal/padsrt"
+)
+
+func main() {
+	descPath := flag.String("desc", "", "PADS description file (required)")
+	delims := flag.String("delims", "|", "delimiter list, comma-separated for nested levels")
+	dateFmt := flag.String("datefmt", "", "date output format, e.g. %D:%T (default: raw text)")
+	disc := flag.String("disc", "newline", "record discipline: newline, none, fixed:N, lenprefix[:N]")
+	ebcdic := flag.Bool("ebcdic", false, "treat the ambient coding as EBCDIC")
+	le := flag.Bool("le", false, "little-endian binary integers")
+	skipErrs := flag.Bool("skip-errors", false, "omit records with parse errors")
+	flag.Parse()
+
+	if *descPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: padsfmt -desc description.pads [flags] [data]")
+		os.Exit(2)
+	}
+	desc := cliutil.MustCompile(*descPath)
+	opts, err := cliutil.SourceOptions(*disc, *ebcdic, *le)
+	if err != nil {
+		cliutil.Fatal(err)
+	}
+	in, err := cliutil.OpenData(flag.Arg(0))
+	if err != nil {
+		cliutil.Fatal(err)
+	}
+	defer in.Close()
+
+	f := fmtconv.New(strings.Split(*delims, ",")...)
+	f.DateFormat = *dateFmt
+
+	s := padsrt.NewSource(bufio.NewReaderSize(in, 1<<20), opts...)
+	rr, err := desc.Records(s, nil)
+	if err != nil {
+		cliutil.Fatal(err)
+	}
+	out := bufio.NewWriterSize(os.Stdout, 1<<20)
+	defer out.Flush()
+	for rr.More() {
+		rec := rr.Read()
+		if *skipErrs && rec.PD().Nerr > 0 {
+			continue
+		}
+		f.WriteRecord(out, rec)
+	}
+	if err := rr.Err(); err != nil {
+		cliutil.Fatal(err)
+	}
+}

@@ -1,0 +1,74 @@
+// Command padsquery runs XPath-subset queries over raw ad hoc data: the
+// section 5.4 use case, with the query engine standing in for XQuery/Galax.
+// Matching nodes print as XML fragments; aggregate queries print a number.
+//
+// Usage:
+//
+//	padsquery -desc sirius.pads -q '/es/elt[header/order_num = 9152]' data
+//	padsquery -desc sirius.pads -q 'count(/es/elt)' data
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"pads/internal/cliutil"
+	"pads/internal/padsrt"
+	"pads/internal/query"
+	"pads/internal/xmlgen"
+)
+
+func main() {
+	descPath := flag.String("desc", "", "PADS description file (required)")
+	q := flag.String("q", "", "query (required)")
+	disc := flag.String("disc", "newline", "record discipline: newline, none, fixed:N, lenprefix[:N]")
+	ebcdic := flag.Bool("ebcdic", false, "treat the ambient coding as EBCDIC")
+	le := flag.Bool("le", false, "little-endian binary integers")
+	flag.Parse()
+
+	if *descPath == "" || *q == "" {
+		fmt.Fprintln(os.Stderr, "usage: padsquery -desc description.pads -q query [data]")
+		os.Exit(2)
+	}
+	desc := cliutil.MustCompile(*descPath)
+	cq, err := query.Compile(*q)
+	if err != nil {
+		cliutil.Fatal(err)
+	}
+	opts, err := cliutil.SourceOptions(*disc, *ebcdic, *le)
+	if err != nil {
+		cliutil.Fatal(err)
+	}
+	in, err := cliutil.OpenData(flag.Arg(0))
+	if err != nil {
+		cliutil.Fatal(err)
+	}
+	defer in.Close()
+	data, err := io.ReadAll(bufio.NewReaderSize(in, 1<<20))
+	if err != nil {
+		cliutil.Fatal(err)
+	}
+
+	v, err := desc.ParseAll(padsrt.NewBytesSource(data, opts...))
+	if err != nil {
+		cliutil.Fatal(err)
+	}
+	nodes, agg, isAgg := cq.Eval(desc.QueryRoot(v))
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	if isAgg {
+		fmt.Fprintf(out, "%g\n", agg)
+		return
+	}
+	for _, n := range nodes {
+		if n.Val != nil {
+			xmlgen.WriteXML(out, n.Val, n.Name, 0)
+		} else {
+			fmt.Fprintf(out, "<%s>%s</%s>\n", n.Name, n.Text(), n.Name)
+		}
+	}
+	fmt.Fprintf(out, "<!-- %d nodes -->\n", len(nodes))
+}

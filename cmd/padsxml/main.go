@@ -1,0 +1,69 @@
+// Command padsxml is the generated XML conversion program of section 5.3.2:
+// it converts ad hoc data into the canonical XML embedding, including parse
+// descriptors for the buggy portions, and can emit the XML Schema the
+// output conforms to.
+//
+// Usage:
+//
+//	padsxml -desc sirius.pads data.txt          # data -> XML on stdout
+//	padsxml -desc sirius.pads -schema           # print the XML Schema
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"pads/internal/cliutil"
+	"pads/internal/padsrt"
+	"pads/internal/xmlgen"
+)
+
+func main() {
+	descPath := flag.String("desc", "", "PADS description file (required)")
+	schema := flag.Bool("schema", false, "print the generated XML Schema instead of converting data")
+	rootTag := flag.String("root", "source", "root element name")
+	disc := flag.String("disc", "newline", "record discipline: newline, none, fixed:N, lenprefix[:N]")
+	ebcdic := flag.Bool("ebcdic", false, "treat the ambient coding as EBCDIC")
+	le := flag.Bool("le", false, "little-endian binary integers")
+	flag.Parse()
+
+	if *descPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: padsxml -desc description.pads [-schema] [data]")
+		os.Exit(2)
+	}
+	desc := cliutil.MustCompile(*descPath)
+	if *schema {
+		fmt.Print(desc.Schema())
+		return
+	}
+	opts, err := cliutil.SourceOptions(*disc, *ebcdic, *le)
+	if err != nil {
+		cliutil.Fatal(err)
+	}
+	in, err := cliutil.OpenData(flag.Arg(0))
+	if err != nil {
+		cliutil.Fatal(err)
+	}
+	defer in.Close()
+
+	s := padsrt.NewSource(bufio.NewReaderSize(in, 1<<20), opts...)
+	rr, err := desc.Records(s, nil)
+	if err != nil {
+		cliutil.Fatal(err)
+	}
+	out := bufio.NewWriterSize(os.Stdout, 1<<20)
+	defer out.Flush()
+	fmt.Fprintf(out, "<%s>\n", *rootTag)
+	if h := rr.Header(); h != nil {
+		xmlgen.WriteXML(out, h, "header", 1)
+	}
+	for rr.More() {
+		xmlgen.WriteXML(out, rr.Read(), rr.RecordTypeName(), 1)
+	}
+	fmt.Fprintf(out, "</%s>\n", *rootTag)
+	if err := rr.Err(); err != nil {
+		cliutil.Fatal(err)
+	}
+}

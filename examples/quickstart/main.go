@@ -1,0 +1,81 @@
+// Quickstart: compile a PADS description, parse data record by record,
+// react to parse descriptors, and print an accumulator profile.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"os"
+
+	"pads"
+)
+
+// A trimmed web-server-log description (Figure 4 of the PADS paper).
+const description = `
+Punion client_t {
+  Pip ip;
+  Phostname host;
+};
+
+Penum method_t { GET, PUT, POST, HEAD, DELETE, LINK, UNLINK };
+
+Ptypedef Puint16_FW(:3:) response_t :
+  response_t x => { 100 <= x && x < 600 };
+
+Precord Pstruct entry_t {
+        client_t client;
+  " ["; Pdate(:']':) date;
+  "] \""; method_t meth;
+  ' ';  Pstring(:' ':) uri;
+  " HTTP/1.";
+        Puint8 minor;
+  "\" "; response_t response;
+  ' ';  Puint32 length;
+};
+
+Psource Parray log_t {
+  entry_t[];
+};
+`
+
+const data = `207.136.97.49 [15/Oct/1997:18:46:51 -0700] "GET /tk/p.txt HTTP/1.0" 200 30
+tj62.aol.com [16/Oct/1997:14:32:22 -0700] "POST /scpt/confirm HTTP/1.0" 200 941
+bad.host.example [16/Oct/1997:14:33:01 -0700] "GET /x HTTP/1.0" 999 12
+10.1.2.3 [16/Oct/1997:15:00:00 -0700] "HEAD / HTTP/1.1" 304 -
+`
+
+func main() {
+	desc, err := pads.Compile(description, "quickstart.pads")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compiled description; source type %s\n\n", desc.SourceType())
+
+	// Record-at-a-time parsing: the data is never loaded whole.
+	rr, err := desc.Records(pads.NewSource(bytes.NewReader([]byte(data))), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	acc := pads.NewAccum(pads.AccumConfig{})
+	n, bad := 0, 0
+	for rr.More() {
+		rec := rr.Read()
+		n++
+		acc.Add(rec)
+		if pd := rec.PD(); pd.Nerr > 0 {
+			bad++
+			// The parse descriptor says what went wrong and where.
+			fmt.Printf("record %d: %d error(s): %v at %v\n", n, pd.Nerr, pd.ErrCode, pd.Loc)
+			continue
+		}
+		fmt.Printf("record %d: %s\n", n, pads.ValueString(rec))
+	}
+	fmt.Printf("\n%d records, %d with errors\n\n", n, bad)
+
+	// The statistical profile of the response field (section 5.2).
+	fmt.Println("accumulator report for the response field:")
+	acc.ReportField(os.Stdout, "<top>", "response")
+}

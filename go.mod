@@ -1,0 +1,3 @@
+module pads
+
+go 1.22

@@ -1,0 +1,146 @@
+package accum
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// Section 9 of the paper proposes augmenting the statistical profiling
+// library "with functions that use randomized and approximate techniques to
+// create small summaries such as histograms … or quantile summaries". This
+// file implements both in streaming form:
+//
+//   - a log-scale histogram with fixed buckets (powers of two), and
+//   - quantiles estimated from a fixed-size reservoir sample (the classic
+//     randomized technique; deterministic seeding keeps reports stable).
+
+// histogram buckets span 2^(i-1) .. 2^i-1 for i >= 1, with dedicated
+// buckets for negatives and zero.
+type histogram struct {
+	neg     uint64
+	zero    uint64
+	buckets [64]uint64
+	n       uint64
+}
+
+func (h *histogram) add(f float64) {
+	h.n++
+	switch {
+	case f < 0:
+		h.neg++
+	case f == 0:
+		h.zero++
+	default:
+		i := int(math.Floor(math.Log2(f))) + 1
+		if i < 1 {
+			i = 1
+		}
+		if i > 63 {
+			i = 63
+		}
+		h.buckets[i]++
+	}
+}
+
+func (h *histogram) report(w io.Writer) {
+	if h.n == 0 {
+		return
+	}
+	fmt.Fprintln(w, "histogram (log2 buckets):")
+	bar := func(count uint64) string {
+		width := int(count * 40 / h.n)
+		out := make([]byte, width)
+		for i := range out {
+			out[i] = '#'
+		}
+		return string(out)
+	}
+	if h.neg > 0 {
+		fmt.Fprintf(w, "  %14s count: %8d %s\n", "< 0", h.neg, bar(h.neg))
+	}
+	if h.zero > 0 {
+		fmt.Fprintf(w, "  %14s count: %8d %s\n", "0", h.zero, bar(h.zero))
+	}
+	for i := 1; i < 64; i++ {
+		if h.buckets[i] == 0 {
+			continue
+		}
+		lo := uint64(1) << uint(i-1)
+		hi := uint64(1)<<uint(i) - 1
+		fmt.Fprintf(w, "  %6d..%-7d count: %8d %s\n", lo, hi, h.buckets[i], bar(h.buckets[i]))
+	}
+}
+
+// reservoir is a fixed-size uniform sample (Vitter's algorithm R) with a
+// deterministic splitmix64 PRNG so profiles are reproducible.
+type reservoir struct {
+	sample []float64
+	seen   uint64
+	rng    uint64
+}
+
+const reservoirSize = 1024
+
+func (r *reservoir) next() uint64 {
+	r.rng += 0x9E3779B97F4A7C15
+	z := r.rng
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func (r *reservoir) add(f float64) {
+	r.seen++
+	if len(r.sample) < reservoirSize {
+		r.sample = append(r.sample, f)
+		return
+	}
+	if j := r.next() % r.seen; j < reservoirSize {
+		r.sample[j] = f
+	}
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) of the values seen.
+func (r *reservoir) quantile(q float64) float64 {
+	if len(r.sample) == 0 {
+		return 0
+	}
+	s := make([]float64, len(r.sample))
+	copy(s, r.sample)
+	sort.Float64s(s)
+	i := int(q * float64(len(s)-1))
+	return s[i]
+}
+
+func (r *reservoir) report(w io.Writer) {
+	if r.seen == 0 {
+		return
+	}
+	exact := ""
+	if r.seen > reservoirSize {
+		exact = fmt.Sprintf(" (estimated from a %d-value sample)", reservoirSize)
+	}
+	fmt.Fprintf(w, "quantiles%s: p25: %s p50: %s p90: %s p99: %s\n",
+		exact,
+		trimFloat(r.quantile(0.25)), trimFloat(r.quantile(0.50)),
+		trimFloat(r.quantile(0.90)), trimFloat(r.quantile(0.99)))
+}
+
+// Quantile exposes the estimated q-quantile of a numeric component's good
+// values (0 when the component is not numeric or empty).
+func (a *Accum) Quantile(q float64) float64 {
+	if a.res == nil {
+		return 0
+	}
+	return a.res.quantile(q)
+}
+
+// HistogramBucket returns the count of good values in 2^(i-1)..2^i-1.
+func (a *Accum) HistogramBucket(i int) uint64 {
+	if a.hist == nil || i < 1 || i > 63 {
+		return 0
+	}
+	return a.hist.buckets[i]
+}

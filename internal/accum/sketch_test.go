@@ -1,0 +1,108 @@
+package accum
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	a := New(DefaultConfig())
+	for _, v := range []uint64{1, 1, 2, 3, 4, 7, 8, 1000} {
+		a.Add(uintVal(v))
+	}
+	// 1 -> bucket 1 (1..1); 2,3 -> bucket 2 (2..3); 4,7 -> bucket 3;
+	// 8 -> bucket 4; 1000 -> bucket 10 (512..1023).
+	cases := map[int]uint64{1: 2, 2: 2, 3: 2, 4: 1, 10: 1}
+	for b, want := range cases {
+		if got := a.HistogramBucket(b); got != want {
+			t.Errorf("bucket %d = %d, want %d", b, got, want)
+		}
+	}
+	var sb strings.Builder
+	a.Report(&sb, "<top>")
+	for _, want := range []string{"histogram (log2 buckets):", "512..1023", "quantiles"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, sb.String())
+		}
+	}
+}
+
+func TestQuantilesExactWhenSmall(t *testing.T) {
+	a := New(DefaultConfig())
+	for i := uint64(1); i <= 101; i++ {
+		a.Add(uintVal(i))
+	}
+	if got := a.Quantile(0.5); got != 51 {
+		t.Errorf("p50 = %v, want 51", got)
+	}
+	if got := a.Quantile(0); got != 1 {
+		t.Errorf("p0 = %v", got)
+	}
+	if got := a.Quantile(1); got != 101 {
+		t.Errorf("p100 = %v", got)
+	}
+}
+
+func TestQuantilesApproximateLarge(t *testing.T) {
+	// 100k uniform values in [0, 1e6): the sampled p50 must land near the
+	// true median.
+	a := New(DefaultConfig())
+	r := &reservoir{} // reuse the internal PRNG for data too
+	for i := 0; i < 100000; i++ {
+		a.Add(uintVal(r.next() % 1000000))
+	}
+	p50 := a.Quantile(0.5)
+	if math.Abs(p50-500000) > 100000 {
+		t.Errorf("p50 = %v, want ≈500000", p50)
+	}
+	p99 := a.Quantile(0.99)
+	if p99 < 900000 {
+		t.Errorf("p99 = %v, want ≥900000", p99)
+	}
+}
+
+// Property: quantiles are monotone in q and bracketed by min/max.
+func TestQuantileInvariants(t *testing.T) {
+	f := func(vals []uint32) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		a := New(DefaultConfig())
+		for _, v := range vals {
+			a.Add(uintVal(uint64(v)))
+		}
+		prev := a.Quantile(0)
+		if prev < a.Min() {
+			return false
+		}
+		for _, q := range []float64{0.25, 0.5, 0.75, 0.99, 1} {
+			cur := a.Quantile(q)
+			if cur < prev {
+				return false
+			}
+			prev = cur
+		}
+		return prev <= a.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramNegativeAndZero(t *testing.T) {
+	a := New(DefaultConfig())
+	for _, v := range []int64{-5, 0, 0, 3} {
+		a.Add(intVal(v))
+	}
+	var sb strings.Builder
+	a.Report(&sb, "<top>")
+	out := sb.String()
+	if !strings.Contains(out, "< 0") {
+		t.Errorf("negative bucket missing:\n%s", out)
+	}
+	if !strings.Contains(out, "0 count:        2") {
+		t.Errorf("zero bucket missing:\n%s", out)
+	}
+}

@@ -1,0 +1,244 @@
+// Package baseline ports the hand-written Perl programs of section 7 of the
+// paper to Go, preserving their algorithms: the vetter splits each record on
+// '|' and validates the fields (Perl's split), and the selector applies the
+// Figure 9 regular expression to every line. They are the comparators for
+// the Figure 10 experiment; the PADS side is the generated parser in
+// pads/internal/gen/sirius.
+package baseline
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"regexp"
+)
+
+// VetStats reports a vetting run.
+type VetStats struct {
+	Records int
+	Clean   int
+	Errors  int
+}
+
+// SiriusVetLine validates one Sirius order record the way the Perl vetter
+// does: split on '|', check each of the 13 header fields, then check the
+// event list (state, timestamp pairs with non-decreasing timestamps).
+func SiriusVetLine(line []byte) bool {
+	fields := bytes.Split(line, []byte{'|'})
+	// 13 header fields plus at least one (state, timestamp) pair.
+	if len(fields) < 15 {
+		return false
+	}
+	// order_num, att_order_num, ord_version: unsigned integers.
+	for i := 0; i < 3; i++ {
+		if !isUint(fields[i]) {
+			return false
+		}
+	}
+	// four phone numbers: optional unsigned integers.
+	for i := 3; i < 7; i++ {
+		if len(fields[i]) > 0 && !isUint(fields[i]) {
+			return false
+		}
+	}
+	// zip code: optional 5 digits or zip+4.
+	if !isOptZip(fields[7]) {
+		return false
+	}
+	// ramp: integer or no_ii<digits>.
+	if !isRamp(fields[8]) {
+		return false
+	}
+	// order_type (fields[9]), unused (fields[11]), stream (fields[12]):
+	// free-form; order_details must be an unsigned integer.
+	if !isUint(fields[10]) {
+		return false
+	}
+	// The event list: pairs of (state, timestamp), timestamps sorted.
+	events := fields[13:]
+	if len(events)%2 != 0 {
+		return false
+	}
+	prev := int64(-1)
+	for i := 0; i < len(events); i += 2 {
+		if len(events[i]) == 0 {
+			return false
+		}
+		ts, ok := parseUint(events[i+1])
+		if !ok {
+			return false
+		}
+		if int64(ts) < prev {
+			return false
+		}
+		prev = int64(ts)
+	}
+	return true
+}
+
+func isUint(b []byte) bool {
+	_, ok := parseUint(b)
+	return ok
+}
+
+func parseUint(b []byte) (uint64, bool) {
+	if len(b) == 0 {
+		return 0, false
+	}
+	var v uint64
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		v = v*10 + uint64(c-'0')
+	}
+	return v, true
+}
+
+func isOptZip(b []byte) bool {
+	switch len(b) {
+	case 0:
+		return true
+	case 5:
+		return isUint(b)
+	case 10:
+		return isUint(b[:5]) && b[5] == '-' && isUint(b[6:])
+	default:
+		return false
+	}
+}
+
+func isRamp(b []byte) bool {
+	if bytes.HasPrefix(b, []byte("no_ii")) {
+		return isUint(b[5:])
+	}
+	if len(b) > 0 && b[0] == '-' {
+		return isUint(b[1:])
+	}
+	return isUint(b)
+}
+
+// SiriusVet vets a whole file: the header record is echoed to clean, good
+// records go to clean, bad ones to errOut (either writer may be nil).
+func SiriusVet(r io.Reader, clean, errOut io.Writer) (VetStats, error) {
+	var st VetStats
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	first := true
+	for sc.Scan() {
+		line := sc.Bytes()
+		if first {
+			first = false
+			if clean != nil {
+				clean.Write(line)
+				clean.Write(nl)
+			}
+			continue
+		}
+		st.Records++
+		if SiriusVetLine(line) {
+			st.Clean++
+			if clean != nil {
+				clean.Write(line)
+				clean.Write(nl)
+			}
+		} else {
+			st.Errors++
+			if errOut != nil {
+				errOut.Write(line)
+				errOut.Write(nl)
+			}
+		}
+	}
+	return st, sc.Err()
+}
+
+var nl = []byte{'\n'}
+
+// Selector holds the compiled Figure 9 regular expression for one state:
+//
+//	qr/^(\d+)\|(?:[^|]*\|){12}(?:[^|]*\|[^|]*\|)*$STATE\|/
+//
+// It matches records that ever pass through $STATE and captures the order
+// number.
+type Selector struct {
+	re *regexp.Regexp
+}
+
+// NewSelector compiles the Figure 9 expression for a state.
+func NewSelector(state string) *Selector {
+	pat := `^(\d+)\|(?:[^|]*\|){12}(?:[^|]*\|[^|]*\|)*` + regexp.QuoteMeta(state) + `\|`
+	return &Selector{re: regexp.MustCompile(pat)}
+}
+
+// Match applies the expression to one record, returning the captured order
+// number text.
+func (s *Selector) Match(line []byte) ([]byte, bool) {
+	m := s.re.FindSubmatch(line)
+	if m == nil {
+		return nil, false
+	}
+	return m[1], true
+}
+
+// SelectStats reports a selection run.
+type SelectStats struct {
+	Records int
+	Matched int
+}
+
+// SiriusSelect scans a file and writes the order number of every record
+// that passes through state, like the Perl selection program.
+func SiriusSelect(r io.Reader, w io.Writer, state string) (SelectStats, error) {
+	sel := NewSelector(state)
+	var st SelectStats
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	first := true
+	for sc.Scan() {
+		if first {
+			first = false // skip the summary header
+			continue
+		}
+		st.Records++
+		if num, ok := sel.Match(sc.Bytes()); ok {
+			st.Matched++
+			if w != nil {
+				w.Write(num)
+				w.Write(nl)
+			}
+		}
+	}
+	return st, sc.Err()
+}
+
+// CountRecords counts newline-terminated records the way the trivial Perl
+// `while (<>) { $n++ }` program does (the 124-second baseline of section 7).
+func CountRecords(r io.Reader) (int, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	n := 0
+	for {
+		chunk, err := br.ReadSlice('\n')
+		if len(chunk) > 0 && chunk[len(chunk)-1] == '\n' {
+			n++
+		}
+		if err == io.EOF {
+			return n, nil
+		}
+		if err == bufio.ErrBufferFull {
+			// A record longer than the buffer: consume to the newline.
+			for err == bufio.ErrBufferFull {
+				chunk, err = br.ReadSlice('\n')
+			}
+			if len(chunk) > 0 && chunk[len(chunk)-1] == '\n' {
+				n++
+			}
+			if err == io.EOF {
+				return n, nil
+			}
+		}
+		if err != nil {
+			return n, err
+		}
+	}
+}

@@ -1,0 +1,82 @@
+// Package cliutil holds the small amount of plumbing the cmd/ tools share:
+// compiling the description named on the command line and configuring the
+// input source from flags.
+package cliutil
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"pads/internal/core"
+	"pads/internal/padsrt"
+)
+
+// ParseDisc interprets the -disc flag: newline, none, fixed:N, or
+// lenprefix[:headerBytes].
+func ParseDisc(spec string) (padsrt.Discipline, error) {
+	switch {
+	case spec == "" || spec == "newline":
+		return padsrt.Newline(), nil
+	case spec == "none":
+		return padsrt.NoRecords(), nil
+	case strings.HasPrefix(spec, "fixed:"):
+		n, err := strconv.Atoi(spec[len("fixed:"):])
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad fixed-width discipline %q", spec)
+		}
+		return padsrt.FixedWidth(n), nil
+	case spec == "lenprefix":
+		return padsrt.LenPrefix(), nil
+	case strings.HasPrefix(spec, "lenprefix:"):
+		n, err := strconv.Atoi(spec[len("lenprefix:"):])
+		if err != nil || n <= 0 || n > 8 {
+			return nil, fmt.Errorf("bad length-prefix discipline %q", spec)
+		}
+		return &padsrt.LenPrefixDisc{HeaderBytes: n, Order: padsrt.BigEndian}, nil
+	default:
+		return nil, fmt.Errorf("unknown record discipline %q (newline, none, fixed:N, lenprefix[:N])", spec)
+	}
+}
+
+// SourceOptions assembles source options from the shared flags.
+func SourceOptions(disc string, ebcdic bool, littleEndian bool) ([]padsrt.SourceOption, error) {
+	d, err := ParseDisc(disc)
+	if err != nil {
+		return nil, err
+	}
+	opts := []padsrt.SourceOption{padsrt.WithDiscipline(d)}
+	if ebcdic {
+		opts = append(opts, padsrt.WithCoding(padsrt.EBCDIC))
+	}
+	if littleEndian {
+		opts = append(opts, padsrt.WithByteOrder(padsrt.LittleEndian))
+	}
+	return opts, nil
+}
+
+// MustCompile compiles the description or exits with its diagnostics.
+func MustCompile(path string) *core.Description {
+	d, err := core.CompileFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	return d
+}
+
+// OpenData opens the data argument, "-" or empty meaning stdin.
+func OpenData(path string) (io.ReadCloser, error) {
+	if path == "" || path == "-" {
+		return io.NopCloser(os.Stdin), nil
+	}
+	return os.Open(path)
+}
+
+// Fatal prints an error and exits.
+func Fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,50 @@
+package cliutil
+
+import (
+	"testing"
+
+	"pads/internal/padsrt"
+)
+
+func TestParseDisc(t *testing.T) {
+	cases := []struct {
+		spec string
+		name string
+		ok   bool
+	}{
+		{"", "newline", true},
+		{"newline", "newline", true},
+		{"none", "none", true},
+		{"fixed:24", "fixed(24)", true},
+		{"lenprefix", "lenprefix(4)", true},
+		{"lenprefix:2", "lenprefix(2)", true},
+		{"fixed:0", "", false},
+		{"fixed:x", "", false},
+		{"lenprefix:99", "", false},
+		{"bogus", "", false},
+	}
+	for _, c := range cases {
+		d, err := ParseDisc(c.spec)
+		if c.ok != (err == nil) {
+			t.Errorf("ParseDisc(%q) err = %v, want ok=%v", c.spec, err, c.ok)
+			continue
+		}
+		if c.ok && d.Name() != c.name {
+			t.Errorf("ParseDisc(%q) = %s, want %s", c.spec, d.Name(), c.name)
+		}
+	}
+}
+
+func TestSourceOptions(t *testing.T) {
+	opts, err := SourceOptions("none", true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := padsrt.NewBytesSource(nil, opts...)
+	if s.Coding() != padsrt.EBCDIC || s.ByteOrder() != padsrt.LittleEndian || s.Discipline().Name() != "none" {
+		t.Errorf("options not applied: %v %v %v", s.Coding(), s.ByteOrder(), s.Discipline().Name())
+	}
+	if _, err := SourceOptions("nope", false, false); err == nil {
+		t.Error("bad discipline accepted")
+	}
+}

@@ -1,0 +1,331 @@
+// Package cobol translates Cobol copybooks into PADS descriptions — the
+// tool section 5.2 of the paper built for AT&T's Altair project, which
+// receives ~4000 Cobol-format files per day. The translator covers the
+// copybook subset that matters for data description: level-numbered groups,
+// PIC X/9 clauses with S (sign) and V (implied decimal point), usage
+// DISPLAY / COMP (binary) / COMP-3 (packed decimal), OCCURS, and FILLER.
+// Condition names (level 88) and REDEFINES alternatives are skipped.
+//
+// The output is a PADS AST, so it can be pretty-printed, checked, and fed
+// to the interpreter or compiler like any hand-written description.
+package cobol
+
+import (
+	"fmt"
+	"strings"
+
+	"pads/internal/dsl"
+)
+
+// Item is one parsed copybook entry.
+type Item struct {
+	Level    int
+	Name     string // lower-cased, '-' mapped to '_'
+	Pic      *Pic   // nil for groups
+	Occurs   int    // 0 when not repeated
+	Children []*Item
+}
+
+// Pic describes a PICTURE clause.
+type Pic struct {
+	Alpha    bool // X(n): character data
+	Digits   int  // 9(n) count (integer + fraction)
+	Scale    int  // digits after the implied decimal point (V)
+	Signed   bool // leading S
+	Usage    Usage
+	RawWidth int // storage width for X(n)
+}
+
+// Usage is the storage format of a numeric item.
+type Usage int
+
+// Usages.
+const (
+	Display Usage = iota // zoned / character digits
+	Comp                 // binary (COMP, COMP-4, BINARY)
+	Comp3                // packed decimal
+)
+
+// Translate parses copybook text and produces a PADS description: one
+// Precord Pstruct per 01-level record (plus nested group structs), and a
+// Psource array of the record type.
+func Translate(src string) (*dsl.Program, error) {
+	items, err := parseCopybook(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(items) == 0 {
+		return nil, fmt.Errorf("cobol: no 01-level records found")
+	}
+	t := &translator{fillers: 0}
+	prog := &dsl.Program{}
+	for _, rec := range items {
+		if err := t.emitGroup(prog, rec, true); err != nil {
+			return nil, err
+		}
+	}
+	last := items[len(items)-1]
+	prog.Decls = append(prog.Decls, &dsl.ArrayDecl{
+		Annot: dsl.Annot{IsSource: true},
+		Name:  last.Name + "_file",
+		Elem:  dsl.TypeRef{Name: last.Name},
+	})
+	return prog, nil
+}
+
+type translator struct {
+	fillers int
+	arrays  int
+}
+
+// emitGroup appends the struct (and any nested declarations) for a group.
+func (t *translator) emitGroup(prog *dsl.Program, g *Item, record bool) error {
+	st := &dsl.StructDecl{Name: g.Name, Annot: dsl.Annot{IsRecord: record}}
+	for _, c := range g.Children {
+		var tr dsl.TypeRef
+		if c.Pic == nil {
+			// Nested group: declare it first (declare-before-use).
+			if err := t.emitGroup(prog, c, false); err != nil {
+				return err
+			}
+			tr = dsl.TypeRef{Name: c.Name}
+		} else {
+			var err error
+			tr, err = picType(c.Pic)
+			if err != nil {
+				return fmt.Errorf("cobol: field %s: %v", c.Name, err)
+			}
+		}
+		if c.Occurs > 0 {
+			t.arrays++
+			arrName := fmt.Sprintf("%s_occurs", c.Name)
+			size := &dsl.IntExpr{Val: int64(c.Occurs)}
+			prog.Decls = append(prog.Decls, &dsl.ArrayDecl{
+				Name:    arrName,
+				Elem:    tr,
+				MinSize: size,
+				MaxSize: size, // the same node: a fixed-size array
+			})
+			tr = dsl.TypeRef{Name: arrName}
+		}
+		st.Items = append(st.Items, dsl.StructItem{Field: &dsl.Field{Type: tr, Name: c.Name}})
+	}
+	prog.Decls = append(prog.Decls, st)
+	return nil
+}
+
+// picType maps a PICTURE clause to a PADS base type.
+func picType(p *Pic) (dsl.TypeRef, error) {
+	if p.Alpha {
+		return dsl.TypeRef{Name: "Pstring_FW", Args: []dsl.Expr{&dsl.IntExpr{Val: int64(p.RawWidth)}}}, nil
+	}
+	d := p.Digits
+	if d <= 0 || d > 18 {
+		return dsl.TypeRef{}, fmt.Errorf("unsupported digit count %d", d)
+	}
+	switch p.Usage {
+	case Comp3:
+		return dsl.TypeRef{Name: "Pbcd", Args: []dsl.Expr{&dsl.IntExpr{Val: int64(d)}}}, nil
+	case Comp:
+		bits := 16
+		switch {
+		case d > 9:
+			bits = 64
+		case d > 4:
+			bits = 32
+		}
+		name := fmt.Sprintf("Pb_int%d", bits)
+		if !p.Signed {
+			name = fmt.Sprintf("Pb_uint%d", bits)
+		}
+		return dsl.TypeRef{Name: name}, nil
+	default: // Display
+		if p.Signed {
+			return dsl.TypeRef{Name: "Pzoned", Args: []dsl.Expr{&dsl.IntExpr{Val: int64(d)}}}, nil
+		}
+		bits := 8
+		switch {
+		case d > 9:
+			bits = 64
+		case d > 4:
+			bits = 32
+		case d > 2:
+			bits = 16
+		}
+		return dsl.TypeRef{Name: fmt.Sprintf("Puint%d_FW", bits), Args: []dsl.Expr{&dsl.IntExpr{Val: int64(d)}}}, nil
+	}
+}
+
+// ---- copybook parsing ----
+
+// parseCopybook tokenizes the copybook into items and nests them by level.
+func parseCopybook(src string) ([]*Item, error) {
+	var flat []*Item
+	fillers := 0
+	for lineNum, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "*") {
+			continue
+		}
+		// Sentences may span periods; treat each line as one entry and
+		// strip the trailing period.
+		line = strings.TrimSuffix(line, ".")
+		toks := strings.Fields(line)
+		if len(toks) < 2 {
+			continue
+		}
+		level := 0
+		if _, err := fmt.Sscanf(toks[0], "%d", &level); err != nil {
+			return nil, fmt.Errorf("cobol: line %d: expected a level number, got %q", lineNum+1, toks[0])
+		}
+		if level == 88 || level == 66 {
+			continue // condition names / RENAMES carry no storage
+		}
+		name := strings.ToLower(strings.ReplaceAll(toks[1], "-", "_"))
+		if name == "filler" {
+			fillers++
+			name = fmt.Sprintf("filler_%d", fillers)
+		}
+		it := &Item{Level: level, Name: name}
+		rest := toks[2:]
+		skip := false
+		for i := 0; i < len(rest); i++ {
+			switch up := strings.ToUpper(rest[i]); up {
+			case "REDEFINES":
+				skip = true
+				i++ // the redefined name
+			case "PIC", "PICTURE":
+				if i+1 >= len(rest) {
+					return nil, fmt.Errorf("cobol: line %d: PIC without a picture", lineNum+1)
+				}
+				i++
+				pic, err := parsePic(rest[i])
+				if err != nil {
+					return nil, fmt.Errorf("cobol: line %d: %v", lineNum+1, err)
+				}
+				it.Pic = pic
+			case "COMP", "COMP-4", "BINARY", "COMPUTATIONAL", "COMPUTATIONAL-4":
+				if it.Pic != nil {
+					it.Pic.Usage = Comp
+				}
+			case "COMP-3", "COMPUTATIONAL-3", "PACKED-DECIMAL":
+				if it.Pic != nil {
+					it.Pic.Usage = Comp3
+				}
+			case "OCCURS":
+				if i+1 >= len(rest) {
+					return nil, fmt.Errorf("cobol: line %d: OCCURS without a count", lineNum+1)
+				}
+				i++
+				if _, err := fmt.Sscanf(rest[i], "%d", &it.Occurs); err != nil {
+					return nil, fmt.Errorf("cobol: line %d: bad OCCURS count %q", lineNum+1, rest[i])
+				}
+			case "TIMES", "USAGE", "IS", "DISPLAY", "SYNC", "SYNCHRONIZED":
+				// noise words
+			case "VALUE", "VALUES":
+				i = len(rest) // ignore initial values
+			}
+		}
+		if skip {
+			continue // REDEFINES alternatives share storage; keep the original
+		}
+		flat = append(flat, it)
+	}
+	return nest(flat)
+}
+
+// nest builds the level hierarchy.
+func nest(flat []*Item) ([]*Item, error) {
+	var roots []*Item
+	var stack []*Item
+	for _, it := range flat {
+		for len(stack) > 0 && stack[len(stack)-1].Level >= it.Level {
+			stack = stack[:len(stack)-1]
+		}
+		if len(stack) == 0 {
+			if it.Pic != nil {
+				return nil, fmt.Errorf("cobol: top-level item %s has a PIC clause; expected a group", it.Name)
+			}
+			roots = append(roots, it)
+		} else {
+			parent := stack[len(stack)-1]
+			if parent.Pic != nil {
+				return nil, fmt.Errorf("cobol: elementary item %s has children", parent.Name)
+			}
+			parent.Children = append(parent.Children, it)
+		}
+		stack = append(stack, it)
+	}
+	return roots, nil
+}
+
+// parsePic decodes a picture string: X(10), 9(5), S9(7)V99, XXX, 999.
+func parsePic(s string) (*Pic, error) {
+	p := &Pic{}
+	u := strings.ToUpper(s)
+	i := 0
+	if i < len(u) && u[i] == 'S' {
+		p.Signed = true
+		i++
+	}
+	inFraction := false
+	for i < len(u) {
+		c := u[i]
+		switch c {
+		case 'X', 'A':
+			p.Alpha = true
+			n, ni := repeatCount(u, i)
+			p.RawWidth += n
+			i = ni
+		case '9':
+			n, ni := repeatCount(u, i)
+			p.Digits += n
+			if inFraction {
+				p.Scale += n
+			}
+			i = ni
+		case 'V':
+			inFraction = true
+			i++
+		case 'Z', ',', '.', '$', '+', '-', '*':
+			// Edited pictures: count positions as character data.
+			n, ni := repeatCount(u, i)
+			p.Alpha = true
+			p.RawWidth += n
+			i = ni
+		default:
+			return nil, fmt.Errorf("unsupported picture character %q in %s", c, s)
+		}
+	}
+	if p.Alpha && p.Digits > 0 {
+		// Edited numeric: treat the whole field as character data.
+		p.RawWidth += p.Digits
+		p.Digits = 0
+	}
+	if !p.Alpha && p.Digits == 0 {
+		return nil, fmt.Errorf("empty picture %s", s)
+	}
+	return p, nil
+}
+
+// repeatCount handles both X(5) and XXXXX notations, returning the count
+// and the index after the run.
+func repeatCount(u string, i int) (int, int) {
+	c := u[i]
+	n := 0
+	for i < len(u) && u[i] == c {
+		n++
+		i++
+	}
+	if i < len(u) && u[i] == '(' {
+		j := strings.IndexByte(u[i:], ')')
+		if j > 0 {
+			var rep int
+			if _, err := fmt.Sscanf(u[i+1:i+j], "%d", &rep); err == nil {
+				n += rep - 1
+				i += j + 1
+			}
+		}
+	}
+	return n, i
+}

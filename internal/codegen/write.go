@@ -1,0 +1,441 @@
+package codegen
+
+import (
+	"fmt"
+	"strings"
+
+	"pads/internal/dsl"
+	"pads/internal/sema"
+)
+
+// Auxiliary per-type artifacts: Write (the original form printer,
+// write2io in Figure 6), Verify (re-checks semantic constraints on an
+// in-memory value, used by the Figure 7 program after repairs), and ToValue
+// (bridges generated representations into the generic value model so the
+// accumulator/formatting/XML/query tools work over compiled data).
+
+// appendLiteral emits dst appends for a literal.
+func (g *gen) appendLiteral(l *dsl.Literal, depth int) {
+	ind := strings.Repeat("\t", depth)
+	switch l.Kind {
+	case dsl.CharLit:
+		g.p("%sdst = append(dst, %q)", ind, l.Char)
+	case dsl.StrLit:
+		g.p("%sdst = append(dst, %q...)", ind, l.Str)
+	default:
+		// Regexp literals have no canonical text; Peor/Peof are framing.
+	}
+}
+
+// writeRef emits dst appends for one value of tr.
+func (g *gen) writeRef(tr dsl.TypeRef, repExpr string, sc *scope, depth int) {
+	ind := strings.Repeat("\t", depth)
+	if tr.Opt {
+		inner := tr
+		inner.Opt = false
+		g.p("%sif %s.Present {", ind, repExpr)
+		g.writeRef(inner, repExpr+".Val", sc, depth+1)
+		g.p("%s}", ind)
+		return
+	}
+	if b := sema.LookupBase(tr.Name); b != nil {
+		g.writeBase(b, tr, repExpr, sc, depth)
+		return
+	}
+	d := g.desc.Types[tr.Name]
+	args := g.argExprs(tr, sc)
+	switch d.(type) {
+	case *dsl.EnumDecl:
+		g.p("%sdst = append(dst, %s.String()...)", ind, repExpr)
+	default:
+		g.p("%sdst = Write%s(dst, &%s%s)", ind, GoName(tr.Name), repExpr, args)
+	}
+}
+
+func (g *gen) writeBase(b *sema.BaseInfo, tr dsl.TypeRef, repExpr string, sc *scope, depth int) {
+	ind := strings.Repeat("\t", depth)
+	intArg := func(i int) string {
+		code, t := g.expr(tr.Args[i], sc)
+		return "int(" + asNum(code, t) + ")"
+	}
+	switch b.Kind {
+	case sema.KChar:
+		if b.Coding == "e" {
+			g.p("%sdst = append(dst, padsrt.ASCIIToEBCDIC(%s))", ind, repExpr)
+		} else {
+			g.p("%sdst = append(dst, %s)", ind, repExpr)
+		}
+	case sema.KUint:
+		switch {
+		case b.FW:
+			g.p("%sdst = padsrt.AppendUintFW(dst, uint64(%s), %s)", ind, repExpr, intArg(0))
+		case b.Coding == "b":
+			g.p("%sdst = padsrt.AppendBUint(dst, uint64(%s), %d, Order)", ind, repExpr, b.Bits/8)
+		case b.Coding == "e":
+			g.p("%sdst = padsrt.AppendEUint(dst, uint64(%s))", ind, repExpr)
+		default:
+			g.p("%sdst = padsrt.AppendUint(dst, uint64(%s))", ind, repExpr)
+		}
+	case sema.KInt:
+		switch {
+		case b.Coding == "bcd":
+			g.p("%sdst = padsrt.WriteBCD(dst, int64(%s), %s)", ind, repExpr, intArg(0))
+		case b.Coding == "zoned":
+			g.p("%sdst = padsrt.WriteZoned(dst, int64(%s), %s)", ind, repExpr, intArg(0))
+		case b.FW:
+			g.p("%sdst = padsrt.AppendIntFW(dst, int64(%s), %s)", ind, repExpr, intArg(0))
+		case b.Coding == "b":
+			g.p("%sdst = padsrt.AppendBUint(dst, uint64(%s), %d, Order)", ind, repExpr, b.Bits/8)
+		default:
+			g.p("%sdst = padsrt.AppendInt(dst, int64(%s))", ind, repExpr)
+		}
+	case sema.KFloat:
+		g.p("%sdst = padsrt.AppendFloat(dst, float64(%s), %d)", ind, repExpr, b.Bits)
+	case sema.KString:
+		if b.Coding == "e" {
+			g.p("%sdst = append(dst, padsrt.StringToEBCDICBytes(%s)...)", ind, repExpr)
+		} else {
+			g.p("%sdst = append(dst, %s...)", ind, repExpr)
+		}
+	case sema.KDate:
+		g.p("%sdst = padsrt.AppendDate(dst, %s)", ind, repExpr)
+	case sema.KIP:
+		g.p("%sdst = append(dst, padsrt.FormatIP(%s)...)", ind, repExpr)
+	case sema.KVoid:
+		// nothing on the wire
+	}
+}
+
+// toValueExpr renders the ToValue conversion of one reference.
+func (g *gen) toValueExpr(tr dsl.TypeRef, repExpr, pdExpr string) string {
+	if tr.Opt {
+		inner := tr
+		inner.Opt = false
+		// The inner descriptor was discarded at parse time (a present
+		// optional is clean by construction); bridge with a zero pd of
+		// the right shape.
+		innerPD := "padsrt.PD{}"
+		if g.compoundRef(inner) {
+			innerPD = GoName(inner.Name) + "PD{}"
+		}
+		innerConv := g.toValueExpr(inner, repExpr+".Val", innerPD)
+		return fmt.Sprintf("func() value.Value { if %s.Present { return value.NewOpt(true, %s, %q, %s) }; return value.NewOpt(false, nil, %q, %s) }()",
+			repExpr, innerConv, "Popt "+tr.Name, pdExpr, "Popt "+tr.Name, pdExpr)
+	}
+	if b := sema.LookupBase(tr.Name); b != nil {
+		switch b.Kind {
+		case sema.KChar:
+			return fmt.Sprintf("value.NewChar(%s, %q, %s)", repExpr, b.Name, pdExpr)
+		case sema.KUint:
+			return fmt.Sprintf("value.NewUint(uint64(%s), %d, %q, %s)", repExpr, b.Bits, b.Name, pdExpr)
+		case sema.KInt:
+			return fmt.Sprintf("value.NewInt(int64(%s), %d, %q, %s)", repExpr, b.Bits, b.Name, pdExpr)
+		case sema.KFloat:
+			return fmt.Sprintf("value.NewFloat(float64(%s), %d, %q, %s)", repExpr, b.Bits, b.Name, pdExpr)
+		case sema.KString:
+			return fmt.Sprintf("value.NewStr(%s, %q, %s)", repExpr, b.Name, pdExpr)
+		case sema.KDate:
+			return fmt.Sprintf("value.NewDate(%s.Sec, %s.Raw, %q, %s)", repExpr, repExpr, b.Name, pdExpr)
+		case sema.KIP:
+			return fmt.Sprintf("value.NewIP(%s, %q, %s)", repExpr, b.Name, pdExpr)
+		default:
+			return fmt.Sprintf("value.NewVoid(%q, %s)", b.Name, pdExpr)
+		}
+	}
+	switch g.desc.Types[tr.Name].(type) {
+	case *dsl.EnumDecl, *dsl.TypedefDecl:
+		return fmt.Sprintf("%sToValue(&%s, %s)", GoName(tr.Name), repExpr, pdExpr)
+	default:
+		return fmt.Sprintf("%sToValue(&%s, &%s)", GoName(tr.Name), repExpr, pdExpr)
+	}
+}
+
+// verifyRef renders the Verify call (or "true") for a reference.
+func (g *gen) verifyRef(tr dsl.TypeRef, repExpr string, sc *scope) string {
+	if tr.Opt {
+		inner := tr
+		inner.Opt = false
+		innerV := g.verifyRef(inner, repExpr+".Val", sc)
+		if innerV == "true" {
+			return "true"
+		}
+		return fmt.Sprintf("(!%s.Present || %s)", repExpr, innerV)
+	}
+	if isBase(tr) {
+		return "true"
+	}
+	d := g.desc.Types[tr.Name]
+	switch d.(type) {
+	case *dsl.EnumDecl:
+		return "true"
+	default:
+		return fmt.Sprintf("Verify%s(&%s%s)", GoName(tr.Name), repExpr, g.argExprs(tr, sc))
+	}
+}
+
+// ---- struct aux ----
+
+func (g *gen) emitStructAux(d *dsl.StructDecl) {
+	name := GoName(d.Name)
+	sc := newScope(nil)
+	for _, p := range d.Params {
+		sc.bind(p.Name, "arg_"+p.Name, g.scopeTyForGo(p.Type, g.paramGoType(p.Type)))
+	}
+
+	// Write.
+	g.p("// Write%s appends the original wire form of rep.", name)
+	g.p("func Write%s(dst []byte, rep *%s%s) []byte {", name, name, g.paramList(d.Params))
+	wsc := newScope(sc)
+	for _, it := range d.Items {
+		if it.Lit != nil {
+			g.appendLiteral(it.Lit, 1)
+			continue
+		}
+		f := it.Field
+		g.writeRef(f.Type, "rep."+goFieldName(f.Name), wsc, 1)
+		wsc.bind(f.Name, "rep."+goFieldName(f.Name), g.tyOfRef(f.Type))
+	}
+	if d.IsRecord {
+		g.p("\tdst = append(dst, '\\n')")
+	}
+	g.p("\treturn dst")
+	g.p("}")
+	g.p("")
+
+	// Verify.
+	g.p("// Verify%s re-checks every semantic constraint on rep.", name)
+	g.p("func Verify%s(rep *%s%s) bool {", name, name, g.paramList(d.Params))
+	vsc := newScope(sc)
+	for _, it := range d.Items {
+		if it.Field == nil {
+			continue
+		}
+		f := it.Field
+		fn := goFieldName(f.Name)
+		vsc.bind(f.Name, "rep."+fn, g.tyOfRef(f.Type))
+		if sub := g.verifyRef(f.Type, "rep."+fn, vsc); sub != "true" {
+			g.p("\tif !%s {", sub)
+			g.p("\t\treturn false")
+			g.p("\t}")
+		}
+		if f.Constraint != nil {
+			cond, _ := g.expr(f.Constraint, vsc)
+			g.p("\tif !(%s) {", cond)
+			g.p("\t\treturn false")
+			g.p("\t}")
+		}
+	}
+	if d.Where != nil {
+		cond, _ := g.expr(d.Where, vsc)
+		g.p("\tif !(%s) {", cond)
+		g.p("\t\treturn false")
+		g.p("\t}")
+	}
+	g.p("\treturn true")
+	g.p("}")
+	g.p("")
+
+	// ToValue.
+	g.p("// %sToValue bridges rep into the generic value model.", name)
+	g.p("func %sToValue(rep *%s, pd *%sPD) value.Value {", name, name, name)
+	g.p("\tst := &value.Struct{Common: value.Common{Pd: pd.PD, Type: %q}}", d.Name)
+	for _, it := range d.Items {
+		if it.Field == nil {
+			continue
+		}
+		f := it.Field
+		fn := goFieldName(f.Name)
+		g.p("\tst.Names = append(st.Names, %q)", f.Name)
+		g.p("\tst.Fields = append(st.Fields, %s)", g.toValueExpr(f.Type, "rep."+fn, "pd."+fn))
+	}
+	g.p("\treturn st")
+	g.p("}")
+	g.p("")
+}
+
+// ---- union aux ----
+
+func (g *gen) emitUnionAux(d *dsl.UnionDecl, branches []dsl.Field) {
+	name := GoName(d.Name)
+	sc := newScope(nil)
+	for _, p := range d.Params {
+		sc.bind(p.Name, "arg_"+p.Name, g.scopeTyForGo(p.Type, g.paramGoType(p.Type)))
+	}
+
+	g.p("// Write%s appends the original wire form of rep.", name)
+	g.p("func Write%s(dst []byte, rep *%s%s) []byte {", name, name, g.paramList(d.Params))
+	g.p("\tswitch rep.Tag {")
+	for i := range branches {
+		g.p("\tcase %sTag%s:", name, GoName(branches[i].Name))
+		g.writeRef(branches[i].Type, "rep."+goFieldName(branches[i].Name), sc, 2)
+	}
+	g.p("\t}")
+	if d.IsRecord {
+		g.p("\tdst = append(dst, '\\n')")
+	}
+	g.p("\treturn dst")
+	g.p("}")
+	g.p("")
+
+	g.p("// Verify%s re-checks every semantic constraint on rep.", name)
+	g.p("func Verify%s(rep *%s%s) bool {", name, name, g.paramList(d.Params))
+	g.p("\tswitch rep.Tag {")
+	for i := range branches {
+		b := &branches[i]
+		fn := goFieldName(b.Name)
+		g.p("\tcase %sTag%s:", name, GoName(b.Name))
+		bsc := newScope(sc)
+		bsc.bind(b.Name, "rep."+fn, g.tyOfRef(b.Type))
+		if sub := g.verifyRef(b.Type, "rep."+fn, bsc); sub != "true" {
+			g.p("\t\tif !%s {", sub)
+			g.p("\t\t\treturn false")
+			g.p("\t\t}")
+		}
+		if b.Constraint != nil {
+			cond, _ := g.expr(b.Constraint, bsc)
+			g.p("\t\tif !(%s) {", cond)
+			g.p("\t\t\treturn false")
+			g.p("\t\t}")
+		}
+		g.p("\t\treturn true")
+	}
+	g.p("\t}")
+	g.p("\treturn false")
+	g.p("}")
+	g.p("")
+
+	g.p("// %sToValue bridges rep into the generic value model.", name)
+	g.p("func %sToValue(rep *%s, pd *%sPD) value.Value {", name, name, name)
+	g.p("\tun := &value.Union{Common: value.Common{Pd: pd.PD, Type: %q}}", d.Name)
+	g.p("\tswitch rep.Tag {")
+	for i := range branches {
+		b := &branches[i]
+		fn := goFieldName(b.Name)
+		g.p("\tcase %sTag%s:", name, GoName(b.Name))
+		g.p("\t\tun.Tag = %q", b.Name)
+		g.p("\t\tun.TagIdx = %d", i)
+		g.p("\t\tun.Val = %s", g.toValueExpr(b.Type, "rep."+fn, "pd."+fn))
+	}
+	g.p("\t}")
+	g.p("\treturn un")
+	g.p("}")
+	g.p("")
+}
+
+// ---- array aux ----
+
+func (g *gen) emitArrayAux(d *dsl.ArrayDecl) {
+	name := GoName(d.Name)
+	sc := newScope(nil)
+	for _, p := range d.Params {
+		sc.bind(p.Name, "arg_"+p.Name, g.scopeTyForGo(p.Type, g.paramGoType(p.Type)))
+	}
+
+	g.p("// Write%s appends the original wire form of rep.", name)
+	g.p("func Write%s(dst []byte, rep *%s%s) []byte {", name, name, g.paramList(d.Params))
+	g.p("\tfor i := range rep.Elems {")
+	if d.Sep != nil {
+		g.p("\t\tif i > 0 {")
+		g.appendLiteral(d.Sep, 3)
+		g.p("\t\t}")
+	}
+	g.writeRef(d.Elem, "rep.Elems[i]", sc, 2)
+	g.p("\t}")
+	if d.Term != nil && (d.Term.Kind == dsl.CharLit || d.Term.Kind == dsl.StrLit) {
+		g.appendLiteral(d.Term, 1)
+	}
+	if d.IsRecord {
+		g.p("\tdst = append(dst, '\\n')")
+	}
+	g.p("\treturn dst")
+	g.p("}")
+	g.p("")
+
+	g.p("// Verify%s re-checks every semantic constraint on rep.", name)
+	g.p("func Verify%s(rep *%s%s) bool {", name, name, g.paramList(d.Params))
+	elemVerify := g.verifyRef(d.Elem, "rep.Elems[i]", sc)
+	if elemVerify != "true" {
+		g.p("\tfor i := range rep.Elems {")
+		g.p("\t\tif !%s {", elemVerify)
+		g.p("\t\t\treturn false")
+		g.p("\t\t}")
+		g.p("\t}")
+	}
+	seqSc := newScope(sc)
+	seqSc.bind("elts", "rep.Elems", ty{k: sema.KArray, name: d.Name, elem: tyPtr(g.tyOfRef(d.Elem))})
+	seqSc.bind("length", "int64(len(rep.Elems))", tyNum)
+	if d.Where != nil {
+		cond, _ := g.expr(d.Where, seqSc)
+		g.p("\tif !(%s) {", cond)
+		g.p("\t\treturn false")
+		g.p("\t}")
+	}
+	g.p("\treturn true")
+	g.p("}")
+	g.p("")
+
+	g.p("// %sToValue bridges rep into the generic value model.", name)
+	g.p("func %sToValue(rep *%s, pd *%sPD) value.Value {", name, name, name)
+	g.p("\tarr := &value.Array{Common: value.Common{Pd: pd.PD, Type: %q}}", d.Name)
+	g.p("\tfor i := range rep.Elems {")
+	g.p("\t\tvar epd %s", g.pdOf(d.Elem))
+	g.p("\t\tif i < len(pd.Elems) {")
+	g.p("\t\t\tepd = pd.Elems[i]")
+	g.p("\t\t}")
+	var conv string
+	if g.compoundRef(d.Elem) {
+		conv = g.toValueExpr(d.Elem, "rep.Elems[i]", "epd")
+		// toValueExpr renders "&epd" for compound pds; adjust.
+		conv = strings.Replace(conv, "&epd", "&epd", 1)
+	} else {
+		conv = g.toValueExpr(d.Elem, "rep.Elems[i]", "epd")
+	}
+	g.p("\t\tarr.Elems = append(arr.Elems, %s)", conv)
+	g.p("\t}")
+	g.p("\treturn arr")
+	g.p("}")
+	g.p("")
+}
+
+// ---- enum / typedef aux ----
+
+func (g *gen) emitEnumAux(d *dsl.EnumDecl) {
+	name := GoName(d.Name)
+	g.p("// %sToValue bridges rep into the generic value model.", name)
+	g.p("func %sToValue(rep *%s, pd padsrt.PD) value.Value {", name, name)
+	g.p("\treturn value.NewEnum(%q, rep.String(), int(*rep), pd)", d.Name)
+	g.p("}")
+	g.p("")
+}
+
+func (g *gen) emitTypedefAux(d *dsl.TypedefDecl) {
+	name := GoName(d.Name)
+	sc := newScope(nil)
+	for _, p := range d.Params {
+		sc.bind(p.Name, "arg_"+p.Name, g.scopeTyForGo(p.Type, g.paramGoType(p.Type)))
+	}
+	g.p("// Write%s appends the original wire form of rep.", name)
+	g.p("func Write%s(dst []byte, rep *%s%s) []byte {", name, name, g.paramList(d.Params))
+	g.writeRef(d.Base, "(*rep)", sc, 1)
+	g.p("\treturn dst")
+	g.p("}")
+	g.p("")
+	g.p("// Verify%s re-checks the typedef constraint on rep.", name)
+	g.p("func Verify%s(rep *%s%s) bool {", name, name, g.paramList(d.Params))
+	if d.Constraint != nil {
+		csc := newScope(sc)
+		csc.bind(d.VarName, "(*rep)", g.tyOfRef(d.Base))
+		cond, _ := g.expr(d.Constraint, csc)
+		g.p("\treturn %s", cond)
+	} else {
+		g.p("\treturn true")
+	}
+	g.p("}")
+	g.p("")
+	g.p("// %sToValue bridges rep into the generic value model.", name)
+	g.p("func %sToValue(rep *%s, pd padsrt.PD) value.Value {", name, name)
+	g.p("\tv := %s", g.toValueExpr(d.Base, "(*rep)", "pd"))
+	g.p("\treturn v")
+	g.p("}")
+	g.p("")
+}

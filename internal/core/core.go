@@ -1,0 +1,205 @@
+// Package core orchestrates the PADS pipeline — the paper's primary
+// contribution assembled end to end: parse a description (internal/dsl),
+// check it (internal/sema), and expose every artifact the system derives
+// from it: the interpreter (internal/interp), the Go compiler backend
+// (internal/codegen), XML Schema generation (internal/xmlgen), accumulators
+// (internal/accum), formatting (internal/fmtconv), the query tree
+// (internal/query), and random data generation (internal/datagen).
+//
+// The public package pads wraps this into the user-facing API; the cmd/
+// tools call it directly.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"pads/internal/accum"
+	"pads/internal/codegen"
+	"pads/internal/datagen"
+	"pads/internal/dsl"
+	"pads/internal/fmtconv"
+	"pads/internal/interp"
+	"pads/internal/padsrt"
+	"pads/internal/query"
+	"pads/internal/sema"
+	"pads/internal/value"
+	"pads/internal/xmlgen"
+)
+
+// Description is a compiled PADS description plus the machinery derived
+// from it.
+type Description struct {
+	Source  string // description source text
+	Name    string // file name or label, used in diagnostics
+	Program *dsl.Program
+	Desc    *sema.Desc
+	Interp  *interp.Interp
+}
+
+// CompileError aggregates front-end diagnostics.
+type CompileError struct {
+	Name string
+	Errs []*dsl.Error
+}
+
+// Error renders every diagnostic, one per line.
+func (e *CompileError) Error() string {
+	var b strings.Builder
+	for i, d := range e.Errs {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		fmt.Fprintf(&b, "%s:%v", e.Name, d)
+	}
+	return b.String()
+}
+
+// Compile parses and checks a description.
+func Compile(src, name string) (*Description, error) {
+	prog, perrs := dsl.Parse(src)
+	if len(perrs) > 0 {
+		return nil, &CompileError{Name: name, Errs: perrs}
+	}
+	desc, serrs := sema.Check(prog)
+	if len(serrs) > 0 {
+		return nil, &CompileError{Name: name, Errs: serrs}
+	}
+	return &Description{
+		Source:  src,
+		Name:    name,
+		Program: prog,
+		Desc:    desc,
+		Interp:  interp.New(desc),
+	}, nil
+}
+
+// CompileFile reads and compiles a description file.
+func CompileFile(path string) (*Description, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Compile(string(src), path)
+}
+
+// SourceType names the Psource type describing the whole data source.
+func (d *Description) SourceType() string { return d.Desc.Source.DeclName() }
+
+// Print pretty-prints the checked description (living documentation).
+func (d *Description) Print() string { return dsl.Print(d.Program) }
+
+// GenerateGo emits the compiled Go library for the description.
+func (d *Description) GenerateGo(pkg string) (string, error) {
+	return codegen.Generate(d.Desc, codegen.Options{Package: pkg, Source: d.Name})
+}
+
+// Schema emits the XML Schema of the canonical XML embedding.
+func (d *Description) Schema() string { return xmlgen.Schema(d.Desc) }
+
+// NewAccum builds an accumulator with the given tracking limits
+// (zero values select the paper's defaults: 1000 tracked, top 10 printed).
+func (d *Description) NewAccum(maxTracked, topN int) *accum.Accum {
+	return accum.New(accum.Config{MaxTracked: maxTracked, TopN: topN})
+}
+
+// NewFormatter builds a delimiter formatter (section 5.3.1).
+func (d *Description) NewFormatter(delims ...string) *fmtconv.Formatter {
+	return fmtconv.New(delims...)
+}
+
+// NewGenerator builds a random-data generator for the description.
+func (d *Description) NewGenerator(seed uint64) *datagen.Generator {
+	return datagen.NewGenerator(d.Desc, seed)
+}
+
+// ParseAll parses the entire source with full checking.
+func (d *Description) ParseAll(s *padsrt.Source) (value.Value, error) {
+	return d.Interp.ParseSource(s)
+}
+
+// Records opens record-at-a-time reading over the source.
+func (d *Description) Records(s *padsrt.Source, mask *padsrt.MaskNode) (*interp.RecordReader, error) {
+	return d.Interp.NewRecordReader(s, mask)
+}
+
+// WriteValue appends the original wire form of a parsed value.
+func (d *Description) WriteValue(dst []byte, typeName string, v value.Value) ([]byte, error) {
+	return d.Interp.NewWriter().Append(dst, typeName, v)
+}
+
+// QueryRoot wraps a parsed value as a query tree rooted at the source type.
+func (d *Description) QueryRoot(v value.Value) *query.Node {
+	return query.NewNode(d.SourceType(), v)
+}
+
+// RunQuery compiles and evaluates an XPath-subset query over a parsed value.
+// For aggregate queries (count/sum/avg/min/max) nodes is nil and agg holds
+// the result.
+func (d *Description) RunQuery(q string, v value.Value) (nodes []*query.Node, agg float64, isAgg bool, err error) {
+	cq, err := query.Compile(q)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	nodes, agg, isAgg = cq.Eval(d.QueryRoot(v))
+	return nodes, agg, isAgg, nil
+}
+
+// StreamQuery evaluates a record-relative query against each record as it
+// is parsed — the lazily-reading query mode section 5.4 reports as "well
+// underway" in the original system. The query is relative to one record
+// (e.g. `events/elt[state = "LOC_6"]` against a Sirius entry); matching
+// nodes are passed to visit together with the record they came from. visit
+// returning false stops the scan early. Aggregate queries are rejected:
+// aggregate over the visited nodes instead.
+func (d *Description) StreamQuery(s *padsrt.Source, mask *padsrt.MaskNode, q string, visit func(rec value.Value, nodes []*query.Node) bool) (records int, err error) {
+	cq, err := query.Compile(q)
+	if err != nil {
+		return 0, err
+	}
+	if _, _, isAgg := cq.Eval(query.NewNode("probe", nil)); isAgg {
+		return 0, fmt.Errorf("core: StreamQuery takes a node query; aggregate over the visited nodes instead")
+	}
+	rr, err := d.Records(s, mask)
+	if err != nil {
+		return 0, err
+	}
+	shape, _ := d.Shape()
+	for rr.More() {
+		rec := rr.Read()
+		records++
+		root := query.NewNode(shape.RecordType, rec)
+		nodes := cq.Run(root)
+		if len(nodes) > 0 && !visit(rec, nodes) {
+			break
+		}
+	}
+	return records, rr.Err()
+}
+
+// Shape reports how the source decomposes for record-at-a-time reading.
+func (d *Description) Shape() (interp.SourceShape, error) { return d.Interp.Shape() }
+
+// AccumulateReader folds every record of r into a fresh accumulator and
+// returns it with the record count — the generated accumulator program of
+// section 5.2 for header+records sources.
+func (d *Description) AccumulateReader(r io.Reader, opts []padsrt.SourceOption, cfg accum.Config) (*accum.Accum, int, error) {
+	s := padsrt.NewSource(r, opts...)
+	rr, err := d.Records(s, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	acc := accum.New(cfg)
+	n := 0
+	for rr.More() {
+		acc.Add(rr.Read())
+		n++
+	}
+	if errors.Is(rr.Err(), io.EOF) {
+		return acc, n, nil
+	}
+	return acc, n, rr.Err()
+}

@@ -1,0 +1,86 @@
+package datagen
+
+import "bytes"
+
+// Section 9 of the paper asks for data that "deviates from [the
+// specification] in specified ways". Corruptor injects controlled
+// deviations into record-oriented data; paired with a Generator it covers
+// the generate-then-deviate workflow for testing error-handling paths.
+
+// Deviation selects a corruption applied to a record.
+type Deviation int
+
+// Deviations.
+const (
+	// MangleDigit replaces one digit with a letter (syntax error in any
+	// numeric field).
+	MangleDigit Deviation = iota
+	// DropByte deletes one byte, shifting every later field.
+	DropByte
+	// DupByte duplicates one byte.
+	DupByte
+	// TruncateRecord cuts the record at a random point.
+	TruncateRecord
+)
+
+// Corruptor injects deviations into newline-delimited records.
+type Corruptor struct {
+	// Rate is the fraction of records to corrupt.
+	Rate float64
+	// Deviations to draw from; empty means all.
+	Deviations []Deviation
+	Seed       uint64
+}
+
+// Corrupt returns a copy of data with deviations injected, plus the number
+// of records corrupted. The first record (a header, in both CLF-style and
+// Sirius-style sources) is left intact.
+func (c Corruptor) Corrupt(data []byte) ([]byte, int) {
+	r := NewRand(c.Seed | 1)
+	devs := c.Deviations
+	if len(devs) == 0 {
+		devs = []Deviation{MangleDigit, DropByte, DupByte, TruncateRecord}
+	}
+	lines := bytes.Split(data, []byte{'\n'})
+	out := make([]byte, 0, len(data))
+	corrupted := 0
+	for i, line := range lines {
+		if i == len(lines)-1 && len(line) == 0 {
+			break // trailing newline artifact
+		}
+		if i > 0 && len(line) > 2 && r.Bool(c.Rate) {
+			line = corruptLine(append([]byte(nil), line...), devs[r.Intn(len(devs))], r)
+			corrupted++
+		}
+		out = append(out, line...)
+		out = append(out, '\n')
+	}
+	return out, corrupted
+}
+
+func corruptLine(line []byte, d Deviation, r *Rand) []byte {
+	switch d {
+	case MangleDigit:
+		// Find a digit to mangle; fall back to mangling any byte.
+		start := r.Intn(len(line))
+		for i := 0; i < len(line); i++ {
+			j := (start + i) % len(line)
+			if line[j] >= '0' && line[j] <= '9' {
+				line[j] = byte('x' + r.Intn(3))
+				return line
+			}
+		}
+		line[start] = '\x01'
+		return line
+	case DropByte:
+		i := r.Intn(len(line))
+		return append(line[:i], line[i+1:]...)
+	case DupByte:
+		i := r.Intn(len(line))
+		line = append(line, 0)
+		copy(line[i+1:], line[i:])
+		return line
+	default: // TruncateRecord
+		return line[:1+r.Intn(len(line)-1)]
+	}
+}

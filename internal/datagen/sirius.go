@@ -1,0 +1,205 @@
+package datagen
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// SiriusConfig parameterizes the Sirius provisioning-data generator
+// (Figure 3 / Figure 5 of the paper).
+type SiriusConfig struct {
+	// Records is the number of order records (the paper's 2.2GB file
+	// held 11,773,843).
+	Records int
+	// SortViolations is the number of records whose event timestamps are
+	// out of order (the paper found exactly 1).
+	SortViolations int
+	// SyntaxErrors is the number of records with corrupted syntax (the
+	// paper found 53).
+	SyntaxErrors int
+	// Event-count distribution: the paper reports min 1, max 156, mean
+	// 5.5 states per order.
+	MinEvents  int
+	MaxEvents  int
+	MeanEvents float64
+	// ZeroPhoneFrac is the fraction of present phone numbers recorded as
+	// the literal 0 — the second missing-value representation the
+	// accumulator uncovered (section 5.1.1).
+	ZeroPhoneFrac float64
+	Seed          uint64
+}
+
+// DefaultSirius mirrors the section 7 data set scaled to the given record
+// count: error counts scale proportionally from (1 sort, 53 syntax) per
+// 11,773,843 records, with a minimum of one of each for nonempty files so
+// the error-handling paths always run.
+func DefaultSirius(records int) SiriusConfig {
+	cfg := SiriusConfig{
+		Records:       records,
+		MinEvents:     1,
+		MaxEvents:     156,
+		MeanEvents:    5.5,
+		ZeroPhoneFrac: 0.25,
+		Seed:          2,
+	}
+	if records > 0 {
+		scale := float64(records) / 11773843.0
+		cfg.SortViolations = maxi(1, int(scale*1+0.5))
+		cfg.SyntaxErrors = maxi(1, int(scale*53+0.5))
+	}
+	return cfg
+}
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// SiriusStats reports what was generated.
+type SiriusStats struct {
+	Records        int
+	SortViolations int
+	SyntaxErrors   int
+	Events         int
+	MinEvents      int
+	MaxEvents      int
+	Bytes          int64
+}
+
+// The provisioning state vocabulary: the real feed has over 400 distinct
+// states; this pool yields the same order of magnitude.
+var siriusStatePrefix = []string{
+	"LOC", "EDTF", "FRDW", "APRL", "DUO", "CRTE", "OSS", "BILL", "PROV",
+	"ACT", "DSGN", "TEST", "CKT", "DISP", "CANC", "COMP", "PNDG", "RJCT",
+	"XFER", "VRFY", "SENT",
+}
+
+// StateName returns the i'th synthetic provisioning state name.
+func StateName(i int) string {
+	p := siriusStatePrefix[i%len(siriusStatePrefix)]
+	return fmt.Sprintf("%s_%d", p, i%20)
+}
+
+// Sirius writes a summary header plus cfg.Records order records to w.
+func Sirius(w io.Writer, cfg SiriusConfig) (SiriusStats, error) {
+	r := NewRand(cfg.Seed | 1)
+	bw := bufio.NewWriterSize(w, 1<<16)
+	cw := &countWriter{w: bw}
+	var st SiriusStats
+	st.MinEvents = 1 << 30
+
+	// Which records carry injected errors (spread deterministically, out
+	// of phase so the two error kinds land on different records).
+	sortAt := spreadPhase(cfg.SortViolations, cfg.Records, 2)
+	syntaxAt := spreadPhase(cfg.SyntaxErrors, cfg.Records, 3)
+
+	fmt.Fprintf(cw, "0|%d\n", 1005022800)
+
+	for i := 0; i < cfg.Records; i++ {
+		orderNum := 9000 + i
+		phone := func() string {
+			if r.Bool(0.2) {
+				return "" // absent: the Popt NONE representation
+			}
+			if r.Bool(cfg.ZeroPhoneFrac) {
+				return "0" // the second missing-value representation
+			}
+			return fmt.Sprintf("9%09d", r.Intn(1000000000))
+		}
+		zip := ""
+		if r.Bool(0.8) {
+			zip = fmt.Sprintf("%05d", r.Intn(100000))
+		}
+		ramp := fmt.Sprintf("%d", 150000+r.Intn(10000))
+		if r.Bool(0.3) {
+			ramp = fmt.Sprintf("no_ii%d", 150000+r.Intn(10000))
+		}
+		orderType := r.Pick([]string{"EDTF_6", "LOC_6", "DSL_2", "POTS_1"})
+		stream := r.Pick([]string{"DUO", "UNO", "TRIO"})
+
+		nEvents := r.Geometric(cfg.MeanEvents, cfg.MinEvents, cfg.MaxEvents)
+		// Pin the distribution's extremes so min/max match the paper on
+		// any reasonably sized file.
+		if i == 1 && cfg.Records > 2 {
+			nEvents = cfg.MinEvents
+		}
+		if i == 2 && cfg.Records > 2 {
+			nEvents = cfg.MaxEvents
+		}
+		if nEvents < st.MinEvents {
+			st.MinEvents = nEvents
+		}
+		if nEvents > st.MaxEvents {
+			st.MaxEvents = nEvents
+		}
+		st.Events += nEvents
+
+		// Event sequence with increasing timestamps.
+		ts := 1000000000 + r.Intn(1000000)
+		events := make([]string, 0, nEvents)
+		for e := 0; e < nEvents; e++ {
+			ts += 1 + r.Intn(100000)
+			events = append(events, fmt.Sprintf("%s|%d", StateName(r.Intn(420)), ts))
+		}
+		if sortAt[i] && nEvents >= 2 {
+			// Swap the last two timestamps to violate the Pwhere sort.
+			events[nEvents-1], events[nEvents-2] = events[nEvents-2], events[nEvents-1]
+			st.SortViolations++
+		}
+
+		header := fmt.Sprintf("%d|%d|%d|%s|%s|%s|%s|%s|%s|%s|%d|%s|%s|",
+			orderNum, orderNum, 1+r.Intn(3),
+			phone(), phone(), phone(), phone(),
+			zip, ramp, orderType, r.Intn(100), r.Word(3, 6), stream)
+
+		if syntaxAt[i] {
+			// Corrupt the record: a non-numeric order number.
+			header = "X" + header
+			st.SyntaxErrors++
+		}
+
+		fmt.Fprint(cw, header)
+		for e, ev := range events {
+			if e > 0 {
+				fmt.Fprint(cw, "|")
+			}
+			fmt.Fprint(cw, ev)
+		}
+		fmt.Fprintln(cw)
+		st.Records++
+	}
+	if st.Records == 0 {
+		st.MinEvents = 0
+	}
+	if err := bw.Flush(); err != nil {
+		return st, err
+	}
+	st.Bytes = cw.n
+	return st, nil
+}
+
+// spread marks k of n indexes, evenly distributed.
+func spread(k, n int) map[int]bool { return spreadPhase(k, n, 2) }
+
+// spreadPhase marks k of n indexes, offset by step/phase within each stride.
+func spreadPhase(k, n, phase int) map[int]bool {
+	m := make(map[int]bool, k)
+	if k <= 0 || n <= 0 {
+		return m
+	}
+	if k > n {
+		k = n
+	}
+	step := n / k
+	for i := 0; i < k; i++ {
+		idx := i*step + step/phase
+		if idx >= n {
+			idx = n - 1
+		}
+		m[idx] = true
+	}
+	return m
+}

@@ -1,0 +1,397 @@
+package dsl
+
+// Abstract syntax for PADS descriptions. A Program is a sequence of type and
+// function declarations; types are declared before use and the type
+// describing the totality of the source carries the Psource annotation
+// (section 3 of the paper).
+
+// Program is one parsed description.
+type Program struct {
+	Decls []Decl
+}
+
+// Decl is any top-level declaration.
+type Decl interface {
+	DeclName() string
+	DeclPos() Pos
+	decl()
+}
+
+// Annot carries the Precord/Psource prefix annotations a type declaration
+// may have.
+type Annot struct {
+	IsRecord bool
+	IsSource bool
+}
+
+// Param is a value parameter of a parameterized type or a function argument:
+// a type name plus a binder.
+type Param struct {
+	Type string
+	Name string
+	Pos  Pos
+}
+
+// TypeRef is a use of a type: an optional Popt wrapper, the type name, and
+// any value arguments, e.g. Popt Pstring(:'|':).
+type TypeRef struct {
+	Opt  bool
+	Name string
+	Args []Expr
+	Pos  Pos
+}
+
+// LitKind classifies literal items.
+type LitKind int
+
+// Literal kinds.
+const (
+	CharLit LitKind = iota
+	StrLit
+	RegexpLit
+	EORLit
+	EOFLit
+)
+
+// Literal is a matched literal: a character, string, regular expression, or
+// the Peor/Peof pseudo-literals.
+type Literal struct {
+	Kind LitKind
+	Char byte
+	Str  string // string literals and regexp source
+	Pos  Pos
+}
+
+// Field is a named component of a struct or union: a type reference, the
+// binder, and an optional trailing constraint expression in which the binder
+// and all earlier fields are in scope.
+type Field struct {
+	Type       TypeRef
+	Name       string
+	Constraint Expr // nil if absent
+	Pos        Pos
+}
+
+// StructItem is either a literal to match or a field to parse.
+type StructItem struct {
+	Lit   *Literal // exactly one of Lit, Field is set
+	Field *Field
+}
+
+// StructDecl is a Pstruct: a fixed sequence of literals and fields.
+type StructDecl struct {
+	Annot
+	Name   string
+	Params []Param
+	Items  []StructItem
+	Where  Expr // optional Pwhere clause over the whole struct
+	Pos    Pos
+}
+
+// UnionDecl is a Punion. If Switch is non-nil the union is switched: the
+// selector expression picks the branch; otherwise branches are tried in
+// order and the first that parses without error is taken.
+type UnionDecl struct {
+	Annot
+	Name     string
+	Params   []Param
+	Branches []Field
+	Switch   *SwitchSpec
+	Where    Expr
+	Pos      Pos
+}
+
+// SwitchSpec is the Pswitch part of a switched union.
+type SwitchSpec struct {
+	Selector Expr
+	Cases    []SwitchCase
+}
+
+// SwitchCase is one Pcase (or Pdefault when Values is empty).
+type SwitchCase struct {
+	Values []Expr // empty = Pdefault
+	Field  Field
+	Pos    Pos
+}
+
+// ArrayDecl is a Parray: a sequence of elements of one type with optional
+// separator, terminator, size bounds, and element/termination predicates.
+type ArrayDecl struct {
+	Annot
+	Name   string
+	Params []Param
+	Elem   TypeRef
+	// Size bounds: nil means unbounded. MinSize==MaxSize for a fixed size.
+	MinSize Expr
+	MaxSize Expr
+	Sep     *Literal // Psep
+	Term    *Literal // Pterm (possibly Peor/Peof)
+	// Plast(pred): stop after an element for which pred holds.
+	LastPred Expr
+	// Pended(pred): before each element, stop if pred holds.
+	EndedPred Expr
+	Where     Expr // Pwhere over elts/length
+	Pos       Pos
+}
+
+// EnumMember is one literal of a Penum, with an optional explicit source
+// representation (GET Pfrom("get")) and an optional explicit value.
+type EnumMember struct {
+	Name string
+	Repr string // source text matched; defaults to Name
+	Pos  Pos
+}
+
+// EnumDecl is a Penum: a fixed collection of literals.
+type EnumDecl struct {
+	Annot
+	Name    string
+	Members []EnumMember
+	Pos     Pos
+}
+
+// TypedefDecl is a Ptypedef: a new type that adds constraints to an
+// existing type. The constraint binds VarName to the parsed value:
+//
+//	Ptypedef Puint16_FW(:3:) response_t : response_t x => { 100 <= x && x < 600 };
+type TypedefDecl struct {
+	Annot
+	Name       string
+	Params     []Param
+	Base       TypeRef
+	VarName    string // binder in the constraint; "" if no constraint
+	Constraint Expr   // nil if absent
+	Pos        Pos
+}
+
+// FuncDecl is a C-like predicate or helper function used in constraints
+// (chkVersion in Figure 4).
+type FuncDecl struct {
+	Name    string
+	RetType string
+	Params  []Param
+	Body    []Stmt
+	Pos     Pos
+}
+
+func (d *StructDecl) DeclName() string  { return d.Name }
+func (d *UnionDecl) DeclName() string   { return d.Name }
+func (d *ArrayDecl) DeclName() string   { return d.Name }
+func (d *EnumDecl) DeclName() string    { return d.Name }
+func (d *TypedefDecl) DeclName() string { return d.Name }
+func (d *FuncDecl) DeclName() string    { return d.Name }
+
+func (d *StructDecl) DeclPos() Pos  { return d.Pos }
+func (d *UnionDecl) DeclPos() Pos   { return d.Pos }
+func (d *ArrayDecl) DeclPos() Pos   { return d.Pos }
+func (d *EnumDecl) DeclPos() Pos    { return d.Pos }
+func (d *TypedefDecl) DeclPos() Pos { return d.Pos }
+func (d *FuncDecl) DeclPos() Pos    { return d.Pos }
+
+func (*StructDecl) decl()  {}
+func (*UnionDecl) decl()   {}
+func (*ArrayDecl) decl()   {}
+func (*EnumDecl) decl()    {}
+func (*TypedefDecl) decl() {}
+func (*FuncDecl) decl()    {}
+
+// ---- Expressions ----
+
+// Expr is a node of the C-like expression sub-language used in constraints,
+// type arguments, switch selectors, and Pwhere clauses.
+type Expr interface {
+	ExprPos() Pos
+	expr()
+}
+
+// IntExpr is an integer literal.
+type IntExpr struct {
+	Val int64
+	Pos Pos
+}
+
+// FloatExpr is a floating-point literal.
+type FloatExpr struct {
+	Val float64
+	Pos Pos
+}
+
+// CharExpr is a character literal.
+type CharExpr struct {
+	Val byte
+	Pos Pos
+}
+
+// StrExpr is a string literal.
+type StrExpr struct {
+	Val string
+	Pos Pos
+}
+
+// BoolExpr is true/false.
+type BoolExpr struct {
+	Val bool
+	Pos Pos
+}
+
+// RegexpExpr is a Pre "…" regular-expression literal used as a type
+// argument or matched literal.
+type RegexpExpr struct {
+	Src string
+	Pos Pos
+}
+
+// EORExpr / EOFExpr are the Peor/Peof pseudo-literals in argument position
+// (e.g. Pstring(:Peor:)).
+type EORExpr struct{ Pos Pos }
+
+// EOFExpr is the Peof pseudo-literal.
+type EOFExpr struct{ Pos Pos }
+
+// IdentExpr is a variable reference: a field binder, a parameter, an enum
+// literal, or the array pseudo-variables elts/length/this.
+type IdentExpr struct {
+	Name string
+	Pos  Pos
+}
+
+// CallExpr is a function application f(a, b).
+type CallExpr struct {
+	Func string
+	Args []Expr
+	Pos  Pos
+}
+
+// DotExpr is field selection e.f.
+type DotExpr struct {
+	X     Expr
+	Field string
+	Pos   Pos
+}
+
+// IndexExpr is subscripting e[i].
+type IndexExpr struct {
+	X     Expr
+	Index Expr
+	Pos   Pos
+}
+
+// UnaryExpr is !e or -e.
+type UnaryExpr struct {
+	Op  Kind // NOT or MINUS
+	X   Expr
+	Pos Pos
+}
+
+// BinaryExpr is a binary operation.
+type BinaryExpr struct {
+	Op   Kind
+	L, R Expr
+	Pos  Pos
+}
+
+// CondExpr is c ? t : f.
+type CondExpr struct {
+	Cond, Then, Else Expr
+	Pos              Pos
+}
+
+// ForallExpr is Pforall (i Pin [lo..hi] : body); Exists flips the
+// quantifier (Pexists).
+type ForallExpr struct {
+	Exists bool
+	Var    string
+	Lo, Hi Expr
+	Body   Expr
+	Pos    Pos
+}
+
+func (e *IntExpr) ExprPos() Pos    { return e.Pos }
+func (e *FloatExpr) ExprPos() Pos  { return e.Pos }
+func (e *CharExpr) ExprPos() Pos   { return e.Pos }
+func (e *StrExpr) ExprPos() Pos    { return e.Pos }
+func (e *BoolExpr) ExprPos() Pos   { return e.Pos }
+func (e *RegexpExpr) ExprPos() Pos { return e.Pos }
+func (e *EORExpr) ExprPos() Pos    { return e.Pos }
+func (e *EOFExpr) ExprPos() Pos    { return e.Pos }
+func (e *IdentExpr) ExprPos() Pos  { return e.Pos }
+func (e *CallExpr) ExprPos() Pos   { return e.Pos }
+func (e *DotExpr) ExprPos() Pos    { return e.Pos }
+func (e *IndexExpr) ExprPos() Pos  { return e.Pos }
+func (e *UnaryExpr) ExprPos() Pos  { return e.Pos }
+func (e *BinaryExpr) ExprPos() Pos { return e.Pos }
+func (e *CondExpr) ExprPos() Pos   { return e.Pos }
+func (e *ForallExpr) ExprPos() Pos { return e.Pos }
+
+func (*IntExpr) expr()    {}
+func (*FloatExpr) expr()  {}
+func (*CharExpr) expr()   {}
+func (*StrExpr) expr()    {}
+func (*BoolExpr) expr()   {}
+func (*RegexpExpr) expr() {}
+func (*EORExpr) expr()    {}
+func (*EOFExpr) expr()    {}
+func (*IdentExpr) expr()  {}
+func (*CallExpr) expr()   {}
+func (*DotExpr) expr()    {}
+func (*IndexExpr) expr()  {}
+func (*UnaryExpr) expr()  {}
+func (*BinaryExpr) expr() {}
+func (*CondExpr) expr()   {}
+func (*ForallExpr) expr() {}
+
+// ---- Statements (function bodies) ----
+
+// Stmt is a statement in a predicate-function body.
+type Stmt interface {
+	StmtPos() Pos
+	stmt()
+}
+
+// VarStmt declares and initializes a local: type name = expr;
+type VarStmt struct {
+	Type string
+	Name string
+	Init Expr
+	Pos  Pos
+}
+
+// AssignStmt is name = expr;
+type AssignStmt struct {
+	Name string
+	Val  Expr
+	Pos  Pos
+}
+
+// IfStmt is if (cond) { … } [else { … }] (braces optional around single
+// statements).
+type IfStmt struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+	Pos  Pos
+}
+
+// ReturnStmt is return expr;
+type ReturnStmt struct {
+	Val Expr
+	Pos Pos
+}
+
+// ExprStmt evaluates an expression for effect (function calls).
+type ExprStmt struct {
+	X   Expr
+	Pos Pos
+}
+
+func (s *VarStmt) StmtPos() Pos    { return s.Pos }
+func (s *AssignStmt) StmtPos() Pos { return s.Pos }
+func (s *IfStmt) StmtPos() Pos     { return s.Pos }
+func (s *ReturnStmt) StmtPos() Pos { return s.Pos }
+func (s *ExprStmt) StmtPos() Pos   { return s.Pos }
+
+func (*VarStmt) stmt()    {}
+func (*AssignStmt) stmt() {}
+func (*IfStmt) stmt()     {}
+func (*ReturnStmt) stmt() {}
+func (*ExprStmt) stmt()   {}

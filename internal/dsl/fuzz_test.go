@@ -1,0 +1,47 @@
+package dsl
+
+import "testing"
+
+// FuzzParse drives the front end with arbitrary input: it must never panic
+// and, when a parse succeeds cleanly, printing and reparsing must also
+// succeed (the living-documentation invariant). Run with `go test -fuzz
+// FuzzParse ./internal/dsl`; the seeds below execute as regression cases in
+// normal test runs.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"Pstruct s { Puint8 x; };",
+		"Punion u { Pip a; Puint32 b; };",
+		"Parray a { Puint8[3] : Psep (','); };",
+		"Penum e { A, B };",
+		"Ptypedef Puint32 t : t x => { x > 0 };",
+		"bool f(Puint8 x) { return x > 0; };",
+		"Pstruct s { Pstring(:’ ’:) q; };", // typographic quotes
+		"Pre \"[\"; Pstruct",               // bad regexp, truncated
+		"Pstruct s { Puint8 x : Pforall (i Pin [0..x] : true); };",
+		"Psource Precord Pstruct r { \"lit\"; Peor; };",
+		"\x00\x01\x02",
+		"Pstruct s { Puint8 x; }; garbage ;;; Punion",
+		"Parray a (:Puint32 n:) { Puint8[n..n+1] : Pterm (Peof); };",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, errs := Parse(src)
+		if prog == nil {
+			t.Fatal("Parse returned a nil program")
+		}
+		if len(errs) > 0 {
+			return
+		}
+		printed := Print(prog)
+		prog2, errs2 := Parse(printed)
+		if len(errs2) > 0 {
+			t.Fatalf("clean parse did not reprint cleanly:\ninput: %q\nprinted: %q\nerr: %v", src, printed, errs2[0])
+		}
+		if Print(prog2) != printed {
+			t.Fatalf("print/parse/print not a fixed point for %q", src)
+		}
+	})
+}

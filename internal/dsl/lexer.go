@@ -1,0 +1,382 @@
+package dsl
+
+import (
+	"strings"
+)
+
+// Lexer turns PADS description source into tokens. Comments come in three
+// forms: C++ line comments (//), C block comments (/* */), and the PADS
+// line-comment form (/-) used in the paper's figures. Character literals
+// accept the ASCII quotes ' as well as the typographic quotes ’ that appear
+// in the published paper, so the figures lex verbatim.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+	errs []*Error
+}
+
+// NewLexer builds a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Errors returns diagnostics accumulated while scanning.
+func (lx *Lexer) Errors() []*Error { return lx.errs }
+
+func (lx *Lexer) errorf(pos Pos, format string, args ...interface{}) {
+	lx.errs = append(lx.errs, Errorf(pos, format, args...))
+}
+
+func (lx *Lexer) peek() byte {
+	if lx.off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off]
+}
+
+func (lx *Lexer) peekAt(n int) byte {
+	if lx.off+n >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off+n]
+}
+
+func (lx *Lexer) advance() byte {
+	b := lx.src[lx.off]
+	lx.off++
+	if b == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return b
+}
+
+func (lx *Lexer) pos() Pos { return Pos{Line: lx.line, Col: lx.col} }
+
+func isIdentStart(b byte) bool {
+	return b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z' || b == '_'
+}
+
+func isIdentByte(b byte) bool { return isIdentStart(b) || b >= '0' && b <= '9' }
+
+func isDecimal(b byte) bool { return b >= '0' && b <= '9' }
+
+// typographic single quotes (U+2018/U+2019) as they appear in the paper PDF.
+const (
+	leftQuote   = "‘"
+	rightQuote  = "’"
+	leftDQuote  = "“"
+	rightDQuote = "”"
+)
+
+func (lx *Lexer) skipWhitespaceAndComments() {
+	for lx.off < len(lx.src) {
+		b := lx.peek()
+		switch {
+		case b == ' ' || b == '\t' || b == '\r' || b == '\n':
+			lx.advance()
+		case b == '/' && lx.peekAt(1) == '/':
+			for lx.off < len(lx.src) && lx.peek() != '\n' {
+				lx.advance()
+			}
+		case b == '/' && lx.peekAt(1) == '-':
+			for lx.off < len(lx.src) && lx.peek() != '\n' {
+				lx.advance()
+			}
+		case b == '/' && lx.peekAt(1) == '*':
+			start := lx.pos()
+			lx.advance()
+			lx.advance()
+			closed := false
+			for lx.off < len(lx.src) {
+				if lx.peek() == '*' && lx.peekAt(1) == '/' {
+					lx.advance()
+					lx.advance()
+					closed = true
+					break
+				}
+				lx.advance()
+			}
+			if !closed {
+				lx.errorf(start, "unterminated block comment")
+			}
+		default:
+			return
+		}
+	}
+}
+
+// Next scans and returns the next token.
+func (lx *Lexer) Next() Token {
+	lx.skipWhitespaceAndComments()
+	pos := lx.pos()
+	if lx.off >= len(lx.src) {
+		return Token{Kind: EOF, Pos: pos}
+	}
+
+	// Typographic quotes from the paper's figures.
+	if strings.HasPrefix(lx.src[lx.off:], leftQuote) || strings.HasPrefix(lx.src[lx.off:], rightQuote) {
+		return lx.scanCharQuoted(pos, true)
+	}
+	if strings.HasPrefix(lx.src[lx.off:], leftDQuote) || strings.HasPrefix(lx.src[lx.off:], rightDQuote) {
+		return lx.scanStringQuoted(pos, true)
+	}
+
+	b := lx.peek()
+	switch {
+	case isIdentStart(b):
+		start := lx.off
+		for lx.off < len(lx.src) && isIdentByte(lx.peek()) {
+			lx.advance()
+		}
+		text := lx.src[start:lx.off]
+		if kw, ok := keywords[text]; ok {
+			return Token{Kind: kw, Pos: pos, Text: text}
+		}
+		return Token{Kind: IDENT, Pos: pos, Text: text}
+	case isDecimal(b):
+		return lx.scanNumber(pos)
+	case b == '\'':
+		return lx.scanCharQuoted(pos, false)
+	case b == '"':
+		return lx.scanStringQuoted(pos, false)
+	}
+
+	lx.advance()
+	two := func(next byte, k2, k1 Kind) Token {
+		if lx.peek() == next {
+			lx.advance()
+			return Token{Kind: k2, Pos: pos}
+		}
+		return Token{Kind: k1, Pos: pos}
+	}
+	switch b {
+	case '{':
+		return Token{Kind: LBRACE, Pos: pos}
+	case '}':
+		return Token{Kind: RBRACE, Pos: pos}
+	case '(':
+		if lx.peek() == ':' {
+			lx.advance()
+			return Token{Kind: LPARAM, Pos: pos}
+		}
+		return Token{Kind: LPAREN, Pos: pos}
+	case ')':
+		return Token{Kind: RPAREN, Pos: pos}
+	case '[':
+		return Token{Kind: LBRACK, Pos: pos}
+	case ']':
+		return Token{Kind: RBRACK, Pos: pos}
+	case ';':
+		return Token{Kind: SEMI, Pos: pos}
+	case ',':
+		return Token{Kind: COMMA, Pos: pos}
+	case ':':
+		if lx.peek() == ')' {
+			lx.advance()
+			return Token{Kind: RPARAM, Pos: pos}
+		}
+		return Token{Kind: COLON, Pos: pos}
+	case '.':
+		return two('.', DOTDOT, DOT)
+	case '?':
+		return Token{Kind: QUESTION, Pos: pos}
+	case '=':
+		if lx.peek() == '>' {
+			lx.advance()
+			return Token{Kind: ARROW, Pos: pos}
+		}
+		return two('=', EQ, ASSIGN)
+	case '!':
+		return two('=', NE, NOT)
+	case '<':
+		return two('=', LE, LT)
+	case '>':
+		return two('=', GE, GT)
+	case '&':
+		if lx.peek() == '&' {
+			lx.advance()
+			return Token{Kind: ANDAND, Pos: pos}
+		}
+		lx.errorf(pos, "unexpected character '&'")
+		return lx.Next()
+	case '|':
+		if lx.peek() == '|' {
+			lx.advance()
+			return Token{Kind: OROR, Pos: pos}
+		}
+		lx.errorf(pos, "unexpected character '|'")
+		return lx.Next()
+	case '+':
+		return Token{Kind: PLUS, Pos: pos}
+	case '-':
+		return Token{Kind: MINUS, Pos: pos}
+	case '*':
+		return Token{Kind: STAR, Pos: pos}
+	case '/':
+		return Token{Kind: SLASH, Pos: pos}
+	case '%':
+		return Token{Kind: PERCENT, Pos: pos}
+	}
+	lx.errorf(pos, "unexpected character %q", rune(b))
+	return lx.Next()
+}
+
+func (lx *Lexer) scanNumber(pos Pos) Token {
+	start := lx.off
+	for lx.off < len(lx.src) && isDecimal(lx.peek()) {
+		lx.advance()
+	}
+	// A float needs a digit after the dot and must not be a range "..".
+	if lx.peek() == '.' && isDecimal(lx.peekAt(1)) {
+		lx.advance()
+		for lx.off < len(lx.src) && isDecimal(lx.peek()) {
+			lx.advance()
+		}
+		text := lx.src[start:lx.off]
+		return Token{Kind: FLOATLIT, Pos: pos, Flt: parseFloatLit(text), Text: text}
+	}
+	text := lx.src[start:lx.off]
+	var v int64
+	for i := 0; i < len(text); i++ {
+		v = v*10 + int64(text[i]-'0')
+	}
+	return Token{Kind: INTLIT, Pos: pos, Int: v, Text: text}
+}
+
+func parseFloatLit(text string) float64 {
+	var intPart, fracPart float64
+	i := 0
+	for i < len(text) && text[i] != '.' {
+		intPart = intPart*10 + float64(text[i]-'0')
+		i++
+	}
+	scale := 0.1
+	for i++; i < len(text); i++ {
+		fracPart += float64(text[i]-'0') * scale
+		scale /= 10
+	}
+	return intPart + fracPart
+}
+
+// scanCharQuoted handles 'c' and the typographic ’c’ form.
+func (lx *Lexer) scanCharQuoted(pos Pos, typographic bool) Token {
+	lx.consumeQuote(typographic, false)
+	if lx.off >= len(lx.src) {
+		lx.errorf(pos, "unterminated character literal")
+		return Token{Kind: EOF, Pos: pos}
+	}
+	var c byte
+	if lx.peek() == '\\' {
+		lx.advance()
+		if lx.off >= len(lx.src) {
+			lx.errorf(pos, "unterminated character literal")
+			return Token{Kind: EOF, Pos: pos}
+		}
+		c = unescape(lx.advance())
+	} else {
+		c = lx.advance()
+	}
+	if !lx.consumeQuote(typographic, false) {
+		lx.errorf(pos, "unterminated character literal")
+	}
+	return Token{Kind: CHARLIT, Pos: pos, Int: int64(c)}
+}
+
+func (lx *Lexer) scanStringQuoted(pos Pos, typographic bool) Token {
+	lx.consumeQuote(typographic, true)
+	var sb strings.Builder
+	for lx.off < len(lx.src) {
+		if typographic && (strings.HasPrefix(lx.src[lx.off:], rightDQuote) || strings.HasPrefix(lx.src[lx.off:], leftDQuote)) {
+			lx.consumeQuote(true, true)
+			return Token{Kind: STRINGLIT, Pos: pos, Text: sb.String()}
+		}
+		b := lx.peek()
+		if !typographic && b == '"' {
+			lx.advance()
+			return Token{Kind: STRINGLIT, Pos: pos, Text: sb.String()}
+		}
+		if b == '\n' {
+			break
+		}
+		if b == '\\' {
+			lx.advance()
+			if lx.off < len(lx.src) {
+				sb.WriteByte(unescape(lx.advance()))
+			}
+			continue
+		}
+		sb.WriteByte(lx.advance())
+	}
+	lx.errorf(pos, "unterminated string literal")
+	return Token{Kind: STRINGLIT, Pos: pos, Text: sb.String()}
+}
+
+// consumeQuote consumes one quote character of the given family; returns
+// whether a quote was present.
+func (lx *Lexer) consumeQuote(typographic, double bool) bool {
+	if typographic {
+		var quotes []string
+		if double {
+			quotes = []string{leftDQuote, rightDQuote}
+		} else {
+			quotes = []string{leftQuote, rightQuote}
+		}
+		for _, q := range quotes {
+			if strings.HasPrefix(lx.src[lx.off:], q) {
+				for i := 0; i < len(q); i++ {
+					lx.advance()
+				}
+				return true
+			}
+		}
+		return false
+	}
+	q := byte('\'')
+	if double {
+		q = '"'
+	}
+	if lx.peek() == q {
+		lx.advance()
+		return true
+	}
+	return false
+}
+
+func unescape(b byte) byte {
+	switch b {
+	case 'n':
+		return '\n'
+	case 't':
+		return '\t'
+	case 'r':
+		return '\r'
+	case '0':
+		return 0
+	case '\\':
+		return '\\'
+	case '\'':
+		return '\''
+	case '"':
+		return '"'
+	default:
+		return b
+	}
+}
+
+// Tokenize scans the whole input.
+func Tokenize(src string) ([]Token, []*Error) {
+	lx := NewLexer(src)
+	var toks []Token
+	for {
+		t := lx.Next()
+		toks = append(toks, t)
+		if t.Kind == EOF {
+			return toks, lx.errs
+		}
+	}
+}

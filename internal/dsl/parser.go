@@ -1,0 +1,691 @@
+package dsl
+
+// Recursive-descent parser for PADS descriptions. The grammar is the one
+// exercised by Figures 4 and 5 of the paper plus switched unions, array size
+// bounds, Plast/Pended array termination predicates, and Pexists.
+
+// Parser consumes a token stream and produces a Program.
+type Parser struct {
+	toks []Token
+	pos  int
+	errs []*Error
+}
+
+// Parse parses a complete description.
+func Parse(src string) (*Program, []*Error) {
+	toks, errs := Tokenize(src)
+	p := &Parser{toks: toks, errs: errs}
+	prog := p.parseProgram()
+	return prog, p.errs
+}
+
+// ParseExprString parses a standalone expression (used by tools and tests).
+func ParseExprString(src string) (Expr, []*Error) {
+	toks, errs := Tokenize(src)
+	p := &Parser{toks: toks, errs: errs}
+	e := p.parseExpr()
+	if p.cur().Kind != EOF {
+		p.errorf("unexpected %s after expression", p.cur())
+	}
+	return e, p.errs
+}
+
+func (p *Parser) cur() Token { return p.toks[p.pos] }
+func (p *Parser) peek() Token {
+	if p.pos+1 < len(p.toks) {
+		return p.toks[p.pos+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+
+func (p *Parser) next() Token {
+	t := p.toks[p.pos]
+	if t.Kind != EOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *Parser) at(k Kind) bool { return p.cur().Kind == k }
+
+func (p *Parser) accept(k Kind) bool {
+	if p.at(k) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(k Kind) Token {
+	if p.at(k) {
+		return p.next()
+	}
+	p.errorf("expected %s, found %s", k, p.cur())
+	return Token{Kind: k, Pos: p.cur().Pos}
+}
+
+func (p *Parser) errorf(format string, args ...interface{}) {
+	p.errs = append(p.errs, Errorf(p.cur().Pos, format, args...))
+}
+
+// sync skips tokens until a likely declaration boundary.
+func (p *Parser) sync() {
+	depth := 0
+	for !p.at(EOF) {
+		switch p.cur().Kind {
+		case LBRACE:
+			depth++
+		case RBRACE:
+			if depth > 0 {
+				depth--
+			}
+		case SEMI:
+			if depth == 0 {
+				p.next()
+				return
+			}
+		}
+		p.next()
+	}
+}
+
+func (p *Parser) parseProgram() *Program {
+	prog := &Program{}
+	for !p.at(EOF) {
+		nerr := len(p.errs)
+		start := p.pos
+		d := p.parseDecl()
+		if d != nil {
+			prog.Decls = append(prog.Decls, d)
+		}
+		if p.pos == start && !p.at(EOF) {
+			p.next() // guarantee progress
+		}
+		// After an error, resynchronize only if the cursor is not already
+		// at a plausible declaration start; otherwise the next (healthy)
+		// declaration would be swallowed.
+		if len(p.errs) > nerr && !p.atDeclStart() {
+			p.sync()
+		}
+	}
+	return prog
+}
+
+func (p *Parser) atDeclStart() bool {
+	switch p.cur().Kind {
+	case EOF, KWSTRUCT, KWUNION, KWARRAY, KWENUM, KWTYPEDEF, KWRECORD, KWSOURCE, IDENT:
+		return true
+	}
+	return false
+}
+
+func (p *Parser) parseDecl() Decl {
+	var an Annot
+	for {
+		if p.accept(KWRECORD) {
+			an.IsRecord = true
+			continue
+		}
+		if p.accept(KWSOURCE) {
+			an.IsSource = true
+			continue
+		}
+		break
+	}
+	switch p.cur().Kind {
+	case KWSTRUCT:
+		return p.parseStruct(an)
+	case KWUNION:
+		return p.parseUnion(an)
+	case KWARRAY:
+		return p.parseArray(an)
+	case KWENUM:
+		return p.parseEnum(an)
+	case KWTYPEDEF:
+		return p.parseTypedef(an)
+	case IDENT:
+		if an.IsRecord || an.IsSource {
+			p.errorf("Precord/Psource must precede a type declaration, found %s", p.cur())
+			return nil
+		}
+		return p.parseFunc()
+	default:
+		p.errorf("expected a declaration, found %s", p.cur())
+		p.next()
+		return nil
+	}
+}
+
+// parseParams parses an optional (: type name, … :) parameter list.
+func (p *Parser) parseParams() []Param {
+	if !p.accept(LPARAM) {
+		return nil
+	}
+	var params []Param
+	for !p.at(RPARAM) && !p.at(EOF) {
+		tname := p.expect(IDENT)
+		pname := p.expect(IDENT)
+		params = append(params, Param{Type: tname.Text, Name: pname.Text, Pos: tname.Pos})
+		if !p.accept(COMMA) {
+			break
+		}
+	}
+	p.expect(RPARAM)
+	return params
+}
+
+// parseTypeRef parses [Popt] Name [(: args :)].
+func (p *Parser) parseTypeRef() TypeRef {
+	var tr TypeRef
+	tr.Pos = p.cur().Pos
+	if p.accept(KWOPT) {
+		tr.Opt = true
+	}
+	tr.Name = p.expect(IDENT).Text
+	if p.accept(LPARAM) {
+		for !p.at(RPARAM) && !p.at(EOF) {
+			tr.Args = append(tr.Args, p.parseExpr())
+			if !p.accept(COMMA) {
+				break
+			}
+		}
+		p.expect(RPARAM)
+	}
+	return tr
+}
+
+// atLiteral reports whether the cursor begins a literal item.
+func (p *Parser) atLiteral() bool {
+	switch p.cur().Kind {
+	case CHARLIT, STRINGLIT, KWRE, KWEOR, KWEOF:
+		return true
+	}
+	return false
+}
+
+func (p *Parser) parseLiteral() *Literal {
+	t := p.next()
+	switch t.Kind {
+	case CHARLIT:
+		return &Literal{Kind: CharLit, Char: byte(t.Int), Pos: t.Pos}
+	case STRINGLIT:
+		return &Literal{Kind: StrLit, Str: t.Text, Pos: t.Pos}
+	case KWRE:
+		s := p.expect(STRINGLIT)
+		return &Literal{Kind: RegexpLit, Str: s.Text, Pos: t.Pos}
+	case KWEOR:
+		return &Literal{Kind: EORLit, Pos: t.Pos}
+	case KWEOF:
+		return &Literal{Kind: EOFLit, Pos: t.Pos}
+	default:
+		p.errs = append(p.errs, Errorf(t.Pos, "expected a literal, found %s", t))
+		return &Literal{Kind: StrLit, Pos: t.Pos}
+	}
+}
+
+// parseField parses: TypeRef name [: constraint]
+func (p *Parser) parseField() Field {
+	tr := p.parseTypeRef()
+	name := p.expect(IDENT)
+	f := Field{Type: tr, Name: name.Text, Pos: tr.Pos}
+	if p.accept(COLON) {
+		f.Constraint = p.parseExpr()
+	}
+	return f
+}
+
+func (p *Parser) parseWhereOpt() Expr {
+	if !p.accept(KWWHERE) {
+		return nil
+	}
+	p.expect(LBRACE)
+	e := p.parseExpr()
+	// Tolerate a trailing semicolon inside the Pwhere block (Figure 5).
+	p.accept(SEMI)
+	p.expect(RBRACE)
+	return e
+}
+
+func (p *Parser) parseStruct(an Annot) Decl {
+	pos := p.expect(KWSTRUCT).Pos
+	name := p.expect(IDENT).Text
+	d := &StructDecl{Annot: an, Name: name, Pos: pos}
+	d.Params = p.parseParams()
+	p.expect(LBRACE)
+	for !p.at(RBRACE) && !p.at(EOF) {
+		start := p.pos
+		if p.atLiteral() {
+			lit := p.parseLiteral()
+			d.Items = append(d.Items, StructItem{Lit: lit})
+		} else {
+			f := p.parseField()
+			d.Items = append(d.Items, StructItem{Field: &f})
+		}
+		p.expect(SEMI)
+		if p.pos == start {
+			p.next() // guarantee progress on unconsumable tokens
+		}
+	}
+	p.expect(RBRACE)
+	d.Where = p.parseWhereOpt()
+	p.accept(SEMI)
+	return d
+}
+
+func (p *Parser) parseUnion(an Annot) Decl {
+	pos := p.expect(KWUNION).Pos
+	name := p.expect(IDENT).Text
+	d := &UnionDecl{Annot: an, Name: name, Pos: pos}
+	d.Params = p.parseParams()
+	if p.accept(KWSWITCH) {
+		p.expect(LPAREN)
+		sel := p.parseExpr()
+		p.expect(RPAREN)
+		d.Switch = &SwitchSpec{Selector: sel}
+		p.expect(LBRACE)
+		for !p.at(RBRACE) && !p.at(EOF) {
+			start := p.pos
+			var c SwitchCase
+			c.Pos = p.cur().Pos
+			if p.accept(KWDEFAULT) {
+				p.expect(COLON)
+			} else {
+				p.expect(KWCASE)
+				for {
+					c.Values = append(c.Values, p.parseExpr())
+					if !p.accept(COMMA) {
+						break
+					}
+				}
+				p.expect(COLON)
+			}
+			c.Field = p.parseField()
+			p.expect(SEMI)
+			d.Switch.Cases = append(d.Switch.Cases, c)
+			if p.pos == start {
+				p.next()
+			}
+		}
+		p.expect(RBRACE)
+	} else {
+		p.expect(LBRACE)
+		for !p.at(RBRACE) && !p.at(EOF) {
+			start := p.pos
+			d.Branches = append(d.Branches, p.parseField())
+			p.expect(SEMI)
+			if p.pos == start {
+				p.next()
+			}
+		}
+		p.expect(RBRACE)
+	}
+	d.Where = p.parseWhereOpt()
+	p.accept(SEMI)
+	return d
+}
+
+func (p *Parser) parseArray(an Annot) Decl {
+	pos := p.expect(KWARRAY).Pos
+	name := p.expect(IDENT).Text
+	d := &ArrayDecl{Annot: an, Name: name, Pos: pos}
+	d.Params = p.parseParams()
+	p.expect(LBRACE)
+	d.Elem = p.parseTypeRef()
+	p.expect(LBRACK)
+	if !p.at(RBRACK) {
+		lo := p.parseExpr()
+		if p.accept(DOTDOT) {
+			d.MinSize = lo
+			d.MaxSize = p.parseExpr()
+		} else {
+			d.MinSize = lo
+			d.MaxSize = lo
+		}
+	}
+	p.expect(RBRACK)
+	if p.accept(COLON) {
+		p.parseArrayTermSpec(d)
+	}
+	p.expect(SEMI)
+	p.expect(RBRACE)
+	d.Where = p.parseWhereOpt()
+	p.accept(SEMI)
+	return d
+}
+
+// parseArrayTermSpec parses a && -separated conjunction of Psep/Pterm/
+// Plast/Pended clauses.
+func (p *Parser) parseArrayTermSpec(d *ArrayDecl) {
+	for {
+		switch p.cur().Kind {
+		case KWSEP:
+			p.next()
+			p.expect(LPAREN)
+			d.Sep = p.parseLiteral()
+			p.expect(RPAREN)
+		case KWTERM:
+			p.next()
+			p.expect(LPAREN)
+			d.Term = p.parseLiteral()
+			p.expect(RPAREN)
+		case KWLAST:
+			p.next()
+			p.expect(LPAREN)
+			d.LastPred = p.parseExpr()
+			p.expect(RPAREN)
+		case KWENDED:
+			p.next()
+			p.expect(LPAREN)
+			d.EndedPred = p.parseExpr()
+			p.expect(RPAREN)
+		default:
+			p.errorf("expected Psep, Pterm, Plast, or Pended, found %s", p.cur())
+			return
+		}
+		if !p.accept(ANDAND) {
+			return
+		}
+	}
+}
+
+func (p *Parser) parseEnum(an Annot) Decl {
+	pos := p.expect(KWENUM).Pos
+	name := p.expect(IDENT).Text
+	d := &EnumDecl{Annot: an, Name: name, Pos: pos}
+	p.expect(LBRACE)
+	for !p.at(RBRACE) && !p.at(EOF) {
+		m := EnumMember{Pos: p.cur().Pos}
+		m.Name = p.expect(IDENT).Text
+		m.Repr = m.Name
+		if p.accept(ASSIGN) {
+			m.Repr = p.expect(STRINGLIT).Text
+		}
+		d.Members = append(d.Members, m)
+		if !p.accept(COMMA) {
+			break
+		}
+	}
+	p.expect(RBRACE)
+	p.accept(SEMI)
+	return d
+}
+
+func (p *Parser) parseTypedef(an Annot) Decl {
+	pos := p.expect(KWTYPEDEF).Pos
+	base := p.parseTypeRef()
+	name := p.expect(IDENT).Text
+	d := &TypedefDecl{Annot: an, Name: name, Base: base, Pos: pos}
+	d.Params = p.parseParams()
+	if p.accept(COLON) {
+		// Paper form: "typename x => { expr }"; also allow a bare expr.
+		if p.at(IDENT) && p.peek().Kind == IDENT {
+			p.next() // the repeated type name (unchecked here; sema validates)
+			d.VarName = p.expect(IDENT).Text
+			p.expect(ARROW)
+			p.expect(LBRACE)
+			d.Constraint = p.parseExpr()
+			p.expect(RBRACE)
+		} else {
+			d.VarName = name
+			d.Constraint = p.parseExpr()
+		}
+	}
+	p.accept(SEMI)
+	return d
+}
+
+func (p *Parser) parseFunc() Decl {
+	ret := p.expect(IDENT)
+	name := p.expect(IDENT)
+	d := &FuncDecl{Name: name.Text, RetType: ret.Text, Pos: ret.Pos}
+	p.expect(LPAREN)
+	for !p.at(RPAREN) && !p.at(EOF) {
+		tname := p.expect(IDENT)
+		pname := p.expect(IDENT)
+		d.Params = append(d.Params, Param{Type: tname.Text, Name: pname.Text, Pos: tname.Pos})
+		if !p.accept(COMMA) {
+			break
+		}
+	}
+	p.expect(RPAREN)
+	d.Body = p.parseBlock()
+	p.accept(SEMI)
+	return d
+}
+
+func (p *Parser) parseBlock() []Stmt {
+	p.expect(LBRACE)
+	var stmts []Stmt
+	for !p.at(RBRACE) && !p.at(EOF) {
+		start := p.pos
+		stmts = append(stmts, p.parseStmt())
+		if p.pos == start {
+			p.next() // guarantee progress
+		}
+	}
+	p.expect(RBRACE)
+	return stmts
+}
+
+func (p *Parser) parseStmtOrBlock() []Stmt {
+	if p.at(LBRACE) {
+		return p.parseBlock()
+	}
+	return []Stmt{p.parseStmt()}
+}
+
+func (p *Parser) parseStmt() Stmt {
+	pos := p.cur().Pos
+	switch p.cur().Kind {
+	case KWIF:
+		p.next()
+		p.expect(LPAREN)
+		cond := p.parseExpr()
+		p.expect(RPAREN)
+		then := p.parseStmtOrBlock()
+		var els []Stmt
+		if p.accept(KWELSE) {
+			els = p.parseStmtOrBlock()
+		}
+		return &IfStmt{Cond: cond, Then: then, Else: els, Pos: pos}
+	case KWRETURN:
+		p.next()
+		val := p.parseExpr()
+		p.expect(SEMI)
+		return &ReturnStmt{Val: val, Pos: pos}
+	case IDENT:
+		if p.peek().Kind == IDENT {
+			tname := p.next().Text
+			vname := p.expect(IDENT).Text
+			p.expect(ASSIGN)
+			init := p.parseExpr()
+			p.expect(SEMI)
+			return &VarStmt{Type: tname, Name: vname, Init: init, Pos: pos}
+		}
+		if p.peek().Kind == ASSIGN {
+			vname := p.next().Text
+			p.next() // '='
+			val := p.parseExpr()
+			p.expect(SEMI)
+			return &AssignStmt{Name: vname, Val: val, Pos: pos}
+		}
+	}
+	e := p.parseExpr()
+	p.expect(SEMI)
+	return &ExprStmt{X: e, Pos: pos}
+}
+
+// ---- Expressions ----
+
+func (p *Parser) parseExpr() Expr { return p.parseCond() }
+
+func (p *Parser) parseCond() Expr {
+	cond := p.parseOr()
+	if p.accept(QUESTION) {
+		then := p.parseExpr()
+		p.expect(COLON)
+		els := p.parseCond()
+		return &CondExpr{Cond: cond, Then: then, Else: els, Pos: cond.ExprPos()}
+	}
+	return cond
+}
+
+func (p *Parser) parseOr() Expr {
+	l := p.parseAnd()
+	for p.at(OROR) {
+		op := p.next()
+		r := p.parseAnd()
+		l = &BinaryExpr{Op: op.Kind, L: l, R: r, Pos: op.Pos}
+	}
+	return l
+}
+
+func (p *Parser) parseAnd() Expr {
+	l := p.parseEquality()
+	for p.at(ANDAND) {
+		op := p.next()
+		r := p.parseEquality()
+		l = &BinaryExpr{Op: op.Kind, L: l, R: r, Pos: op.Pos}
+	}
+	return l
+}
+
+func (p *Parser) parseEquality() Expr {
+	l := p.parseRelational()
+	for p.at(EQ) || p.at(NE) {
+		op := p.next()
+		r := p.parseRelational()
+		l = &BinaryExpr{Op: op.Kind, L: l, R: r, Pos: op.Pos}
+	}
+	return l
+}
+
+func (p *Parser) parseRelational() Expr {
+	l := p.parseAdditive()
+	for p.at(LT) || p.at(LE) || p.at(GT) || p.at(GE) {
+		op := p.next()
+		r := p.parseAdditive()
+		l = &BinaryExpr{Op: op.Kind, L: l, R: r, Pos: op.Pos}
+	}
+	return l
+}
+
+func (p *Parser) parseAdditive() Expr {
+	l := p.parseMultiplicative()
+	for p.at(PLUS) || p.at(MINUS) {
+		op := p.next()
+		r := p.parseMultiplicative()
+		l = &BinaryExpr{Op: op.Kind, L: l, R: r, Pos: op.Pos}
+	}
+	return l
+}
+
+func (p *Parser) parseMultiplicative() Expr {
+	l := p.parseUnary()
+	for p.at(STAR) || p.at(SLASH) || p.at(PERCENT) {
+		op := p.next()
+		r := p.parseUnary()
+		l = &BinaryExpr{Op: op.Kind, L: l, R: r, Pos: op.Pos}
+	}
+	return l
+}
+
+func (p *Parser) parseUnary() Expr {
+	if p.at(NOT) || p.at(MINUS) {
+		op := p.next()
+		x := p.parseUnary()
+		return &UnaryExpr{Op: op.Kind, X: x, Pos: op.Pos}
+	}
+	return p.parsePostfix()
+}
+
+func (p *Parser) parsePostfix() Expr {
+	x := p.parsePrimary()
+	for {
+		switch p.cur().Kind {
+		case DOT:
+			pos := p.next().Pos
+			f := p.expect(IDENT).Text
+			x = &DotExpr{X: x, Field: f, Pos: pos}
+		case LBRACK:
+			pos := p.next().Pos
+			idx := p.parseExpr()
+			p.expect(RBRACK)
+			x = &IndexExpr{X: x, Index: idx, Pos: pos}
+		default:
+			return x
+		}
+	}
+}
+
+func (p *Parser) parsePrimary() Expr {
+	t := p.cur()
+	switch t.Kind {
+	case INTLIT:
+		p.next()
+		return &IntExpr{Val: t.Int, Pos: t.Pos}
+	case FLOATLIT:
+		p.next()
+		return &FloatExpr{Val: t.Flt, Pos: t.Pos}
+	case CHARLIT:
+		p.next()
+		return &CharExpr{Val: byte(t.Int), Pos: t.Pos}
+	case STRINGLIT:
+		p.next()
+		return &StrExpr{Val: t.Text, Pos: t.Pos}
+	case KWTRUE:
+		p.next()
+		return &BoolExpr{Val: true, Pos: t.Pos}
+	case KWFALSE:
+		p.next()
+		return &BoolExpr{Val: false, Pos: t.Pos}
+	case KWRE:
+		p.next()
+		s := p.expect(STRINGLIT)
+		return &RegexpExpr{Src: s.Text, Pos: t.Pos}
+	case KWEOR:
+		p.next()
+		return &EORExpr{Pos: t.Pos}
+	case KWEOF:
+		p.next()
+		return &EOFExpr{Pos: t.Pos}
+	case KWFORALL, KWEXISTS:
+		p.next()
+		p.expect(LPAREN)
+		v := p.expect(IDENT).Text
+		p.expect(KWIN)
+		p.expect(LBRACK)
+		lo := p.parseExpr()
+		p.expect(DOTDOT)
+		hi := p.parseExpr()
+		p.expect(RBRACK)
+		p.expect(COLON)
+		body := p.parseExpr()
+		p.expect(RPAREN)
+		return &ForallExpr{Exists: t.Kind == KWEXISTS, Var: v, Lo: lo, Hi: hi, Body: body, Pos: t.Pos}
+	case IDENT:
+		p.next()
+		if p.at(LPAREN) {
+			p.next()
+			var args []Expr
+			for !p.at(RPAREN) && !p.at(EOF) {
+				args = append(args, p.parseExpr())
+				if !p.accept(COMMA) {
+					break
+				}
+			}
+			p.expect(RPAREN)
+			return &CallExpr{Func: t.Text, Args: args, Pos: t.Pos}
+		}
+		return &IdentExpr{Name: t.Text, Pos: t.Pos}
+	case LPAREN:
+		p.next()
+		e := p.parseExpr()
+		p.expect(RPAREN)
+		return e
+	default:
+		p.errorf("expected an expression, found %s", t)
+		p.next()
+		return &IntExpr{Pos: t.Pos}
+	}
+}

@@ -1,0 +1,368 @@
+package dsl
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func parseFile(t *testing.T, name string) *Program {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("..", "..", "testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, errs := Parse(string(data))
+	for _, e := range errs {
+		t.Errorf("%s: %v", name, e)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+	return prog
+}
+
+func declByName(prog *Program, name string) Decl {
+	for _, d := range prog.Decls {
+		if d.DeclName() == name {
+			return d
+		}
+	}
+	return nil
+}
+
+func TestParseCLF(t *testing.T) {
+	prog := parseFile(t, "clf.pads")
+	wantDecls := []string{"client_t", "auth_id_t", "version_t", "method_t",
+		"chkVersion", "request_t", "response_t", "entry_t", "clt_t"}
+	if len(prog.Decls) != len(wantDecls) {
+		t.Fatalf("got %d decls, want %d", len(prog.Decls), len(wantDecls))
+	}
+	for i, w := range wantDecls {
+		if prog.Decls[i].DeclName() != w {
+			t.Errorf("decl %d = %s, want %s", i, prog.Decls[i].DeclName(), w)
+		}
+	}
+
+	client := declByName(prog, "client_t").(*UnionDecl)
+	if len(client.Branches) != 2 || client.Branches[0].Type.Name != "Pip" || client.Branches[1].Type.Name != "Phostname" {
+		t.Errorf("client_t branches wrong: %+v", client.Branches)
+	}
+
+	auth := declByName(prog, "auth_id_t").(*UnionDecl)
+	if auth.Branches[0].Constraint == nil {
+		t.Error("auth_id_t unauthorized branch lost its constraint")
+	}
+
+	version := declByName(prog, "version_t").(*StructDecl)
+	if len(version.Items) != 4 {
+		t.Fatalf("version_t items = %d, want 4 (literal, field, literal, field)", len(version.Items))
+	}
+	if version.Items[0].Lit == nil || version.Items[0].Lit.Str != "HTTP/" {
+		t.Error("version_t leading literal wrong")
+	}
+	if version.Items[2].Lit == nil || version.Items[2].Lit.Char != '.' {
+		t.Error("version_t dot literal wrong")
+	}
+
+	method := declByName(prog, "method_t").(*EnumDecl)
+	if len(method.Members) != 7 || method.Members[0].Name != "GET" || method.Members[6].Name != "UNLINK" {
+		t.Errorf("method_t members wrong: %+v", method.Members)
+	}
+
+	fn := declByName(prog, "chkVersion").(*FuncDecl)
+	if fn.RetType != "bool" || len(fn.Params) != 2 || len(fn.Body) != 3 {
+		t.Errorf("chkVersion signature/body wrong: ret=%s params=%d body=%d", fn.RetType, len(fn.Params), len(fn.Body))
+	}
+
+	resp := declByName(prog, "response_t").(*TypedefDecl)
+	if resp.Base.Name != "Puint16_FW" || len(resp.Base.Args) != 1 {
+		t.Errorf("response_t base = %+v", resp.Base)
+	}
+	if resp.VarName != "x" || resp.Constraint == nil {
+		t.Errorf("response_t constraint lost: var=%q", resp.VarName)
+	}
+
+	entry := declByName(prog, "entry_t").(*StructDecl)
+	if !entry.IsRecord || entry.IsSource {
+		t.Error("entry_t must be Precord only")
+	}
+	// client, 3 separators+2 fields..., count items: field + (lit field)*6
+	if len(entry.Items) != 13 {
+		t.Errorf("entry_t items = %d, want 13", len(entry.Items))
+	}
+
+	top := declByName(prog, "clt_t").(*ArrayDecl)
+	if !top.IsSource || top.Elem.Name != "entry_t" || top.Sep != nil || top.Term != nil {
+		t.Errorf("clt_t wrong: %+v", top)
+	}
+}
+
+func TestParseSirius(t *testing.T) {
+	prog := parseFile(t, "sirius.pads")
+
+	hdr := declByName(prog, "order_header_t").(*StructDecl)
+	nopt := 0
+	for _, it := range hdr.Items {
+		if it.Field != nil && it.Field.Type.Opt {
+			nopt++
+		}
+	}
+	if nopt != 5 {
+		t.Errorf("order_header_t Popt fields = %d, want 5", nopt)
+	}
+
+	seq := declByName(prog, "eventSeq").(*ArrayDecl)
+	if seq.Sep == nil || seq.Sep.Char != '|' {
+		t.Errorf("eventSeq Psep = %+v", seq.Sep)
+	}
+	if seq.Term == nil || seq.Term.Kind != EORLit {
+		t.Errorf("eventSeq Pterm = %+v", seq.Term)
+	}
+	fa, ok := seq.Where.(*ForallExpr)
+	if !ok {
+		t.Fatalf("eventSeq Pwhere is %T, want Pforall", seq.Where)
+	}
+	if fa.Var != "i" || fa.Exists {
+		t.Errorf("Pforall binder = %+v", fa)
+	}
+	le, ok := fa.Body.(*BinaryExpr)
+	if !ok || le.Op != LE {
+		t.Fatalf("Pforall body = %s", ExprString(fa.Body))
+	}
+
+	out := declByName(prog, "out_sum").(*StructDecl)
+	if !out.IsSource {
+		t.Error("out_sum must be Psource")
+	}
+}
+
+func TestParseSwitchedUnion(t *testing.T) {
+	src := `
+Punion payload_t (:Puint8 tag:) Pswitch (tag) {
+  Pcase 1: Puint32 num;
+  Pcase 2, 3: Pstring(:'|':) text;
+  Pdefault: Pstring(:Peor:) other;
+};`
+	prog, errs := Parse(src)
+	if len(errs) > 0 {
+		t.Fatalf("errors: %v", errs[0])
+	}
+	u := prog.Decls[0].(*UnionDecl)
+	if u.Switch == nil {
+		t.Fatal("switch lost")
+	}
+	if len(u.Switch.Cases) != 3 {
+		t.Fatalf("cases = %d", len(u.Switch.Cases))
+	}
+	if len(u.Switch.Cases[1].Values) != 2 {
+		t.Errorf("case 2 values = %d, want 2", len(u.Switch.Cases[1].Values))
+	}
+	if len(u.Switch.Cases[2].Values) != 0 {
+		t.Error("default case should have no values")
+	}
+	if len(u.Params) != 1 || u.Params[0].Name != "tag" {
+		t.Errorf("params = %+v", u.Params)
+	}
+}
+
+func TestParseArraySizes(t *testing.T) {
+	src := `
+Parray five_t { Puint8[5]; };
+Parray ranged_t (:Puint32 n:) { Puint8[2..n] : Psep (','); };
+Parray lastp_t { Puint32[] : Plast (elt == 0); };
+Parray endedp_t { Puint32[] : Psep (' ') && Pended (length == 4); };
+`
+	prog, errs := Parse(src)
+	if len(errs) > 0 {
+		t.Fatalf("errors: %v", errs[0])
+	}
+	five := prog.Decls[0].(*ArrayDecl)
+	if five.MinSize == nil || five.MinSize != five.MaxSize {
+		t.Error("fixed size should set MinSize==MaxSize")
+	}
+	ranged := prog.Decls[1].(*ArrayDecl)
+	if ranged.MinSize == ranged.MaxSize {
+		t.Error("range size should differ")
+	}
+	if prog.Decls[2].(*ArrayDecl).LastPred == nil {
+		t.Error("Plast lost")
+	}
+	ep := prog.Decls[3].(*ArrayDecl)
+	if ep.EndedPred == nil || ep.Sep == nil {
+		t.Error("Pended/Psep lost")
+	}
+}
+
+func TestParseRegexpLiteral(t *testing.T) {
+	src := `
+Pstruct re_t {
+  Pre "[A-Z]+";
+  Pstring_ME(:Pre "[0-9]*":) digits;
+};`
+	prog, errs := Parse(src)
+	if len(errs) > 0 {
+		t.Fatalf("errors: %v", errs[0])
+	}
+	st := prog.Decls[0].(*StructDecl)
+	if st.Items[0].Lit == nil || st.Items[0].Lit.Kind != RegexpLit || st.Items[0].Lit.Str != "[A-Z]+" {
+		t.Errorf("regexp literal = %+v", st.Items[0].Lit)
+	}
+	f := st.Items[1].Field
+	if re, ok := f.Type.Args[0].(*RegexpExpr); !ok || re.Src != "[0-9]*" {
+		t.Errorf("regexp arg = %+v", f.Type.Args[0])
+	}
+}
+
+func TestParseTypographicQuotes(t *testing.T) {
+	// Figures in the published PDF use ’…’ quotes; they must lex.
+	src := "Pstruct q_t {\n  Pstring(:’ ’:) id; ’|’;\n};"
+	prog, errs := Parse(src)
+	if len(errs) > 0 {
+		t.Fatalf("errors: %v", errs[0])
+	}
+	st := prog.Decls[0].(*StructDecl)
+	if ch, ok := st.Items[0].Field.Type.Args[0].(*CharExpr); !ok || ch.Val != ' ' {
+		t.Errorf("arg = %+v", st.Items[0].Field.Type.Args[0])
+	}
+	if st.Items[1].Lit.Char != '|' {
+		t.Errorf("literal = %+v", st.Items[1].Lit)
+	}
+}
+
+func TestExprPrecedence(t *testing.T) {
+	cases := map[string]string{
+		"1 + 2 * 3":           "1 + (2 * 3)",
+		"a || b && c":         "a || (b && c)",
+		"a == b || c == d":    "(a == b) || (c == d)",
+		"100 <= x && x < 600": "(100 <= x) && (x < 600)",
+		"-a + b":              "(-a) + b",
+		"!x == y":             "(!x) == y",
+		"a ? b : c ? d : e":   "a ? b : (c ? d : e)",
+		"x.f[1].g":            "x.f[1].g",
+		"f(a, g(b))":          "f(a, g(b))",
+		"(1 + 2) * 3":         "(1 + 2) * 3",
+		"a - b - c":           "(a - b) - c",
+	}
+	for in, want := range cases {
+		e, errs := ParseExprString(in)
+		if len(errs) > 0 {
+			t.Errorf("%q: %v", in, errs[0])
+			continue
+		}
+		if got := ExprString(e); got != want {
+			t.Errorf("%q parsed as %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestPrintParseRoundTrip(t *testing.T) {
+	for _, name := range []string{
+		"clf.pads", "sirius.pads", "kitchen.pads",
+		"netflow.pads", "calldetail.pads", "regulus.pads", "billing.pads",
+	} {
+		prog := parseFile(t, name)
+		printed := Print(prog)
+		prog2, errs := Parse(printed)
+		if len(errs) > 0 {
+			t.Fatalf("%s: reparse failed: %v\n%s", name, errs[0], printed)
+		}
+		printed2 := Print(prog2)
+		if printed != printed2 {
+			t.Errorf("%s: print/parse/print not a fixed point:\n--- first\n%s\n--- second\n%s", name, printed, printed2)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"Pstruct {",                       // missing name
+		"Pstruct s { Puint8; }",           // field missing a name
+		"Penum e { }",                     // fine actually? empty enum allowed by grammar
+		"Parray a { Puint8 };",            // missing []
+		"Punion u { Puint8 x: ; };",       // missing constraint expr
+		"bool f( { return true; };",       // bad params
+		"Pstruct s { Puint8 x : 1 + ; };", // bad expr
+	}
+	for _, src := range cases {
+		if src == "Penum e { }" {
+			continue
+		}
+		_, errs := Parse(src)
+		if len(errs) == 0 {
+			t.Errorf("Parse(%q) reported no errors", src)
+		}
+	}
+}
+
+func TestParseRecoversAfterError(t *testing.T) {
+	src := `
+Pstruct bad { Puint8; };
+Pstruct good { Puint8 x; };
+`
+	prog, errs := Parse(src)
+	if len(errs) == 0 {
+		t.Fatal("expected an error for the bad decl")
+	}
+	if declByName(prog, "good") == nil {
+		t.Error("parser did not recover to parse the following declaration")
+	}
+}
+
+func TestLexerEscapes(t *testing.T) {
+	toks, errs := Tokenize(`'\n' '\t' '\\' '\'' "a\"b\\c" '\0'`)
+	if len(errs) > 0 {
+		t.Fatalf("errors: %v", errs[0])
+	}
+	want := []int64{'\n', '\t', '\\', '\''}
+	for i, w := range want {
+		if toks[i].Kind != CHARLIT || toks[i].Int != w {
+			t.Errorf("tok %d = %+v, want char %q", i, toks[i], rune(w))
+		}
+	}
+	if toks[4].Kind != STRINGLIT || toks[4].Text != `a"b\c` {
+		t.Errorf("string tok = %+v", toks[4])
+	}
+	if toks[5].Kind != CHARLIT || toks[5].Int != 0 {
+		t.Errorf("nul tok = %+v", toks[5])
+	}
+}
+
+func TestLexerComments(t *testing.T) {
+	src := `
+// line comment
+/* block
+   comment */ Pstruct s { /- PADS comment to end of line
+  Puint8 x;
+};`
+	prog, errs := Parse(src)
+	if len(errs) > 0 {
+		t.Fatalf("errors: %v", errs[0])
+	}
+	if len(prog.Decls) != 1 {
+		t.Fatalf("decls = %d", len(prog.Decls))
+	}
+}
+
+func TestLexerPositions(t *testing.T) {
+	toks, _ := Tokenize("a\n  bb\n c")
+	if toks[0].Pos != (Pos{1, 1}) || toks[1].Pos != (Pos{2, 3}) || toks[2].Pos != (Pos{3, 2}) {
+		t.Errorf("positions = %v %v %v", toks[0].Pos, toks[1].Pos, toks[2].Pos)
+	}
+}
+
+func TestFloatAndRangeDisambiguation(t *testing.T) {
+	toks, errs := Tokenize("1.5 1..5 x.y")
+	if len(errs) > 0 {
+		t.Fatalf("errors: %v", errs[0])
+	}
+	if toks[0].Kind != FLOATLIT || toks[0].Flt != 1.5 {
+		t.Errorf("tok0 = %+v", toks[0])
+	}
+	if toks[1].Kind != INTLIT || toks[2].Kind != DOTDOT || toks[3].Kind != INTLIT {
+		t.Errorf("range toks = %v %v %v", toks[1].Kind, toks[2].Kind, toks[3].Kind)
+	}
+	if toks[4].Kind != IDENT || toks[5].Kind != DOT || toks[6].Kind != IDENT {
+		t.Errorf("dot toks = %v %v %v", toks[4].Kind, toks[5].Kind, toks[6].Kind)
+	}
+}

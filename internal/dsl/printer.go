@@ -1,0 +1,371 @@
+package dsl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders a Program back to PADS surface syntax. The output parses to
+// an equivalent Program (the round trip is property-tested), which lets
+// descriptions serve as regenerable "living documentation".
+func Print(prog *Program) string {
+	var b strings.Builder
+	for i, d := range prog.Decls {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		printDecl(&b, d)
+	}
+	return b.String()
+}
+
+func annotPrefix(an Annot) string {
+	s := ""
+	if an.IsSource {
+		s += "Psource "
+	}
+	if an.IsRecord {
+		s += "Precord "
+	}
+	return s
+}
+
+func printParams(b *strings.Builder, params []Param) {
+	if len(params) == 0 {
+		return
+	}
+	b.WriteString("(:")
+	for i, p := range params {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(b, "%s %s", p.Type, p.Name)
+	}
+	b.WriteString(":)")
+}
+
+// TypeRefString renders a type reference.
+func TypeRefString(tr TypeRef) string {
+	var b strings.Builder
+	if tr.Opt {
+		b.WriteString("Popt ")
+	}
+	b.WriteString(tr.Name)
+	if len(tr.Args) > 0 {
+		b.WriteString("(:")
+		for i, a := range tr.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(ExprString(a))
+		}
+		b.WriteString(":)")
+	}
+	return b.String()
+}
+
+// LiteralString renders a literal item.
+func LiteralString(l *Literal) string {
+	switch l.Kind {
+	case CharLit:
+		return fmt.Sprintf("%s", quoteChar(l.Char))
+	case StrLit:
+		return quoteString(l.Str)
+	case RegexpLit:
+		return "Pre " + quoteString(l.Str)
+	case EORLit:
+		return "Peor"
+	case EOFLit:
+		return "Peof"
+	}
+	return "?"
+}
+
+func quoteChar(c byte) string {
+	switch c {
+	case '\n':
+		return `'\n'`
+	case '\t':
+		return `'\t'`
+	case '\r':
+		return `'\r'`
+	case '\'':
+		return `'\''`
+	case '\\':
+		return `'\\'`
+	case 0:
+		return `'\0'`
+	}
+	return "'" + string(c) + "'"
+}
+
+func quoteString(s string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\t':
+			b.WriteString(`\t`)
+		case '\r':
+			b.WriteString(`\r`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}
+
+func printField(b *strings.Builder, f *Field) {
+	b.WriteString(TypeRefString(f.Type))
+	b.WriteByte(' ')
+	b.WriteString(f.Name)
+	if f.Constraint != nil {
+		b.WriteString(" : ")
+		b.WriteString(ExprString(f.Constraint))
+	}
+}
+
+func printWhere(b *strings.Builder, where Expr) {
+	if where != nil {
+		b.WriteString(" Pwhere { ")
+		b.WriteString(ExprString(where))
+		b.WriteString(" }")
+	}
+}
+
+func printDecl(b *strings.Builder, d Decl) {
+	switch d := d.(type) {
+	case *StructDecl:
+		b.WriteString(annotPrefix(d.Annot))
+		b.WriteString("Pstruct ")
+		b.WriteString(d.Name)
+		printParams(b, d.Params)
+		b.WriteString(" {\n")
+		for _, it := range d.Items {
+			b.WriteString("  ")
+			if it.Lit != nil {
+				b.WriteString(LiteralString(it.Lit))
+			} else {
+				printField(b, it.Field)
+			}
+			b.WriteString(";\n")
+		}
+		b.WriteString("}")
+		printWhere(b, d.Where)
+		b.WriteString(";\n")
+	case *UnionDecl:
+		b.WriteString(annotPrefix(d.Annot))
+		b.WriteString("Punion ")
+		b.WriteString(d.Name)
+		printParams(b, d.Params)
+		if d.Switch != nil {
+			b.WriteString(" Pswitch (")
+			b.WriteString(ExprString(d.Switch.Selector))
+			b.WriteString(") {\n")
+			for _, c := range d.Switch.Cases {
+				if len(c.Values) == 0 {
+					b.WriteString("  Pdefault: ")
+				} else {
+					b.WriteString("  Pcase ")
+					for i, v := range c.Values {
+						if i > 0 {
+							b.WriteString(", ")
+						}
+						b.WriteString(ExprString(v))
+					}
+					b.WriteString(": ")
+				}
+				printField(b, &c.Field)
+				b.WriteString(";\n")
+			}
+		} else {
+			b.WriteString(" {\n")
+			for i := range d.Branches {
+				b.WriteString("  ")
+				printField(b, &d.Branches[i])
+				b.WriteString(";\n")
+			}
+		}
+		b.WriteString("}")
+		printWhere(b, d.Where)
+		b.WriteString(";\n")
+	case *ArrayDecl:
+		b.WriteString(annotPrefix(d.Annot))
+		b.WriteString("Parray ")
+		b.WriteString(d.Name)
+		printParams(b, d.Params)
+		b.WriteString(" {\n  ")
+		b.WriteString(TypeRefString(d.Elem))
+		b.WriteByte('[')
+		if d.MinSize != nil {
+			b.WriteString(ExprString(d.MinSize))
+			if d.MaxSize != d.MinSize {
+				b.WriteString("..")
+				b.WriteString(ExprString(d.MaxSize))
+			}
+		}
+		b.WriteByte(']')
+		var specs []string
+		if d.Sep != nil {
+			specs = append(specs, "Psep ("+LiteralString(d.Sep)+")")
+		}
+		if d.Term != nil {
+			specs = append(specs, "Pterm ("+LiteralString(d.Term)+")")
+		}
+		if d.LastPred != nil {
+			specs = append(specs, "Plast ("+ExprString(d.LastPred)+")")
+		}
+		if d.EndedPred != nil {
+			specs = append(specs, "Pended ("+ExprString(d.EndedPred)+")")
+		}
+		if len(specs) > 0 {
+			b.WriteString(" : ")
+			b.WriteString(strings.Join(specs, " && "))
+		}
+		b.WriteString(";\n}")
+		printWhere(b, d.Where)
+		b.WriteString(";\n")
+	case *EnumDecl:
+		b.WriteString(annotPrefix(d.Annot))
+		b.WriteString("Penum ")
+		b.WriteString(d.Name)
+		b.WriteString(" {\n")
+		for i, m := range d.Members {
+			b.WriteString("  ")
+			b.WriteString(m.Name)
+			if m.Repr != m.Name {
+				b.WriteString(" = ")
+				b.WriteString(quoteString(m.Repr))
+			}
+			if i < len(d.Members)-1 {
+				b.WriteByte(',')
+			}
+			b.WriteByte('\n')
+		}
+		b.WriteString("};\n")
+	case *TypedefDecl:
+		b.WriteString(annotPrefix(d.Annot))
+		b.WriteString("Ptypedef ")
+		b.WriteString(TypeRefString(d.Base))
+		b.WriteByte(' ')
+		b.WriteString(d.Name)
+		printParams(b, d.Params)
+		if d.Constraint != nil {
+			fmt.Fprintf(b, " : %s %s => { %s }", d.Name, d.VarName, ExprString(d.Constraint))
+		}
+		b.WriteString(";\n")
+	case *FuncDecl:
+		fmt.Fprintf(b, "%s %s(", d.RetType, d.Name)
+		for i, p := range d.Params {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(b, "%s %s", p.Type, p.Name)
+		}
+		b.WriteString(") {\n")
+		printStmts(b, d.Body, "  ")
+		b.WriteString("};\n")
+	}
+}
+
+func printStmts(b *strings.Builder, stmts []Stmt, indent string) {
+	for _, s := range stmts {
+		b.WriteString(indent)
+		printStmt(b, s, indent)
+		b.WriteByte('\n')
+	}
+}
+
+func printStmt(b *strings.Builder, s Stmt, indent string) {
+	switch s := s.(type) {
+	case *VarStmt:
+		fmt.Fprintf(b, "%s %s = %s;", s.Type, s.Name, ExprString(s.Init))
+	case *AssignStmt:
+		fmt.Fprintf(b, "%s = %s;", s.Name, ExprString(s.Val))
+	case *IfStmt:
+		fmt.Fprintf(b, "if (%s) {\n", ExprString(s.Cond))
+		printStmts(b, s.Then, indent+"  ")
+		b.WriteString(indent)
+		b.WriteString("}")
+		if len(s.Else) > 0 {
+			b.WriteString(" else {\n")
+			printStmts(b, s.Else, indent+"  ")
+			b.WriteString(indent)
+			b.WriteString("}")
+		}
+	case *ReturnStmt:
+		fmt.Fprintf(b, "return %s;", ExprString(s.Val))
+	case *ExprStmt:
+		fmt.Fprintf(b, "%s;", ExprString(s.X))
+	}
+}
+
+// ExprString renders an expression with full parenthesization of compound
+// subterms, which keeps the printer simple and the round trip exact.
+func ExprString(e Expr) string {
+	switch e := e.(type) {
+	case *IntExpr:
+		return fmt.Sprintf("%d", e.Val)
+	case *FloatExpr:
+		return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%f", e.Val), "0"), ".")
+	case *CharExpr:
+		return quoteChar(e.Val)
+	case *StrExpr:
+		return quoteString(e.Val)
+	case *BoolExpr:
+		if e.Val {
+			return "true"
+		}
+		return "false"
+	case *RegexpExpr:
+		return "Pre " + quoteString(e.Src)
+	case *EORExpr:
+		return "Peor"
+	case *EOFExpr:
+		return "Peof"
+	case *IdentExpr:
+		return e.Name
+	case *CallExpr:
+		args := make([]string, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = ExprString(a)
+		}
+		return e.Func + "(" + strings.Join(args, ", ") + ")"
+	case *DotExpr:
+		return ExprString(e.X) + "." + e.Field
+	case *IndexExpr:
+		return ExprString(e.X) + "[" + ExprString(e.Index) + "]"
+	case *UnaryExpr:
+		op := "!"
+		if e.Op == MINUS {
+			op = "-"
+		}
+		return op + parenthesize(e.X)
+	case *BinaryExpr:
+		return parenthesize(e.L) + " " + e.Op.String() + " " + parenthesize(e.R)
+	case *CondExpr:
+		return parenthesize(e.Cond) + " ? " + parenthesize(e.Then) + " : " + parenthesize(e.Else)
+	case *ForallExpr:
+		q := "Pforall"
+		if e.Exists {
+			q = "Pexists"
+		}
+		return fmt.Sprintf("%s (%s Pin [%s..%s] : %s)", q, e.Var, ExprString(e.Lo), ExprString(e.Hi), ExprString(e.Body))
+	}
+	return "?"
+}
+
+func parenthesize(e Expr) string {
+	switch e.(type) {
+	case *BinaryExpr, *CondExpr, *UnaryExpr:
+		return "(" + ExprString(e) + ")"
+	}
+	return ExprString(e)
+}

@@ -1,0 +1,170 @@
+// Package dsl implements the front end of the PADS data description
+// language: a lexer, an abstract syntax, a recursive-descent parser, and a
+// pretty printer. The surface syntax follows the paper (Figures 4 and 5):
+// C-flavored type declarations (Pstruct, Punion, Parray, Penum, Popt,
+// Ptypedef) with literals, type parameters written (: … :), per-field
+// constraints, Pwhere clauses, Precord/Psource annotations, switched
+// unions, and C-like predicate functions.
+package dsl
+
+import "fmt"
+
+// Kind classifies a token.
+type Kind int
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	IDENT
+	INTLIT    // 123
+	FLOATLIT  // 1.5
+	CHARLIT   // 'c'
+	STRINGLIT // "text"
+
+	// Punctuation.
+	LBRACE   // {
+	RBRACE   // }
+	LPAREN   // (
+	RPAREN   // )
+	LBRACK   // [
+	RBRACK   // ]
+	LPARAM   // (:
+	RPARAM   // :)
+	SEMI     // ;
+	COMMA    // ,
+	COLON    // :
+	DOT      // .
+	DOTDOT   // ..
+	ARROW    // =>
+	QUESTION // ?
+
+	// Operators.
+	ASSIGN  // =
+	EQ      // ==
+	NE      // !=
+	LT      // <
+	LE      // <=
+	GT      // >
+	GE      // >=
+	ANDAND  // &&
+	OROR    // ||
+	NOT     // !
+	PLUS    // +
+	MINUS   // -
+	STAR    // *
+	SLASH   // /
+	PERCENT // %
+
+	// Keywords.
+	KWSTRUCT  // Pstruct
+	KWUNION   // Punion
+	KWARRAY   // Parray
+	KWENUM    // Penum
+	KWOPT     // Popt
+	KWTYPEDEF // Ptypedef
+	KWRECORD  // Precord
+	KWSOURCE  // Psource
+	KWWHERE   // Pwhere
+	KWFORALL  // Pforall
+	KWEXISTS  // Pexists
+	KWIN      // Pin
+	KWSWITCH  // Pswitch
+	KWCASE    // Pcase
+	KWDEFAULT // Pdefault
+	KWSEP     // Psep
+	KWTERM    // Pterm
+	KWLAST    // Plast
+	KWENDED   // Pended
+	KWEOR     // Peor
+	KWEOF     // Peof
+	KWRE      // Pre (regular-expression literal prefix)
+	KWIF      // if
+	KWELSE    // else
+	KWRETURN  // return
+	KWTRUE    // true
+	KWFALSE   // false
+)
+
+var kindNames = map[Kind]string{
+	EOF: "end of input", IDENT: "identifier", INTLIT: "integer literal",
+	FLOATLIT: "float literal", CHARLIT: "character literal", STRINGLIT: "string literal",
+	LBRACE: "{", RBRACE: "}", LPAREN: "(", RPAREN: ")", LBRACK: "[", RBRACK: "]",
+	LPARAM: "(:", RPARAM: ":)", SEMI: ";", COMMA: ",", COLON: ":", DOT: ".",
+	DOTDOT: "..", ARROW: "=>", QUESTION: "?",
+	ASSIGN: "=", EQ: "==", NE: "!=", LT: "<", LE: "<=", GT: ">", GE: ">=",
+	ANDAND: "&&", OROR: "||", NOT: "!", PLUS: "+", MINUS: "-", STAR: "*",
+	SLASH: "/", PERCENT: "%",
+	KWSTRUCT: "Pstruct", KWUNION: "Punion", KWARRAY: "Parray", KWENUM: "Penum",
+	KWOPT: "Popt", KWTYPEDEF: "Ptypedef", KWRECORD: "Precord", KWSOURCE: "Psource",
+	KWWHERE: "Pwhere", KWFORALL: "Pforall", KWEXISTS: "Pexists", KWIN: "Pin",
+	KWSWITCH: "Pswitch", KWCASE: "Pcase", KWDEFAULT: "Pdefault",
+	KWSEP: "Psep", KWTERM: "Pterm", KWLAST: "Plast", KWENDED: "Pended",
+	KWEOR: "Peor", KWEOF: "Peof", KWRE: "Pre",
+	KWIF: "if", KWELSE: "else", KWRETURN: "return", KWTRUE: "true", KWFALSE: "false",
+}
+
+// String names the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+var keywords = map[string]Kind{
+	"Pstruct": KWSTRUCT, "Punion": KWUNION, "Parray": KWARRAY, "Penum": KWENUM,
+	"Popt": KWOPT, "Ptypedef": KWTYPEDEF, "Precord": KWRECORD, "Psource": KWSOURCE,
+	"Pwhere": KWWHERE, "Pforall": KWFORALL, "Pexists": KWEXISTS, "Pin": KWIN,
+	"Pswitch": KWSWITCH, "Pcase": KWCASE, "Pdefault": KWDEFAULT,
+	"Psep": KWSEP, "Pterm": KWTERM, "Plast": KWLAST, "Pended": KWENDED,
+	"Peor": KWEOR, "Peof": KWEOF, "Pre": KWRE,
+	"if": KWIF, "else": KWELSE, "return": KWRETURN, "true": KWTRUE, "false": KWFALSE,
+}
+
+// Pos is a line/column source position (both 1-based).
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// String formats the position.
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexeme with its position and decoded payload.
+type Token struct {
+	Kind Kind
+	Pos  Pos
+	Text string // raw text for IDENT; decoded text for STRINGLIT
+	Int  int64  // value for INTLIT and CHARLIT
+	Flt  float64
+}
+
+// String renders the token for error messages.
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT:
+		return fmt.Sprintf("identifier %q", t.Text)
+	case INTLIT:
+		return fmt.Sprintf("integer %d", t.Int)
+	case STRINGLIT:
+		return fmt.Sprintf("string %q", t.Text)
+	case CHARLIT:
+		return fmt.Sprintf("character %q", rune(t.Int))
+	default:
+		return t.Kind.String()
+	}
+}
+
+// Error is a front-end diagnostic with a source position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Errorf builds a positioned diagnostic.
+func Errorf(pos Pos, format string, args ...interface{}) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,628 @@
+// Package expr evaluates the PADS expression sub-language over parsed
+// values: field constraints, Pwhere clauses, switched-union selectors, array
+// termination predicates, and the bodies of C-like predicate functions such
+// as chkVersion in Figure 4 of the paper.
+package expr
+
+import (
+	"fmt"
+	"math"
+
+	"pads/internal/dsl"
+	"pads/internal/sema"
+	"pads/internal/value"
+)
+
+// V is a dynamic expression value.
+type V struct {
+	K sema.Kind
+	B bool
+	I int64  // KInt, KChar, KDate, KEnum (index)
+	U uint64 // KUint, KIP
+	F float64
+	S string // KString; member name for KEnum
+	// EnumType names the enumeration a KEnum value belongs to.
+	EnumType string
+	// Ref holds compound values (struct/union/array/opt).
+	Ref value.Value
+}
+
+// Convenience constructors.
+func Bool(b bool) V     { return V{K: sema.KBool, B: b} }
+func Int(i int64) V     { return V{K: sema.KInt, I: i} }
+func Uint(u uint64) V   { return V{K: sema.KUint, U: u} }
+func Float(f float64) V { return V{K: sema.KFloat, F: f} }
+func Char(c byte) V     { return V{K: sema.KChar, I: int64(c)} }
+func Str(s string) V    { return V{K: sema.KString, S: s} }
+
+// FromValue converts a parsed value into an expression value. Absent
+// optionals become KVoid; using one in arithmetic is an evaluation error
+// (and therefore a failed constraint).
+func FromValue(v value.Value) V {
+	switch v := v.(type) {
+	case *value.Uint:
+		return V{K: sema.KUint, U: v.Val}
+	case *value.Int:
+		return V{K: sema.KInt, I: v.Val}
+	case *value.Float:
+		return V{K: sema.KFloat, F: v.Val}
+	case *value.Char:
+		return V{K: sema.KChar, I: int64(v.Val)}
+	case *value.Str:
+		return V{K: sema.KString, S: v.Val}
+	case *value.Date:
+		return V{K: sema.KDate, I: v.Sec}
+	case *value.IP:
+		return V{K: sema.KIP, U: uint64(v.Val)}
+	case *value.Enum:
+		return V{K: sema.KEnum, I: int64(v.Index), S: v.Member, EnumType: v.TypeName()}
+	case *value.Opt:
+		if v.Present {
+			return FromValue(v.Val)
+		}
+		return V{K: sema.KVoid}
+	case *value.Union:
+		return V{K: sema.KUnion, Ref: v}
+	case *value.Struct:
+		return V{K: sema.KStruct, Ref: v}
+	case *value.Array:
+		return V{K: sema.KArray, Ref: v}
+	case *value.Void:
+		return V{K: sema.KVoid}
+	}
+	return V{K: sema.KInvalid}
+}
+
+// Env is a chain of variable scopes.
+type Env struct {
+	vars   map[string]V
+	parent *Env
+}
+
+// NewEnv creates a scope nested in parent (which may be nil).
+func NewEnv(parent *Env) *Env { return &Env{vars: make(map[string]V), parent: parent} }
+
+// Bind sets a variable in this scope.
+func (e *Env) Bind(name string, v V) { e.vars[name] = v }
+
+// Lookup finds a variable in the scope chain.
+func (e *Env) Lookup(name string) (V, bool) {
+	for s := e; s != nil; s = s.parent {
+		if v, ok := s.vars[name]; ok {
+			return v, true
+		}
+	}
+	return V{}, false
+}
+
+// set assigns to an existing binding wherever it lives in the chain.
+func (e *Env) set(name string, v V) bool {
+	for s := e; s != nil; s = s.parent {
+		if _, ok := s.vars[name]; ok {
+			s.vars[name] = v
+			return true
+		}
+	}
+	return false
+}
+
+// Evaluator evaluates expressions against a checked description (needed for
+// enum literals and function calls).
+type Evaluator struct {
+	Desc  *sema.Desc
+	depth int
+}
+
+// New builds an evaluator for the description.
+func New(desc *sema.Desc) *Evaluator { return &Evaluator{Desc: desc} }
+
+const (
+	maxCallDepth  = 100
+	maxQuantRange = 1 << 24
+)
+
+func evalErr(pos dsl.Pos, format string, args ...interface{}) error {
+	return fmt.Errorf("%s: %s", pos, fmt.Sprintf(format, args...))
+}
+
+// EvalPred evaluates a boolean predicate; evaluation errors (absent
+// optionals, missing union branches) make the predicate false and surface
+// the error for diagnostics.
+func (ev *Evaluator) EvalPred(x dsl.Expr, env *Env) (bool, error) {
+	v, err := ev.Eval(x, env)
+	if err != nil {
+		return false, err
+	}
+	if v.K != sema.KBool {
+		return false, evalErr(x.ExprPos(), "predicate is not boolean")
+	}
+	return v.B, nil
+}
+
+// Eval evaluates an expression.
+func (ev *Evaluator) Eval(x dsl.Expr, env *Env) (V, error) {
+	switch x := x.(type) {
+	case *dsl.IntExpr:
+		return Int(x.Val), nil
+	case *dsl.FloatExpr:
+		return Float(x.Val), nil
+	case *dsl.CharExpr:
+		return Char(x.Val), nil
+	case *dsl.StrExpr:
+		return Str(x.Val), nil
+	case *dsl.BoolExpr:
+		return Bool(x.Val), nil
+	case *dsl.RegexpExpr:
+		return Str(x.Src), nil
+	case *dsl.EORExpr, *dsl.EOFExpr:
+		return V{K: sema.KVoid}, nil
+	case *dsl.IdentExpr:
+		if v, ok := env.Lookup(x.Name); ok {
+			return v, nil
+		}
+		if en, ok := ev.Desc.EnumOf[x.Name]; ok {
+			return V{K: sema.KEnum, I: int64(ev.Desc.EnumIndex[x.Name]), S: x.Name, EnumType: en.Name}, nil
+		}
+		return V{}, evalErr(x.Pos, "undefined variable %s", x.Name)
+	case *dsl.CallExpr:
+		return ev.call(x, env)
+	case *dsl.DotExpr:
+		recv, err := ev.Eval(x.X, env)
+		if err != nil {
+			return V{}, err
+		}
+		return ev.selectField(recv, x.Field, x.Pos)
+	case *dsl.IndexExpr:
+		recv, err := ev.Eval(x.X, env)
+		if err != nil {
+			return V{}, err
+		}
+		idx, err := ev.Eval(x.Index, env)
+		if err != nil {
+			return V{}, err
+		}
+		i, err := toInt(idx, x.Index.ExprPos())
+		if err != nil {
+			return V{}, err
+		}
+		arr, ok := recv.Ref.(*value.Array)
+		if !ok {
+			return V{}, evalErr(x.Pos, "cannot index a non-array value")
+		}
+		if i < 0 || i >= int64(len(arr.Elems)) {
+			return V{}, evalErr(x.Pos, "index %d out of range [0..%d)", i, len(arr.Elems))
+		}
+		return FromValue(arr.Elems[i]), nil
+	case *dsl.UnaryExpr:
+		v, err := ev.Eval(x.X, env)
+		if err != nil {
+			return V{}, err
+		}
+		if x.Op == dsl.NOT {
+			if v.K != sema.KBool {
+				return V{}, evalErr(x.Pos, "! applied to a non-boolean")
+			}
+			return Bool(!v.B), nil
+		}
+		switch v.K {
+		case sema.KFloat:
+			return Float(-v.F), nil
+		default:
+			i, err := toInt(v, x.Pos)
+			if err != nil {
+				return V{}, err
+			}
+			return Int(-i), nil
+		}
+	case *dsl.BinaryExpr:
+		return ev.binary(x, env)
+	case *dsl.CondExpr:
+		c, err := ev.Eval(x.Cond, env)
+		if err != nil {
+			return V{}, err
+		}
+		if c.K != sema.KBool {
+			return V{}, evalErr(x.Pos, "condition is not boolean")
+		}
+		if c.B {
+			return ev.Eval(x.Then, env)
+		}
+		return ev.Eval(x.Else, env)
+	case *dsl.ForallExpr:
+		lo, err := ev.Eval(x.Lo, env)
+		if err != nil {
+			return V{}, err
+		}
+		hi, err := ev.Eval(x.Hi, env)
+		if err != nil {
+			return V{}, err
+		}
+		loI, err := toInt(lo, x.Lo.ExprPos())
+		if err != nil {
+			return V{}, err
+		}
+		hiI, err := toInt(hi, x.Hi.ExprPos())
+		if err != nil {
+			return V{}, err
+		}
+		if hiI-loI > maxQuantRange {
+			return V{}, evalErr(x.Pos, "quantifier range too large (%d elements)", hiI-loI+1)
+		}
+		be := NewEnv(env)
+		for i := loI; i <= hiI; i++ {
+			be.Bind(x.Var, Int(i))
+			b, err := ev.Eval(x.Body, be)
+			if err != nil {
+				return V{}, err
+			}
+			if b.K != sema.KBool {
+				return V{}, evalErr(x.Pos, "quantifier body is not boolean")
+			}
+			if x.Exists && b.B {
+				return Bool(true), nil
+			}
+			if !x.Exists && !b.B {
+				return Bool(false), nil
+			}
+		}
+		return Bool(!x.Exists), nil
+	}
+	return V{}, evalErr(x.ExprPos(), "unsupported expression")
+}
+
+// selectField reads a struct field or union branch. Selecting a branch that
+// was not taken is an evaluation error, so constraints over the wrong branch
+// fail rather than fabricate values.
+func (ev *Evaluator) selectField(recv V, field string, pos dsl.Pos) (V, error) {
+	switch r := recv.Ref.(type) {
+	case *value.Struct:
+		if f := r.Field(field); f != nil {
+			return FromValue(f), nil
+		}
+		return V{}, evalErr(pos, "%s has no field %s", r.TypeName(), field)
+	case *value.Union:
+		if r.Tag == field {
+			return FromValue(r.Val), nil
+		}
+		return V{}, evalErr(pos, "union %s holds branch %s, not %s", r.TypeName(), r.Tag, field)
+	}
+	return V{}, evalErr(pos, "cannot select field %s of a non-compound value", field)
+}
+
+func (ev *Evaluator) call(x *dsl.CallExpr, env *Env) (V, error) {
+	fn, ok := ev.Desc.Funcs[x.Func]
+	if !ok {
+		return V{}, evalErr(x.Pos, "undefined function %s", x.Func)
+	}
+	if len(x.Args) != len(fn.Params) {
+		return V{}, evalErr(x.Pos, "%s expects %d argument(s), got %d", x.Func, len(fn.Params), len(x.Args))
+	}
+	if ev.depth >= maxCallDepth {
+		return V{}, evalErr(x.Pos, "call depth limit exceeded in %s", x.Func)
+	}
+	fe := NewEnv(nil)
+	for i, a := range x.Args {
+		v, err := ev.Eval(a, env)
+		if err != nil {
+			return V{}, err
+		}
+		fe.Bind(fn.Params[i].Name, v)
+	}
+	ev.depth++
+	ret, returned, err := ev.execStmts(fn.Body, fe)
+	ev.depth--
+	if err != nil {
+		return V{}, err
+	}
+	if !returned {
+		return V{}, evalErr(fn.Pos, "function %s returned no value", fn.Name)
+	}
+	return ret, nil
+}
+
+func (ev *Evaluator) execStmts(stmts []dsl.Stmt, env *Env) (V, bool, error) {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *dsl.VarStmt:
+			v, err := ev.Eval(s.Init, env)
+			if err != nil {
+				return V{}, false, err
+			}
+			env.Bind(s.Name, v)
+		case *dsl.AssignStmt:
+			v, err := ev.Eval(s.Val, env)
+			if err != nil {
+				return V{}, false, err
+			}
+			if !env.set(s.Name, v) {
+				return V{}, false, evalErr(s.Pos, "assignment to undefined variable %s", s.Name)
+			}
+		case *dsl.IfStmt:
+			c, err := ev.Eval(s.Cond, env)
+			if err != nil {
+				return V{}, false, err
+			}
+			if c.K != sema.KBool {
+				return V{}, false, evalErr(s.Pos, "if condition is not boolean")
+			}
+			body := s.Then
+			if !c.B {
+				body = s.Else
+			}
+			v, returned, err := ev.execStmts(body, NewEnv(env))
+			if err != nil || returned {
+				return v, returned, err
+			}
+		case *dsl.ReturnStmt:
+			v, err := ev.Eval(s.Val, env)
+			return v, true, err
+		case *dsl.ExprStmt:
+			if _, err := ev.Eval(s.X, env); err != nil {
+				return V{}, false, err
+			}
+		}
+	}
+	return V{}, false, nil
+}
+
+func (ev *Evaluator) binary(x *dsl.BinaryExpr, env *Env) (V, error) {
+	// Short-circuit logical operators.
+	if x.Op == dsl.ANDAND || x.Op == dsl.OROR {
+		l, err := ev.Eval(x.L, env)
+		if err != nil {
+			return V{}, err
+		}
+		if l.K != sema.KBool {
+			return V{}, evalErr(x.Pos, "logical operand is not boolean")
+		}
+		if x.Op == dsl.ANDAND && !l.B {
+			return Bool(false), nil
+		}
+		if x.Op == dsl.OROR && l.B {
+			return Bool(true), nil
+		}
+		r, err := ev.Eval(x.R, env)
+		if err != nil {
+			return V{}, err
+		}
+		if r.K != sema.KBool {
+			return V{}, evalErr(x.Pos, "logical operand is not boolean")
+		}
+		return Bool(r.B), nil
+	}
+
+	l, err := ev.Eval(x.L, env)
+	if err != nil {
+		return V{}, err
+	}
+	r, err := ev.Eval(x.R, env)
+	if err != nil {
+		return V{}, err
+	}
+
+	switch x.Op {
+	case dsl.EQ, dsl.NE, dsl.LT, dsl.LE, dsl.GT, dsl.GE:
+		c, err := compare(l, r, x.Pos)
+		if err != nil {
+			return V{}, err
+		}
+		switch x.Op {
+		case dsl.EQ:
+			return Bool(c == 0), nil
+		case dsl.NE:
+			return Bool(c != 0), nil
+		case dsl.LT:
+			return Bool(c < 0), nil
+		case dsl.LE:
+			return Bool(c <= 0), nil
+		case dsl.GT:
+			return Bool(c > 0), nil
+		default:
+			return Bool(c >= 0), nil
+		}
+	case dsl.PLUS, dsl.MINUS, dsl.STAR, dsl.SLASH, dsl.PERCENT:
+		return arith(x.Op, l, r, x.Pos)
+	}
+	return V{}, evalErr(x.Pos, "unsupported operator %s", x.Op)
+}
+
+// ToInt converts a numeric V to int64 (exported for the interpreter's size
+// and width arguments).
+func ToInt(v V) (int64, error) { return toInt(v, dsl.Pos{}) }
+
+// EqualV reports whether two values compare equal, for switched-union case
+// dispatch. Incomparable values are unequal.
+func EqualV(a, b V) bool {
+	c, err := compare(a, b, dsl.Pos{})
+	return err == nil && c == 0
+}
+
+// toInt converts a numeric V to int64.
+func toInt(v V, pos dsl.Pos) (int64, error) {
+	switch v.K {
+	case sema.KInt, sema.KChar, sema.KDate, sema.KEnum:
+		return v.I, nil
+	case sema.KUint, sema.KIP:
+		if v.U > math.MaxInt64 {
+			return 0, evalErr(pos, "unsigned value %d overflows arithmetic", v.U)
+		}
+		return int64(v.U), nil
+	case sema.KFloat:
+		return int64(v.F), nil
+	case sema.KVoid:
+		return 0, evalErr(pos, "value is not present")
+	}
+	return 0, evalErr(pos, "value is not numeric")
+}
+
+func isNumeric(v V) bool {
+	switch v.K {
+	case sema.KInt, sema.KUint, sema.KChar, sema.KDate, sema.KEnum, sema.KIP, sema.KFloat:
+		return true
+	}
+	return false
+}
+
+// compare returns -1, 0, or +1.
+func compare(l, r V, pos dsl.Pos) (int, error) {
+	// String-family comparisons (strings and chars interoperate).
+	if l.K == sema.KString || r.K == sema.KString {
+		ls, lok := asString(l)
+		rs, rok := asString(r)
+		if lok && rok {
+			switch {
+			case ls < rs:
+				return -1, nil
+			case ls > rs:
+				return 1, nil
+			default:
+				return 0, nil
+			}
+		}
+		// Enum vs string compares the member name.
+		if l.K == sema.KEnum && rok {
+			return cmpStr(l.S, rs), nil
+		}
+		if r.K == sema.KEnum && lok {
+			return cmpStr(ls, r.S), nil
+		}
+		return 0, evalErr(pos, "cannot compare %v with %v", l.K, r.K)
+	}
+	if l.K == sema.KBool && r.K == sema.KBool {
+		if l.B == r.B {
+			return 0, nil
+		}
+		if !l.B {
+			return -1, nil
+		}
+		return 1, nil
+	}
+	if !isNumeric(l) || !isNumeric(r) {
+		return 0, evalErr(pos, "cannot compare %v with %v", l.K, r.K)
+	}
+	if l.K == sema.KFloat || r.K == sema.KFloat {
+		lf, rf := asFloat(l), asFloat(r)
+		switch {
+		case lf < rf:
+			return -1, nil
+		case lf > rf:
+			return 1, nil
+		default:
+			return 0, nil
+		}
+	}
+	// Integer comparison honoring large unsigned values.
+	lBig := l.K == sema.KUint && l.U > math.MaxInt64
+	rBig := r.K == sema.KUint && r.U > math.MaxInt64
+	switch {
+	case lBig && rBig:
+		return cmpU64(l.U, r.U), nil
+	case lBig:
+		return 1, nil
+	case rBig:
+		return -1, nil
+	}
+	li, _ := toInt(l, pos)
+	ri, _ := toInt(r, pos)
+	switch {
+	case li < ri:
+		return -1, nil
+	case li > ri:
+		return 1, nil
+	default:
+		return 0, nil
+	}
+}
+
+func cmpStr(a, b string) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func cmpU64(a, b uint64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func asString(v V) (string, bool) {
+	switch v.K {
+	case sema.KString:
+		return v.S, true
+	case sema.KChar:
+		return string(byte(v.I)), true
+	}
+	return "", false
+}
+
+func asFloat(v V) float64 {
+	switch v.K {
+	case sema.KFloat:
+		return v.F
+	case sema.KUint, sema.KIP:
+		return float64(v.U)
+	default:
+		return float64(v.I)
+	}
+}
+
+func arith(op dsl.Kind, l, r V, pos dsl.Pos) (V, error) {
+	if !isNumeric(l) || !isNumeric(r) {
+		return V{}, evalErr(pos, "arithmetic on non-numeric value")
+	}
+	if l.K == sema.KFloat || r.K == sema.KFloat {
+		lf, rf := asFloat(l), asFloat(r)
+		switch op {
+		case dsl.PLUS:
+			return Float(lf + rf), nil
+		case dsl.MINUS:
+			return Float(lf - rf), nil
+		case dsl.STAR:
+			return Float(lf * rf), nil
+		case dsl.SLASH:
+			if rf == 0 {
+				return V{}, evalErr(pos, "division by zero")
+			}
+			return Float(lf / rf), nil
+		default:
+			return V{}, evalErr(pos, "%% on floating-point values")
+		}
+	}
+	li, err := toInt(l, pos)
+	if err != nil {
+		return V{}, err
+	}
+	ri, err := toInt(r, pos)
+	if err != nil {
+		return V{}, err
+	}
+	switch op {
+	case dsl.PLUS:
+		return Int(li + ri), nil
+	case dsl.MINUS:
+		return Int(li - ri), nil
+	case dsl.STAR:
+		return Int(li * ri), nil
+	case dsl.SLASH:
+		if ri == 0 {
+			return V{}, evalErr(pos, "division by zero")
+		}
+		return Int(li / ri), nil
+	default:
+		if ri == 0 {
+			return V{}, evalErr(pos, "modulo by zero")
+		}
+		return Int(li % ri), nil
+	}
+}

@@ -1,0 +1,332 @@
+package expr
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"pads/internal/dsl"
+	"pads/internal/sema"
+	"pads/internal/value"
+)
+
+func evaluator(t *testing.T, src string) *Evaluator {
+	t.Helper()
+	prog, errs := dsl.Parse(src)
+	if len(errs) > 0 {
+		t.Fatalf("parse: %v", errs[0])
+	}
+	desc, serrs := sema.Check(prog)
+	if len(serrs) > 0 {
+		t.Fatalf("check: %v", serrs[0])
+	}
+	return New(desc)
+}
+
+// evalStr parses and evaluates one expression in an empty description.
+func evalStr(t *testing.T, src string, env *Env) (V, error) {
+	t.Helper()
+	ev := evaluator(t, "Pstruct dummy_t { Puint8 x; };")
+	e, errs := dsl.ParseExprString(src)
+	if len(errs) > 0 {
+		t.Fatalf("parse expr: %v", errs[0])
+	}
+	if env == nil {
+		env = NewEnv(nil)
+	}
+	return ev.Eval(e, env)
+}
+
+func TestArithmeticAndComparison(t *testing.T) {
+	cases := map[string]V{
+		"1 + 2 * 3":       Int(7),
+		"(1 + 2) * 3":     Int(9),
+		"10 / 3":          Int(3),
+		"10 % 3":          Int(1),
+		"-5 + 2":          Int(-3),
+		"1 < 2":           Bool(true),
+		"2 <= 2":          Bool(true),
+		"3 != 3":          Bool(false),
+		"'a' < 'b'":       Bool(true),
+		`"abc" == "abc"`:  Bool(true),
+		`"abc" < "abd"`:   Bool(true),
+		"true && false":   Bool(false),
+		"true || false":   Bool(true),
+		"!false":          Bool(true),
+		"1 < 2 ? 10 : 20": Int(10),
+		"2.5 + 1.5":       Float(4),
+		"1 + 2.5":         Float(3.5),
+		"10.0 / 4":        Float(2.5),
+		`"x" == 'x'`:      Bool(true),
+	}
+	for src, want := range cases {
+		got, err := evalStr(t, src, nil)
+		if err != nil {
+			t.Errorf("%s: %v", src, err)
+			continue
+		}
+		if got.K != want.K || got.I != want.I || got.B != want.B || got.F != want.F {
+			t.Errorf("%s = %+v, want %+v", src, got, want)
+		}
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	cases := []string{
+		"1 / 0",
+		"1 % 0",
+		"nosuchvar",
+		"nosuchfn(1)",
+		`"a" + 1`,
+		"!5",
+		"5 && true",
+		`"a" < 5`,
+	}
+	for _, src := range cases {
+		if _, err := evalStr(t, src, nil); err == nil {
+			t.Errorf("%s: expected an error", src)
+		}
+	}
+}
+
+func TestShortCircuit(t *testing.T) {
+	// The right operand of && must not evaluate when the left is false:
+	// division by zero there must not surface.
+	got, err := evalStr(t, "false && 1 / 0 == 1", nil)
+	if err != nil || got.B {
+		t.Errorf("short-circuit && failed: %+v, %v", got, err)
+	}
+	got, err = evalStr(t, "true || 1 / 0 == 1", nil)
+	if err != nil || !got.B {
+		t.Errorf("short-circuit || failed: %+v, %v", got, err)
+	}
+}
+
+func TestForallExists(t *testing.T) {
+	arr := &value.Array{}
+	for _, v := range []uint64{2, 4, 6} {
+		arr.Elems = append(arr.Elems, &value.Uint{Val: v})
+	}
+	env := NewEnv(nil)
+	env.Bind("elts", FromValue(arr))
+	env.Bind("length", Int(3))
+
+	ev := evaluator(t, "Pstruct dummy_t { Puint8 x; };")
+	run := func(src string) bool {
+		e, errs := dsl.ParseExprString(src)
+		if len(errs) > 0 {
+			t.Fatalf("%s: %v", src, errs[0])
+		}
+		b, err := ev.EvalPred(e, env)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		return b
+	}
+	if !run("Pforall (i Pin [0..length-1] : elts[i] % 2 == 0)") {
+		t.Error("all-even forall failed")
+	}
+	if run("Pforall (i Pin [0..length-1] : elts[i] > 2)") {
+		t.Error("forall over 2,4,6 > 2 should fail")
+	}
+	if !run("Pexists (i Pin [0..length-1] : elts[i] == 4)") {
+		t.Error("exists 4 failed")
+	}
+	if run("Pexists (i Pin [0..length-1] : elts[i] == 5)") {
+		t.Error("exists 5 should fail")
+	}
+	// Empty range: forall vacuously true, exists false.
+	if !run("Pforall (i Pin [0..-1] : false)") {
+		t.Error("vacuous forall")
+	}
+	if run("Pexists (i Pin [0..-1] : true)") {
+		t.Error("vacuous exists")
+	}
+}
+
+func TestFunctionSemantics(t *testing.T) {
+	ev := evaluator(t, `
+Puint32 clampTo(Puint32 x, Puint32 hi) {
+  Puint32 y = x;
+  if (y > hi) y = hi;
+  return y;
+};
+bool recursiveish(Puint32 n) {
+  if (n == 0) return true;
+  return recursiveish(n - 1);
+};
+Pstruct dummy_t { Puint8 x; };
+`)
+	eval := func(src string) (V, error) {
+		e, errs := dsl.ParseExprString(src)
+		if len(errs) > 0 {
+			t.Fatalf("%s: %v", src, errs[0])
+		}
+		return ev.Eval(e, NewEnv(nil))
+	}
+	v, err := eval("clampTo(500, 100)")
+	if err != nil || v.I != 100 {
+		t.Errorf("clampTo = %+v, %v", v, err)
+	}
+	v, err = eval("recursiveish(50)")
+	if err != nil || !v.B {
+		t.Errorf("recursion = %+v, %v", v, err)
+	}
+	// Depth guard trips on runaway recursion.
+	if _, err = eval("recursiveish(1000)"); err == nil || !strings.Contains(err.Error(), "depth") {
+		t.Errorf("depth guard missing: %v", err)
+	}
+}
+
+func TestFieldAndBranchSelection(t *testing.T) {
+	inner := &value.Struct{Names: []string{"a"}, Fields: []value.Value{&value.Uint{Val: 7}}}
+	un := &value.Union{Tag: "left", Val: &value.Uint{Val: 3}}
+	env := NewEnv(nil)
+	env.Bind("s", FromValue(inner))
+	env.Bind("u", FromValue(un))
+
+	ev := evaluator(t, "Pstruct dummy_t { Puint8 x; };")
+	eval := func(src string) (V, error) {
+		e, _ := dsl.ParseExprString(src)
+		return ev.Eval(e, env)
+	}
+	v, err := eval("s.a + 1")
+	if err != nil || v.I != 8 {
+		t.Errorf("s.a+1 = %+v, %v", v, err)
+	}
+	v, err = eval("u.left")
+	if err != nil || v.U != 3 {
+		t.Errorf("u.left = %+v, %v", v, err)
+	}
+	// Selecting the untaken branch is an evaluation error (a failed
+	// constraint), not a fabricated value.
+	if _, err = eval("u.right"); err == nil {
+		t.Error("untaken branch selection succeeded")
+	}
+	if _, err = eval("s.nope"); err == nil {
+		t.Error("missing field selection succeeded")
+	}
+}
+
+func TestOptSemantics(t *testing.T) {
+	present := &value.Opt{Present: true, Val: &value.Uint{Val: 5}}
+	absent := &value.Opt{Present: false}
+	env := NewEnv(nil)
+	env.Bind("p", FromValue(present))
+	env.Bind("a", FromValue(absent))
+	ev := evaluator(t, "Pstruct dummy_t { Puint8 x; };")
+	eval := func(src string) (V, error) {
+		e, _ := dsl.ParseExprString(src)
+		return ev.Eval(e, env)
+	}
+	v, err := eval("p + 1")
+	if err != nil || v.I != 6 {
+		t.Errorf("present opt = %+v, %v", v, err)
+	}
+	if _, err := eval("a + 1"); err == nil {
+		t.Error("arithmetic on an absent optional succeeded")
+	}
+}
+
+func TestLargeUnsigned(t *testing.T) {
+	env := NewEnv(nil)
+	env.Bind("big", Uint(math.MaxUint64))
+	env.Bind("big2", Uint(math.MaxUint64-1))
+	ev := evaluator(t, "Pstruct dummy_t { Puint8 x; };")
+	eval := func(src string) (V, error) {
+		e, _ := dsl.ParseExprString(src)
+		return ev.Eval(e, env)
+	}
+	v, err := eval("big > 0")
+	if err != nil || !v.B {
+		t.Errorf("big > 0 = %+v, %v", v, err)
+	}
+	v, err = eval("big > big2")
+	if err != nil || !v.B {
+		t.Errorf("big > big2 = %+v, %v", v, err)
+	}
+	v, err = eval("big == big")
+	if err != nil || !v.B {
+		t.Errorf("big == big = %+v, %v", v, err)
+	}
+	// Arithmetic overflows the signed domain and reports an error rather
+	// than silently wrapping.
+	if _, err = eval("big + 1"); err == nil {
+		t.Error("overflowing arithmetic succeeded")
+	}
+}
+
+// Property: compare is antisymmetric and consistent with EqualV for ints.
+func TestCompareProperties(t *testing.T) {
+	f := func(a, b int64) bool {
+		va, vb := Int(a), Int(b)
+		c1, err1 := compare(va, vb, dsl.Pos{})
+		c2, err2 := compare(vb, va, dsl.Pos{})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if c1 != -c2 {
+			return false
+		}
+		return (c1 == 0) == EqualV(va, vb) && (c1 == 0) == (a == b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEnumComparisons(t *testing.T) {
+	ev := evaluator(t, `
+Penum m_t { GET, PUT, POST };
+Pstruct dummy_t { Puint8 x; };
+`)
+	env := NewEnv(nil)
+	env.Bind("m", V{K: sema.KEnum, I: 1, S: "PUT", EnumType: "m_t"})
+	eval := func(src string) (V, error) {
+		e, _ := dsl.ParseExprString(src)
+		return ev.Eval(e, env)
+	}
+	v, err := eval("m == PUT")
+	if err != nil || !v.B {
+		t.Errorf("m == PUT: %+v, %v", v, err)
+	}
+	v, err = eval("m == GET")
+	if err != nil || v.B {
+		t.Errorf("m == GET: %+v, %v", v, err)
+	}
+	v, err = eval(`m == "PUT"`)
+	if err != nil || !v.B {
+		t.Errorf("m == \"PUT\": %+v, %v", v, err)
+	}
+	// Ordering follows declaration order.
+	v, err = eval("m > GET")
+	if err != nil || !v.B {
+		t.Errorf("m > GET: %+v, %v", v, err)
+	}
+}
+
+func TestEnvScoping(t *testing.T) {
+	outer := NewEnv(nil)
+	outer.Bind("x", Int(1))
+	inner := NewEnv(outer)
+	inner.Bind("x", Int(2))
+	if v, _ := inner.Lookup("x"); v.I != 2 {
+		t.Error("inner binding not shadowing")
+	}
+	if v, _ := outer.Lookup("x"); v.I != 1 {
+		t.Error("outer binding clobbered")
+	}
+	if !inner.set("x", Int(3)) {
+		t.Error("set failed")
+	}
+	if v, _ := inner.Lookup("x"); v.I != 3 {
+		t.Error("set did not take")
+	}
+	if v, _ := outer.Lookup("x"); v.I != 1 {
+		t.Error("set crossed scopes")
+	}
+	if _, ok := inner.Lookup("missing"); ok {
+		t.Error("phantom binding")
+	}
+}

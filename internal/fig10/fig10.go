@@ -1,0 +1,133 @@
+// Package fig10 implements the four programs of the paper's performance
+// evaluation (section 7, Figure 10) on the PADS side, using the generated
+// Sirius parser:
+//
+//   - PadsVet: check all specified properties, including the event-timestamp
+//     sort order, echoing clean and erroneous records to separate outputs
+//     (the counterpart of the 323-line Perl vetter).
+//   - PadsSelect: with all error checking off, print the order numbers of
+//     records that ever pass through a given state (the counterpart of the
+//     66-line Perl selector built on the Figure 9 regular expression).
+//   - PadsCount: count records (the 81-second PADS baseline vs Perl's 124).
+//
+// The Perl counterparts live in pads/internal/baseline.
+package fig10
+
+import (
+	"bufio"
+	"io"
+
+	"pads/internal/baseline"
+	"pads/internal/gen/sirius"
+	"pads/internal/padsrt"
+)
+
+// VetStats aliases the baseline stats type so the two sides report alike.
+type VetStats = baseline.VetStats
+
+// SelectStats aliases the baseline stats type.
+type SelectStats = baseline.SelectStats
+
+func newSource(r io.Reader) *padsrt.Source {
+	return padsrt.NewSource(bufio.NewReaderSize(r, 1<<20))
+}
+
+// PadsVet parses every record with full checking (the complete description,
+// timestamp sort included), writing clean records to clean and erroneous
+// ones to errOut; either writer may be nil to discard.
+func PadsVet(r io.Reader, clean, errOut io.Writer) (VetStats, error) {
+	s := newSource(r)
+	var st VetStats
+
+	var hdr sirius.Summary_header_t
+	var hdrPD sirius.Summary_header_tPD
+	sirius.ReadSummary_header_t(s, nil, &hdrPD, &hdr)
+	var buf []byte
+	if clean != nil && hdrPD.PD.Nerr == 0 {
+		buf = sirius.WriteSummary_header_t(buf[:0], &hdr)
+		clean.Write(buf)
+	}
+
+	var e sirius.Entry_t
+	var epd sirius.Entry_tPD
+	for s.More() {
+		sirius.ReadEntry_t(s, nil, &epd, &e)
+		st.Records++
+		if epd.PD.Nerr == 0 {
+			st.Clean++
+			if clean != nil {
+				buf = sirius.WriteEntry_t(buf[:0], &e)
+				clean.Write(buf)
+			}
+		} else {
+			st.Errors++
+			if errOut != nil {
+				buf = sirius.WriteEntry_t(buf[:0], &e)
+				errOut.Write(buf)
+			}
+		}
+	}
+	return st, s.Err()
+}
+
+// selectMask turns off all checking (section 7: "we turn off all error
+// checking") and stores only what the query needs — the order number and
+// the event states — so the unused fields take the skip paths.
+var selectMask = func() *sirius.Entry_tMask {
+	m := sirius.NewEntry_tMask(padsrt.Ignore)
+	m.Header.Order_num = padsrt.Set
+	m.Events.Elem.State = padsrt.Set
+	return m
+}()
+
+// PadsSelect prints the order numbers of records that pass through state,
+// parsing with checking disabled.
+func PadsSelect(r io.Reader, w io.Writer, state string) (SelectStats, error) {
+	s := newSource(r)
+	var st SelectStats
+
+	var hdr sirius.Summary_header_t
+	var hdrPD sirius.Summary_header_tPD
+	sirius.ReadSummary_header_t(s, selectHdrMask, &hdrPD, &hdr)
+
+	var e sirius.Entry_t
+	var epd sirius.Entry_tPD
+	var buf []byte
+	for s.More() {
+		sirius.ReadEntry_t(s, selectMask, &epd, &e)
+		st.Records++
+		for i := range e.Events.Elems {
+			if e.Events.Elems[i].State == state {
+				st.Matched++
+				if w != nil {
+					buf = padsrt.AppendUint(buf[:0], uint64(e.Header.Order_num))
+					buf = append(buf, '\n')
+					w.Write(buf)
+				}
+				break
+			}
+		}
+	}
+	return st, s.Err()
+}
+
+var selectHdrMask = sirius.NewSummary_header_tMask(padsrt.Set)
+
+// PadsCount counts records through the PADS record discipline (the trivial
+// 81-second program of section 7).
+func PadsCount(r io.Reader) (int, error) {
+	s := newSource(r)
+	n := 0
+	for {
+		ok, err := s.BeginRecord()
+		if err != nil {
+			return n, err
+		}
+		if !ok {
+			return n, nil
+		}
+		s.SkipToEOR()
+		s.EndRecord(nil)
+		n++
+	}
+}

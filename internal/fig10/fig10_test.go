@@ -1,0 +1,109 @@
+package fig10
+
+import (
+	"bytes"
+	"sort"
+	"strings"
+	"testing"
+
+	"pads/internal/baseline"
+	"pads/internal/datagen"
+)
+
+func corpus(t *testing.T, records, sort_, syntax int) ([]byte, datagen.SiriusStats) {
+	t.Helper()
+	var buf bytes.Buffer
+	cfg := datagen.DefaultSirius(records)
+	cfg.SortViolations = sort_
+	cfg.SyntaxErrors = syntax
+	st, err := datagen.Sirius(&buf, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), st
+}
+
+// The two vetters must agree record for record on the injected errors.
+func TestVettersAgree(t *testing.T) {
+	data, st := corpus(t, 2000, 5, 9)
+
+	pads, err := PadsVet(bytes.NewReader(data), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perl, err := baseline.SiriusVet(bytes.NewReader(data), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantErrs := st.SortViolations + st.SyntaxErrors
+	if pads.Records != 2000 || pads.Errors != wantErrs {
+		t.Errorf("pads vet = %+v, want %d errors", pads, wantErrs)
+	}
+	if perl.Records != 2000 || perl.Errors != wantErrs {
+		t.Errorf("perl vet = %+v, want %d errors", perl, wantErrs)
+	}
+}
+
+// The two selectors must produce the same order numbers.
+func TestSelectorsAgree(t *testing.T) {
+	data, _ := corpus(t, 1000, 0, 0)
+	state := datagen.StateName(3)
+
+	var padsOut, perlOut bytes.Buffer
+	ps, err := PadsSelect(bytes.NewReader(data), &padsOut, state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, err := baseline.SiriusSelect(bytes.NewReader(data), &perlOut, state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.Matched == 0 {
+		t.Fatal("state never occurred; fixture drifted")
+	}
+	if ps.Matched != bs.Matched {
+		t.Errorf("pads matched %d, perl matched %d", ps.Matched, bs.Matched)
+	}
+	a := strings.Fields(padsOut.String())
+	b := strings.Fields(perlOut.String())
+	sort.Strings(a)
+	sort.Strings(b)
+	if strings.Join(a, ",") != strings.Join(b, ",") {
+		t.Errorf("order-number sets differ:\npads: %v\nperl: %v", a, b)
+	}
+}
+
+func TestVetOutputsRoundTrip(t *testing.T) {
+	data, st := corpus(t, 300, 2, 3)
+	var clean, errOut bytes.Buffer
+	vst, err := PadsVet(bytes.NewReader(data), &clean, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vst.Errors != st.SortViolations+st.SyntaxErrors {
+		t.Fatalf("vet errors = %d", vst.Errors)
+	}
+	// The clean file re-vets 100% clean.
+	again, err := PadsVet(bytes.NewReader(clean.Bytes()), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Errors != 0 || again.Records != vst.Clean {
+		t.Errorf("re-vet of clean output = %+v", again)
+	}
+}
+
+func TestCountsAgree(t *testing.T) {
+	data, _ := corpus(t, 500, 0, 0)
+	p, err := PadsCount(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := baseline.CountRecords(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != b || p != 501 { // header + 500 records
+		t.Errorf("pads count %d, perl count %d, want 501", p, b)
+	}
+}

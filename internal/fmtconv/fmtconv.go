@@ -1,0 +1,135 @@
+// Package fmtconv converts parsed values into delimited text suitable for
+// loading into spreadsheets or relational databases (section 5.3.1 of the
+// paper; Figure 8 shows the CLF output). A formatter takes a delimiter list:
+// the first delimiter separates leaves at the top level, and each nesting
+// level advances the list, reusing the last entry once exhausted. Masks
+// suppress components; a date output format (e.g. "%D:%T") customizes dates.
+package fmtconv
+
+import (
+	"io"
+	"strings"
+
+	"pads/internal/padsrt"
+	"pads/internal/value"
+)
+
+// Formatter renders values as delimited records — the generated
+// <type>_fmt2io of Figure 6.
+type Formatter struct {
+	// Delims is the delimiter list; defaults to ["|"].
+	Delims []string
+	// DateFormat renders Pdate values (FormatDate syntax); "" keeps the
+	// raw source text.
+	DateFormat string
+	// Mask suppresses components: a subtree whose mask has Set cleared is
+	// omitted from the output.
+	Mask *padsrt.MaskNode
+}
+
+// New builds a formatter with the given delimiters.
+func New(delims ...string) *Formatter {
+	if len(delims) == 0 {
+		delims = []string{"|"}
+	}
+	return &Formatter{Delims: delims}
+}
+
+func (f *Formatter) delim(depth int) string {
+	if depth < 0 {
+		depth = 0
+	}
+	if depth >= len(f.Delims) {
+		depth = len(f.Delims) - 1
+	}
+	return f.Delims[depth]
+}
+
+// FormatRecord renders one record (without a trailing newline).
+func (f *Formatter) FormatRecord(v value.Value) string {
+	return string(f.Append(nil, v))
+}
+
+// Append appends the delimited form of v to dst.
+func (f *Formatter) Append(dst []byte, v value.Value) []byte {
+	seg, ok := f.render(v, f.Mask, 0)
+	if !ok {
+		return dst
+	}
+	return append(dst, seg...)
+}
+
+// WriteRecord writes one record plus a newline.
+func (f *Formatter) WriteRecord(w io.Writer, v value.Value) (int, error) {
+	buf := f.Append(nil, v)
+	buf = append(buf, '\n')
+	return w.Write(buf)
+}
+
+// render produces the delimited text for one value. ok=false means the
+// value occupies no column at all (suppressed by mask, or void); an absent
+// optional returns ("", true) — an empty column. Children of a compound at
+// depth d are joined with the depth-d delimiter, so the list advances at
+// each nested type boundary as the paper specifies.
+func (f *Formatter) render(v value.Value, mask *padsrt.MaskNode, depth int) (string, bool) {
+	if v == nil || !mask.BaseMask().DoSet() {
+		return "", false
+	}
+	switch v := v.(type) {
+	case *value.Struct:
+		var parts []string
+		for i, name := range v.Names {
+			if seg, ok := f.render(v.Fields[i], mask.Field(name), depth+1); ok {
+				parts = append(parts, seg)
+			}
+		}
+		return strings.Join(parts, f.delim(depth)), true
+	case *value.Union:
+		if v.Val == nil {
+			return "", true
+		}
+		return f.render(v.Val, mask.Field(v.Tag), depth+1)
+	case *value.Array:
+		var parts []string
+		for _, e := range v.Elems {
+			if seg, ok := f.render(e, mask.ElemMask(), depth+1); ok {
+				parts = append(parts, seg)
+			}
+		}
+		return strings.Join(parts, f.delim(depth)), true
+	case *value.Opt:
+		if !v.Present {
+			return "", true // an absent optional still occupies a column
+		}
+		return f.render(v.Val, mask, depth)
+	case *value.Void:
+		return "", false
+	default:
+		return string(f.leaf(nil, v)), true
+	}
+}
+
+func (f *Formatter) leaf(dst []byte, v value.Value) []byte {
+	switch v := v.(type) {
+	case *value.Uint:
+		return padsrt.AppendUint(dst, v.Val)
+	case *value.Int:
+		return padsrt.AppendInt(dst, v.Val)
+	case *value.Float:
+		return padsrt.AppendFloat(dst, v.Val, 64)
+	case *value.Char:
+		return append(dst, v.Val)
+	case *value.Str:
+		return append(dst, v.Val...)
+	case *value.Date:
+		if f.DateFormat != "" {
+			return append(dst, padsrt.FormatDate(v.Sec, f.DateFormat)...)
+		}
+		return append(dst, v.Raw...)
+	case *value.IP:
+		return append(dst, padsrt.FormatIP(v.Val)...)
+	case *value.Enum:
+		return append(dst, v.Member...)
+	}
+	return dst
+}

@@ -1,0 +1,82 @@
+package siriusset
+
+import (
+	"bytes"
+	"testing"
+
+	"pads/internal/datagen"
+	"pads/internal/gen/sirius"
+	"pads/internal/padsrt"
+	"pads/internal/value"
+)
+
+// The Set-specialized parser (checking compiled out, §9 partial evaluation)
+// must produce exactly the values the general parser produces under a
+// run-time Set mask, and flag only syntax errors (never semantic ones).
+func TestSpecializedMatchesRuntimeSetMask(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := datagen.DefaultSirius(300)
+	cfg.SortViolations = 4 // semantic: must NOT be flagged with checking off
+	cfg.SyntaxErrors = 3   // syntactic: still flagged
+	st, err := datagen.Sirius(&buf, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	setMask := sirius.NewEntry_tMask(padsrt.Set)
+
+	sa := padsrt.NewBytesSource(data)
+	sb := padsrt.NewBytesSource(data)
+	var ha sirius.Summary_header_t
+	var hpa sirius.Summary_header_tPD
+	sirius.ReadSummary_header_t(sa, sirius.NewSummary_header_tMask(padsrt.Set), &hpa, &ha)
+	var hb Summary_header_t
+	var hpb Summary_header_tPD
+	ReadSummary_header_t(sb, nil, &hpb, &hb)
+
+	bad := 0
+	for rec := 0; sa.More(); rec++ {
+		if !sb.More() {
+			t.Fatalf("specialized parser ran out at record %d", rec)
+		}
+		var ea sirius.Entry_t
+		var pa sirius.Entry_tPD
+		sirius.ReadEntry_t(sa, setMask, &pa, &ea)
+		var eb Entry_t
+		var pb Entry_tPD
+		ReadEntry_t(sb, nil, &pb, &eb)
+		if (pa.PD.Nerr == 0) != (pb.PD.Nerr == 0) {
+			t.Fatalf("record %d: runtime nerr=%d specialized nerr=%d", rec, pa.PD.Nerr, pb.PD.Nerr)
+		}
+		if pb.PD.Nerr > 0 {
+			bad++
+			continue
+		}
+		va := sirius.Entry_tToValue(&ea, &pa)
+		vb := Entry_tToValue(&eb, &pb)
+		if !value.Equal(va, vb) {
+			t.Fatalf("record %d values differ:\nruntime:     %s\nspecialized: %s",
+				rec, value.String(va), value.String(vb))
+		}
+	}
+	if bad != st.SyntaxErrors {
+		t.Errorf("specialized parser flagged %d records, want only the %d syntax errors (sort violations are unchecked)", bad, st.SyntaxErrors)
+	}
+}
+
+func TestSpecializedCodeHasNoMaskTests(t *testing.T) {
+	// Behavior above proves equivalence; this guards the partial
+	// evaluation itself: a Verify call on a clean record still works.
+	data := []byte("1|1|1|0|0|0|0||1|T|0|u|s|A|1000|B|2000\n")
+	s := padsrt.NewBytesSource(data)
+	var e Entry_t
+	var pd Entry_tPD
+	ReadEntry_t(s, nil, &pd, &e)
+	if pd.PD.Nerr != 0 {
+		t.Fatalf("pd = %v", pd.PD)
+	}
+	if !VerifyEntry_t(&e) {
+		t.Fatal("verify failed on clean record")
+	}
+}

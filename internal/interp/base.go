@@ -1,0 +1,249 @@
+package interp
+
+import (
+	"pads/internal/dsl"
+	"pads/internal/expr"
+	"pads/internal/padsrt"
+	"pads/internal/sema"
+	"pads/internal/value"
+)
+
+// parseBase parses one base-type value, dispatching on the registry entry.
+func (in *Interp) parseBase(b *sema.BaseInfo, tr dsl.TypeRef, s *padsrt.Source, mask *padsrt.MaskNode, env *expr.Env) value.Value {
+	begin := s.Pos()
+	fail := func(v value.Value, code padsrt.ErrCode) value.Value {
+		v.PD().SetError(code, s.LocFrom(begin))
+		return v
+	}
+
+	// Resolve arguments.
+	intArg := func(i int) (int64, padsrt.ErrCode) {
+		v, err := in.Ev.Eval(tr.Args[i], env)
+		if err != nil {
+			return 0, padsrt.ErrBadParam
+		}
+		n, err := expr.ToInt(v)
+		if err != nil || n < 0 {
+			return 0, padsrt.ErrBadParam
+		}
+		return n, padsrt.ErrNone
+	}
+	// termArg decodes a character-terminator argument; ok=false means the
+	// terminator is Peor/Peof (read to the record/input boundary).
+	termArg := func(i int) (byte, bool, padsrt.ErrCode) {
+		switch a := tr.Args[i].(type) {
+		case *dsl.EORExpr, *dsl.EOFExpr:
+			return 0, false, padsrt.ErrNone
+		default:
+			v, err := in.Ev.Eval(a, env)
+			if err != nil || v.K != sema.KChar {
+				return 0, false, padsrt.ErrBadParam
+			}
+			return byte(v.I), true, padsrt.ErrNone
+		}
+	}
+
+	switch b.Kind {
+	case sema.KChar:
+		v := &value.Char{Common: value.NewCommon(b.Name)}
+		var c byte
+		var code padsrt.ErrCode
+		switch b.Coding {
+		case "a":
+			c, code = padsrt.ReadAChar(s)
+		case "e":
+			c, code = padsrt.ReadEChar(s)
+		case "b":
+			c, code = padsrt.ReadBChar(s)
+		default:
+			c, code = padsrt.ReadChar(s)
+		}
+		if code != padsrt.ErrNone {
+			return fail(v, code)
+		}
+		v.Val = c
+		return v
+
+	case sema.KUint:
+		v := &value.Uint{Common: value.NewCommon(b.Name), Bits: b.Bits}
+		var u uint64
+		var code padsrt.ErrCode
+		switch {
+		case b.FW:
+			w, c := intArg(0)
+			if c != padsrt.ErrNone {
+				return fail(v, c)
+			}
+			if b.Coding == "a" {
+				u, code = padsrt.ReadAUintFW(s, int(w), b.Bits)
+			} else {
+				u, code = padsrt.ReadUintFW(s, int(w), b.Bits)
+			}
+		case b.Coding == "a":
+			u, code = padsrt.ReadAUint(s, b.Bits)
+		case b.Coding == "e":
+			u, code = padsrt.ReadEUint(s, b.Bits)
+		case b.Coding == "b":
+			u, code = padsrt.ReadBUint(s, b.Bits/8)
+		default:
+			u, code = padsrt.ReadUint(s, b.Bits)
+		}
+		if code != padsrt.ErrNone {
+			return fail(v, code)
+		}
+		v.Val = u
+		return v
+
+	case sema.KInt:
+		v := &value.Int{Common: value.NewCommon(b.Name), Bits: b.Bits}
+		var i int64
+		var code padsrt.ErrCode
+		switch {
+		case b.Coding == "bcd":
+			d, c := intArg(0)
+			if c != padsrt.ErrNone {
+				return fail(v, c)
+			}
+			i, code = padsrt.ReadBCD(s, int(d))
+		case b.Coding == "zoned":
+			d, c := intArg(0)
+			if c != padsrt.ErrNone {
+				return fail(v, c)
+			}
+			i, code = padsrt.ReadZoned(s, int(d))
+		case b.FW:
+			w, c := intArg(0)
+			if c != padsrt.ErrNone {
+				return fail(v, c)
+			}
+			i, code = padsrt.ReadAIntFW(s, int(w), b.Bits)
+		case b.Coding == "a":
+			i, code = padsrt.ReadAInt(s, b.Bits)
+		case b.Coding == "e":
+			i, code = padsrt.ReadEInt(s, b.Bits)
+		case b.Coding == "b":
+			i, code = padsrt.ReadBInt(s, b.Bits/8)
+		default:
+			i, code = padsrt.ReadInt(s, b.Bits)
+		}
+		if code != padsrt.ErrNone {
+			return fail(v, code)
+		}
+		v.Val = i
+		return v
+
+	case sema.KFloat:
+		v := &value.Float{Common: value.NewCommon(b.Name), Bits: b.Bits}
+		f, code := padsrt.ReadAFloat(s, b.Bits)
+		if code != padsrt.ErrNone {
+			return fail(v, code)
+		}
+		v.Val = f
+		return v
+
+	case sema.KString:
+		v := &value.Str{Common: value.NewCommon(b.Name)}
+		switch b.Name {
+		case "Pstring":
+			term, isChar, c := termArg(0)
+			if c != padsrt.ErrNone {
+				return fail(v, c)
+			}
+			var str string
+			var code padsrt.ErrCode
+			if isChar {
+				str, code = padsrt.ReadStringTerm(s, term)
+			} else {
+				// Terminated by Peor/Peof: read the remainder.
+				str, code = padsrt.ReadStringEOR(s)
+			}
+			if code != padsrt.ErrNone {
+				return fail(v, code)
+			}
+			v.Val = str
+			return v
+		case "Pstring_FW":
+			w, c := intArg(0)
+			if c != padsrt.ErrNone {
+				return fail(v, c)
+			}
+			str, code := padsrt.ReadStringFW(s, int(w))
+			if code != padsrt.ErrNone {
+				return fail(v, code)
+			}
+			v.Val = str
+			return v
+		case "Pstring_ME", "Pstring_SE":
+			re := in.regexpArg(tr.Args[0])
+			if re == nil {
+				return fail(v, padsrt.ErrBadParam)
+			}
+			var str string
+			var code padsrt.ErrCode
+			if b.Name == "Pstring_ME" {
+				str, code = padsrt.ReadStringME(s, re)
+			} else {
+				str, code = padsrt.ReadStringSE(s, re)
+			}
+			if code != padsrt.ErrNone {
+				return fail(v, code)
+			}
+			v.Val = str
+			return v
+		case "Phostname":
+			str, code := padsrt.ReadHostname(s)
+			if code != padsrt.ErrNone {
+				return fail(v, code)
+			}
+			v.Val = str
+			return v
+		case "Pzip":
+			str, code := padsrt.ReadZip(s)
+			if code != padsrt.ErrNone {
+				return fail(v, code)
+			}
+			v.Val = str
+			return v
+		}
+		return fail(v, padsrt.ErrInternal)
+
+	case sema.KDate:
+		v := &value.Date{Common: value.NewCommon(b.Name)}
+		term, isChar, c := termArg(0)
+		if c != padsrt.ErrNone {
+			return fail(v, c)
+		}
+		if !isChar {
+			term = 0
+		}
+		sec, raw, code := padsrt.ReadDate(s, term)
+		v.Raw = raw
+		if code != padsrt.ErrNone {
+			return fail(v, code)
+		}
+		v.Sec = sec
+		return v
+
+	case sema.KIP:
+		v := &value.IP{Common: value.NewCommon(b.Name)}
+		ip, code := padsrt.ReadIP(s)
+		if code != padsrt.ErrNone {
+			return fail(v, code)
+		}
+		v.Val = ip
+		return v
+
+	case sema.KVoid:
+		return &value.Void{Common: value.NewCommon(b.Name)}
+	}
+	v := &value.Void{Common: value.NewCommon(b.Name)}
+	return fail(v, padsrt.ErrInternal)
+}
+
+func (in *Interp) regexpArg(a dsl.Expr) *padsrt.Regexp {
+	re, ok := a.(*dsl.RegexpExpr)
+	if !ok {
+		return nil
+	}
+	return in.Desc.Regexps[re.Src]
+}

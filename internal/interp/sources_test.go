@@ -1,0 +1,139 @@
+package interp
+
+import (
+	"testing"
+
+	"pads/internal/padsrt"
+	"pads/internal/value"
+)
+
+// TestNetflowDataDependentCount exercises the Figure 1 netflow shape: a
+// binary header whose count field sizes the following array of fixed-width
+// flow records.
+func TestNetflowDataDependentCount(t *testing.T) {
+	in := compileFile(t, "netflow.pads")
+
+	flow := func(data []byte, src, dst uint32) []byte {
+		data = padsrt.AppendBUint(data, uint64(src), 4, padsrt.BigEndian)
+		data = padsrt.AppendBUint(data, uint64(dst), 4, padsrt.BigEndian)
+		data = padsrt.AppendBUint(data, 10, 4, padsrt.BigEndian) // packets
+		data = padsrt.AppendBUint(data, 4242, 4, padsrt.BigEndian)
+		data = padsrt.AppendBUint(data, 80, 2, padsrt.BigEndian)
+		data = padsrt.AppendBUint(data, 443, 2, padsrt.BigEndian)
+		data = append(data, 6, 0) // proto, tos
+		return data
+	}
+	packet := func(data []byte, nflows int) []byte {
+		data = padsrt.AppendBUint(data, 5, 2, padsrt.BigEndian) // version
+		data = padsrt.AppendBUint(data, uint64(nflows), 2, padsrt.BigEndian)
+		data = padsrt.AppendBUint(data, 123456, 4, padsrt.BigEndian)
+		data = padsrt.AppendBUint(data, 1005022800, 4, padsrt.BigEndian)
+		for i := 0; i < nflows; i++ {
+			data = flow(data, 0x0A000001+uint32(i), 0x0A0000FF)
+		}
+		return data
+	}
+
+	var data []byte
+	data = packet(data, 3)
+	data = packet(data, 1)
+	data = packet(data, 0)
+
+	s := padsrt.NewBytesSource(data, padsrt.WithDiscipline(padsrt.NoRecords()))
+	v, err := in.ParseSource(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := v.(*value.Array)
+	if stream.PD().Nerr != 0 {
+		t.Fatalf("errors: %v (%s)", stream.PD(), value.String(stream))
+	}
+	if len(stream.Elems) != 3 {
+		t.Fatalf("packets = %d", len(stream.Elems))
+	}
+	counts := []int{3, 1, 0}
+	for i, p := range stream.Elems {
+		flows := p.(*value.Struct).Field("flows").(*value.Array)
+		if len(flows.Elems) != counts[i] {
+			t.Errorf("packet %d flows = %d, want %d", i, len(flows.Elems), counts[i])
+		}
+	}
+	f0 := stream.Elems[0].(*value.Struct).Field("flows").(*value.Array).Elems[0].(*value.Struct)
+	if f0.Field("srcport").(*value.Uint).Val != 80 || f0.Field("proto").(*value.Uint).Val != 6 {
+		t.Errorf("flow 0 = %s", value.String(f0))
+	}
+
+	// A bad version violates the header constraint.
+	bad := packet(nil, 0)
+	bad[1] = 9 // version 5 -> 9 (big-endian low byte)
+	s = padsrt.NewBytesSource(bad, padsrt.WithDiscipline(padsrt.NoRecords()))
+	v, _ = in.ParseSource(s)
+	if v.PD().Nerr == 0 {
+		t.Error("bad netflow version not flagged")
+	}
+}
+
+// TestRegulusMissingValueRepresentations exercises the Figure 1 Regulus
+// shape: measurement fields with four representations of "no data".
+func TestRegulusMissingValueRepresentations(t *testing.T) {
+	in := compileFile(t, "regulus.pads")
+	data := "" +
+		"1005022800|r1|ge-0/0/0|12345|NONE|0.25\n" +
+		"1005022860|r1|ge-0/0/1||Nothing|1.5\n" +
+		"1005022920|r2|xe-1/0/0|0|999|0.0\n"
+	s := padsrt.NewBytesSource([]byte(data))
+	v, err := in.ParseSource(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr := v.(*value.Array)
+	if arr.PD().Nerr != 0 {
+		t.Fatalf("errors: %v (%s)", arr.PD(), value.String(arr))
+	}
+	wantIn := []string{"octets", "blank", "octets"}
+	wantOut := []string{"missing", "missing", "octets"}
+	for i, rec := range arr.Elems {
+		st := rec.(*value.Struct)
+		if got := st.Field("inOctets").(*value.Union).Tag; got != wantIn[i] {
+			t.Errorf("record %d inOctets branch = %s, want %s", i, got, wantIn[i])
+		}
+		if got := st.Field("outOctets").(*value.Union).Tag; got != wantOut[i] {
+			t.Errorf("record %d outOctets branch = %s, want %s", i, got, wantOut[i])
+		}
+	}
+	// The NONE/Nothing members resolve to the right enum literals.
+	m0 := arr.Elems[0].(*value.Struct).Field("outOctets").(*value.Union).Val.(*value.Enum)
+	if m0.Member != "NONE" {
+		t.Errorf("member = %s", m0.Member)
+	}
+	m1 := arr.Elems[1].(*value.Struct).Field("outOctets").(*value.Union).Val.(*value.Enum)
+	if m1.Member != "Nothing" {
+		t.Errorf("member = %s", m1.Member)
+	}
+}
+
+// TestCallDetailBinary exercises the fixed-width binary call-detail shape.
+func TestCallDetailBinary(t *testing.T) {
+	in := compileFile(t, "calldetail.pads")
+	var data []byte
+	for i := 0; i < 4; i++ {
+		data = padsrt.AppendBUint(data, 9735551212, 8, padsrt.BigEndian)
+		data = padsrt.AppendBUint(data, 9085551212, 8, padsrt.BigEndian)
+		data = padsrt.AppendBUint(data, uint64(1005022800+i), 4, padsrt.BigEndian)
+		data = padsrt.AppendBUint(data, uint64(i*3), 2, padsrt.BigEndian)
+		data = append(data, byte(i%2), 1)
+	}
+	s := padsrt.NewBytesSource(data, padsrt.WithDiscipline(padsrt.NoRecords()))
+	v, err := in.ParseSource(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr := v.(*value.Array)
+	if arr.PD().Nerr != 0 || len(arr.Elems) != 4 {
+		t.Fatalf("calls = %s pd=%v", value.String(arr), arr.PD())
+	}
+	c0 := arr.Elems[0].(*value.Struct)
+	if c0.Field("caller").(*value.Uint).Val != 9735551212 {
+		t.Errorf("caller = %s", value.String(c0.Field("caller")))
+	}
+}

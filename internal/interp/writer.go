@@ -1,0 +1,350 @@
+package interp
+
+import (
+	"fmt"
+	"io"
+
+	"pads/internal/dsl"
+	"pads/internal/expr"
+	"pads/internal/padsrt"
+	"pads/internal/sema"
+	"pads/internal/value"
+)
+
+// Writer reproduces the original wire form of parsed values — the
+// <type>_write2io functions of the generated C library (Figure 6). For
+// error-free values the output is byte-identical to the input (a
+// property-tested invariant); values parsed with errors round-trip only the
+// components that were recovered.
+type Writer struct {
+	in     *Interp
+	disc   padsrt.Discipline
+	coding padsrt.Coding
+	order  padsrt.ByteOrder
+}
+
+// WriterOption configures a Writer.
+type WriterOption func(*Writer)
+
+// WriteDiscipline sets the record framing used on output.
+func WriteDiscipline(d padsrt.Discipline) WriterOption { return func(w *Writer) { w.disc = d } }
+
+// WriteCoding sets the ambient output coding.
+func WriteCoding(c padsrt.Coding) WriterOption { return func(w *Writer) { w.coding = c } }
+
+// WriteByteOrder sets the byte order for binary integers.
+func WriteByteOrder(o padsrt.ByteOrder) WriterOption { return func(w *Writer) { w.order = o } }
+
+// NewWriter builds a writer with the same defaults as NewSource.
+func (in *Interp) NewWriter(opts ...WriterOption) *Writer {
+	w := &Writer{in: in, disc: padsrt.Newline(), coding: padsrt.ASCII, order: padsrt.BigEndian}
+	for _, o := range opts {
+		o(w)
+	}
+	return w
+}
+
+// WriteTo writes a value of the named type to dst in its original form.
+func (w *Writer) WriteTo(dst io.Writer, typeName string, v value.Value) (int, error) {
+	buf, err := w.Append(nil, typeName, v)
+	if err != nil {
+		return 0, err
+	}
+	return dst.Write(buf)
+}
+
+// Append appends the wire form of a value of the named type to dst.
+func (w *Writer) Append(dst []byte, typeName string, v value.Value) ([]byte, error) {
+	d, ok := w.in.Desc.Types[typeName]
+	if !ok {
+		if b := sema.LookupBase(typeName); b != nil {
+			return w.appendBaseByName(dst, b, nil, nil, v)
+		}
+		return dst, fmt.Errorf("writer: unknown type %s", typeName)
+	}
+	return w.appendDecl(dst, d, v, nil)
+}
+
+func (w *Writer) appendDecl(dst []byte, d dsl.Decl, v value.Value, params *expr.Env) ([]byte, error) {
+	if sema.Annot(d).IsRecord {
+		body, err := w.appendDeclBody(nil, d, v, params)
+		if err != nil {
+			return dst, err
+		}
+		padsrt.FrameRecord(w.disc, &dst, body)
+		return dst, nil
+	}
+	return w.appendDeclBody(dst, d, v, params)
+}
+
+func (w *Writer) appendDeclBody(dst []byte, d dsl.Decl, v value.Value, params *expr.Env) ([]byte, error) {
+	switch d := d.(type) {
+	case *dsl.StructDecl:
+		st, ok := v.(*value.Struct)
+		if !ok {
+			return dst, fmt.Errorf("writer: %s expects a struct value, got %T", d.Name, v)
+		}
+		env := expr.NewEnv(params)
+		fi := 0
+		var err error
+		for _, it := range d.Items {
+			if it.Lit != nil {
+				dst = w.appendLiteral(dst, it.Lit)
+				continue
+			}
+			if fi >= len(st.Fields) {
+				return dst, fmt.Errorf("writer: %s value is missing field %s", d.Name, it.Field.Name)
+			}
+			fv := st.Fields[fi]
+			dst, err = w.appendRef(dst, it.Field.Type, fv, env)
+			if err != nil {
+				return dst, err
+			}
+			env.Bind(it.Field.Name, expr.FromValue(fv))
+			fi++
+		}
+		return dst, nil
+	case *dsl.UnionDecl:
+		un, ok := v.(*value.Union)
+		if !ok {
+			return dst, fmt.Errorf("writer: %s expects a union value, got %T", d.Name, v)
+		}
+		if un.Val == nil {
+			return dst, fmt.Errorf("writer: union %s has no branch value", d.Name)
+		}
+		env := expr.NewEnv(params)
+		if d.Switch != nil {
+			for i := range d.Switch.Cases {
+				if d.Switch.Cases[i].Field.Name == un.Tag {
+					return w.appendRef(dst, d.Switch.Cases[i].Field.Type, un.Val, env)
+				}
+			}
+		}
+		for i := range d.Branches {
+			if d.Branches[i].Name == un.Tag {
+				return w.appendRef(dst, d.Branches[i].Type, un.Val, env)
+			}
+		}
+		return dst, fmt.Errorf("writer: union %s has no branch %s", d.Name, un.Tag)
+	case *dsl.ArrayDecl:
+		arr, ok := v.(*value.Array)
+		if !ok {
+			return dst, fmt.Errorf("writer: %s expects an array value, got %T", d.Name, v)
+		}
+		env := expr.NewEnv(params)
+		var err error
+		for i, ev := range arr.Elems {
+			if i > 0 && d.Sep != nil {
+				dst = w.appendLiteral(dst, d.Sep)
+			}
+			dst, err = w.appendRef(dst, d.Elem, ev, env)
+			if err != nil {
+				return dst, err
+			}
+		}
+		// A literal terminator was consumed by the parse; regenerate it.
+		if d.Term != nil && (d.Term.Kind == dsl.CharLit || d.Term.Kind == dsl.StrLit) {
+			dst = w.appendLiteral(dst, d.Term)
+		}
+		return dst, nil
+	case *dsl.EnumDecl:
+		en, ok := v.(*value.Enum)
+		if !ok {
+			return dst, fmt.Errorf("writer: %s expects an enum value, got %T", d.Name, v)
+		}
+		for _, m := range d.Members {
+			if m.Name == en.Member {
+				return padsrt.AppendString(dst, m.Repr, w.coding), nil
+			}
+		}
+		return dst, fmt.Errorf("writer: enum %s has no member %q", d.Name, en.Member)
+	case *dsl.TypedefDecl:
+		return w.appendRef(dst, d.Base, v, expr.NewEnv(params))
+	}
+	return dst, fmt.Errorf("writer: cannot write %T", d)
+}
+
+func (w *Writer) appendRef(dst []byte, tr dsl.TypeRef, v value.Value, env *expr.Env) ([]byte, error) {
+	if tr.Opt {
+		opt, ok := v.(*value.Opt)
+		if !ok {
+			return dst, fmt.Errorf("writer: expected an optional value for Popt %s", tr.Name)
+		}
+		if !opt.Present {
+			return dst, nil
+		}
+		inner := tr
+		inner.Opt = false
+		return w.appendRef(dst, inner, opt.Val, env)
+	}
+	if b := sema.LookupBase(tr.Name); b != nil {
+		return w.appendBaseByName(dst, b, tr.Args, env, v)
+	}
+	d, ok := w.in.Desc.Types[tr.Name]
+	if !ok {
+		return dst, fmt.Errorf("writer: unknown type %s", tr.Name)
+	}
+	// Bind the declaration's value parameters from the argument
+	// expressions, evaluated in the caller's scope, so parameterized
+	// widths and selectors resolve during write-back.
+	var callee *expr.Env
+	if params := declParams(d); len(params) > 0 {
+		callee = expr.NewEnv(nil)
+		for i, p := range params {
+			if i >= len(tr.Args) {
+				break
+			}
+			av, err := w.in.Ev.Eval(tr.Args[i], env)
+			if err != nil {
+				return dst, fmt.Errorf("writer: argument %d of %s: %v", i+1, tr.Name, err)
+			}
+			callee.Bind(p.Name, av)
+		}
+	}
+	return w.appendDecl(dst, d, v, callee)
+}
+
+func declParams(d dsl.Decl) []dsl.Param {
+	switch d := d.(type) {
+	case *dsl.StructDecl:
+		return d.Params
+	case *dsl.UnionDecl:
+		return d.Params
+	case *dsl.ArrayDecl:
+		return d.Params
+	case *dsl.TypedefDecl:
+		return d.Params
+	}
+	return nil
+}
+
+func (w *Writer) appendLiteral(dst []byte, l *dsl.Literal) []byte {
+	switch l.Kind {
+	case dsl.CharLit:
+		return padsrt.AppendChar(dst, l.Char, w.coding)
+	case dsl.StrLit:
+		return padsrt.AppendString(dst, l.Str, w.coding)
+	case dsl.RegexpLit:
+		// A regexp literal has no canonical text; nothing is written.
+		return dst
+	default: // Peor/Peof: framing handles record boundaries
+		return dst
+	}
+}
+
+func (w *Writer) intArg(args []dsl.Expr, i int, env *expr.Env) (int64, error) {
+	if i >= len(args) {
+		return 0, fmt.Errorf("writer: missing argument %d", i)
+	}
+	v, err := w.in.Ev.Eval(args[i], env)
+	if err != nil {
+		return 0, err
+	}
+	return expr.ToInt(v)
+}
+
+func (w *Writer) appendBaseByName(dst []byte, b *sema.BaseInfo, args []dsl.Expr, env *expr.Env, v value.Value) ([]byte, error) {
+	switch b.Kind {
+	case sema.KChar:
+		c, ok := v.(*value.Char)
+		if !ok {
+			return dst, fmt.Errorf("writer: %s expects a char value", b.Name)
+		}
+		switch b.Coding {
+		case "e":
+			return append(dst, padsrt.ASCIIToEBCDIC(c.Val)), nil
+		case "a", "b":
+			return append(dst, c.Val), nil
+		default:
+			return padsrt.AppendChar(dst, c.Val, w.coding), nil
+		}
+	case sema.KUint:
+		u, ok := v.(*value.Uint)
+		if !ok {
+			return dst, fmt.Errorf("writer: %s expects a uint value", b.Name)
+		}
+		switch {
+		case b.FW:
+			width, err := w.intArg(args, 0, env)
+			if err != nil {
+				return dst, err
+			}
+			return padsrt.AppendUintFW(dst, u.Val, int(width)), nil
+		case b.Coding == "b":
+			return padsrt.AppendBUint(dst, u.Val, b.Bits/8, w.order), nil
+		case b.Coding == "e":
+			return padsrt.AppendEUint(dst, u.Val), nil
+		case b.Coding == "a":
+			return padsrt.AppendUint(dst, u.Val), nil
+		default:
+			if w.coding == padsrt.EBCDIC {
+				return padsrt.AppendEUint(dst, u.Val), nil
+			}
+			return padsrt.AppendUint(dst, u.Val), nil
+		}
+	case sema.KInt:
+		iv, ok := v.(*value.Int)
+		if !ok {
+			return dst, fmt.Errorf("writer: %s expects an int value", b.Name)
+		}
+		switch b.Coding {
+		case "bcd":
+			digits, err := w.intArg(args, 0, env)
+			if err != nil {
+				return dst, err
+			}
+			return padsrt.WriteBCD(dst, iv.Val, int(digits)), nil
+		case "zoned":
+			digits, err := w.intArg(args, 0, env)
+			if err != nil {
+				return dst, err
+			}
+			return padsrt.WriteZoned(dst, iv.Val, int(digits)), nil
+		case "b":
+			return padsrt.AppendBUint(dst, uint64(iv.Val), b.Bits/8, w.order), nil
+		default:
+			if b.FW {
+				width, err := w.intArg(args, 0, env)
+				if err != nil {
+					return dst, err
+				}
+				if iv.Val < 0 {
+					dst = append(dst, '-')
+					return padsrt.AppendUintFW(dst, uint64(-iv.Val), int(width)-1), nil
+				}
+				return padsrt.AppendUintFW(dst, uint64(iv.Val), int(width)), nil
+			}
+			return padsrt.AppendInt(dst, iv.Val), nil
+		}
+	case sema.KFloat:
+		f, ok := v.(*value.Float)
+		if !ok {
+			return dst, fmt.Errorf("writer: %s expects a float value", b.Name)
+		}
+		return padsrt.AppendFloat(dst, f.Val, b.Bits), nil
+	case sema.KString:
+		s, ok := v.(*value.Str)
+		if !ok {
+			return dst, fmt.Errorf("writer: %s expects a string value", b.Name)
+		}
+		return padsrt.AppendString(dst, s.Val, w.coding), nil
+	case sema.KDate:
+		d, ok := v.(*value.Date)
+		if !ok {
+			return dst, fmt.Errorf("writer: %s expects a date value", b.Name)
+		}
+		if d.Raw != "" {
+			return padsrt.AppendString(dst, d.Raw, w.coding), nil
+		}
+		return padsrt.AppendInt(dst, d.Sec), nil
+	case sema.KIP:
+		ip, ok := v.(*value.IP)
+		if !ok {
+			return dst, fmt.Errorf("writer: %s expects an IP value", b.Name)
+		}
+		return padsrt.AppendString(dst, padsrt.FormatIP(ip.Val), w.coding), nil
+	case sema.KVoid:
+		return dst, nil
+	}
+	return dst, fmt.Errorf("writer: cannot write base type %s", b.Name)
+}

@@ -1,0 +1,193 @@
+package interp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pads/internal/padsrt"
+	"pads/internal/value"
+)
+
+func TestWriterErrorPaths(t *testing.T) {
+	in := compileFile(t, "sirius.pads")
+	w := in.NewWriter()
+
+	// Unknown type.
+	if _, err := w.Append(nil, "no_such_t", &value.Void{}); err == nil {
+		t.Error("unknown type accepted")
+	}
+	// Wrong value shape for a struct type.
+	if _, err := w.Append(nil, "entry_t", &value.Uint{Val: 1}); err == nil {
+		t.Error("scalar accepted for a struct type")
+	}
+	// A union value with no branch (a failed parse) cannot be written.
+	un := &value.Union{Common: value.NewCommon("dib_ramp_t")}
+	if _, err := w.Append(nil, "dib_ramp_t", un); err == nil {
+		t.Error("empty union accepted")
+	}
+	// A union naming a non-existent branch.
+	un.Tag = "bogus"
+	un.Val = &value.Int{Val: 1}
+	if _, err := w.Append(nil, "dib_ramp_t", un); err == nil {
+		t.Error("bogus branch accepted")
+	}
+	// A struct missing fields.
+	st := &value.Struct{Common: value.NewCommon("event_t")}
+	if _, err := w.Append(nil, "event_t", st); err == nil {
+		t.Error("truncated struct accepted")
+	}
+}
+
+func TestWriterBaseTypesDirect(t *testing.T) {
+	in := compileFile(t, "sirius.pads")
+	w := in.NewWriter()
+	// A bare base type writes directly.
+	out, err := w.Append(nil, "Puint32", value.NewUint(42, 32, "Puint32", padsrt.PD{}))
+	if err != nil || string(out) != "42" {
+		t.Errorf("base write = %q, %v", out, err)
+	}
+	// Mismatched base value kind.
+	if _, err := w.Append(nil, "Puint32", value.NewStr("x", "Pstring", padsrt.PD{})); err == nil {
+		t.Error("kind mismatch accepted")
+	}
+}
+
+func TestWriterEBCDICOutput(t *testing.T) {
+	in := compile(t, `
+Precord Pstruct rec_t {
+  Puint32 id; '|';
+  Pstring(:Peor:) name;
+};
+Psource Parray recs_t { rec_t[]; };
+`)
+	// Parse EBCDIC data and write it back in EBCDIC.
+	data := padsrt.StringToEBCDICBytes("123|HELLO")
+	data = append(data, 0x15)
+	disc := &padsrt.NewlineDisc{Term: 0x15}
+	s := padsrt.NewBytesSource(data,
+		padsrt.WithCoding(padsrt.EBCDIC),
+		padsrt.WithDiscipline(disc))
+	v, err := in.ParseSource(s)
+	if err != nil || v.PD().Nerr != 0 {
+		t.Fatalf("parse: %v %v", err, v.PD())
+	}
+	w := in.NewWriter(WriteCoding(padsrt.EBCDIC), WriteDiscipline(disc))
+	out, err := w.Append(nil, "recs_t", v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, data) {
+		t.Errorf("EBCDIC round trip:\n in: %v\nout: %v", data, out)
+	}
+}
+
+func TestWriterToIO(t *testing.T) {
+	in := compileFile(t, "clf.pads")
+	data := readFile(t, "clf.sample")
+	v, _ := in.ParseSource(padsrt.NewBytesSource(data))
+	var sb strings.Builder
+	n, err := in.NewWriter().WriteTo(&sb, "clt_t", v)
+	if err != nil || n != len(data) || sb.String() != string(data) {
+		t.Errorf("WriteTo = %d, %v", n, err)
+	}
+}
+
+func TestWriterBinaryByteOrder(t *testing.T) {
+	in := compile(t, `
+Pstruct w_t { Pb_uint16 v; };
+Psource Pstruct top_t { w_t x; };
+`)
+	st := &value.Struct{Common: value.NewCommon("top_t")}
+	inner := &value.Struct{Common: value.NewCommon("w_t")}
+	inner.Names = []string{"v"}
+	inner.Fields = []value.Value{value.NewUint(0x1234, 16, "Pb_uint16", padsrt.PD{})}
+	st.Names = []string{"x"}
+	st.Fields = []value.Value{inner}
+
+	be, err := in.NewWriter().Append(nil, "top_t", st)
+	if err != nil || be[0] != 0x12 || be[1] != 0x34 {
+		t.Errorf("big-endian = %v, %v", be, err)
+	}
+	le, err := in.NewWriter(WriteByteOrder(padsrt.LittleEndian)).Append(nil, "top_t", st)
+	if err != nil || le[0] != 0x34 || le[1] != 0x12 {
+		t.Errorf("little-endian = %v, %v", le, err)
+	}
+}
+
+func TestKitchenInterpWriteRoundTrip(t *testing.T) {
+	// The interpreter's writer round-trips the kitchen-sink description
+	// too (the generated writer is covered in gen/kitchen).
+	in := compileFile(t, "kitchen.pads")
+	line := "7|5,6|GREEN|2|70000|1,2!/!|abc|0.25|99|t\n"
+	v, err := in.ParseSource(padsrt.NewBytesSource([]byte(line)))
+	if err != nil || v.PD().Nerr != 0 {
+		t.Fatalf("parse: %v %v", err, v.PD())
+	}
+	out, err := in.NewWriter().Append(nil, "blobs_t", v)
+	if err != nil || string(out) != line {
+		t.Errorf("round trip = %q, %v", out, err)
+	}
+}
+
+func TestWriterParameterizedWidths(t *testing.T) {
+	// A field width inside a parameterized declaration must resolve from
+	// the caller's argument during write-back.
+	in := compile(t, `
+Pstruct payload_t (:Puint32 n:) {
+  Pstring_FW(:n:) body;
+};
+Precord Pstruct packet_t {
+  Puint32 len; '|';
+  payload_t(:len:) p;
+};
+Psource Parray packets_t { packet_t[]; };
+`)
+	data := []byte("5|abcde\n3|xyz\n")
+	v, err := in.ParseSource(padsrt.NewBytesSource(data))
+	if err != nil || v.PD().Nerr != 0 {
+		t.Fatalf("parse: %v %v", err, v.PD())
+	}
+	out, err := in.NewWriter().Append(nil, "packets_t", v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, data) {
+		t.Errorf("round trip = %q", out)
+	}
+}
+
+func TestWriterNetflowRoundTrip(t *testing.T) {
+	// Binary packets with data-dependent flow counts: parameterized
+	// arrays plus binary integers on the write path.
+	in := compileFile(t, "netflow.pads")
+	var data []byte
+	packet := func(n int) {
+		data = padsrt.AppendBUint(data, 5, 2, padsrt.BigEndian)
+		data = padsrt.AppendBUint(data, uint64(n), 2, padsrt.BigEndian)
+		data = padsrt.AppendBUint(data, 1000, 4, padsrt.BigEndian)
+		data = padsrt.AppendBUint(data, 1005022800, 4, padsrt.BigEndian)
+		for i := 0; i < n; i++ {
+			data = padsrt.AppendBUint(data, uint64(0x0A000001+i), 4, padsrt.BigEndian)
+			data = padsrt.AppendBUint(data, 0x0A0000FF, 4, padsrt.BigEndian)
+			data = padsrt.AppendBUint(data, 3, 4, padsrt.BigEndian)
+			data = padsrt.AppendBUint(data, 99, 4, padsrt.BigEndian)
+			data = padsrt.AppendBUint(data, 80, 2, padsrt.BigEndian)
+			data = padsrt.AppendBUint(data, 443, 2, padsrt.BigEndian)
+			data = append(data, 6, 0)
+		}
+	}
+	packet(2)
+	packet(0)
+	v, err := in.ParseSource(padsrt.NewBytesSource(data, padsrt.WithDiscipline(padsrt.NoRecords())))
+	if err != nil || v.PD().Nerr != 0 {
+		t.Fatalf("parse: %v %v", err, v.PD())
+	}
+	out, err := in.NewWriter(WriteDiscipline(padsrt.NoRecords())).Append(nil, "nf_stream_t", v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, data) {
+		t.Errorf("netflow round trip differs:\n in: %v\nout: %v", data, out)
+	}
+}

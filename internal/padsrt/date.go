@@ -1,0 +1,122 @@
+package padsrt
+
+import (
+	"time"
+)
+
+// Pdate / Ptime support. A date is stored as seconds since the Unix epoch
+// together with the raw text it was parsed from, so data can be written back
+// out in its original form. The parser accepts the formats that appear in
+// the paper's data sources (CLF's "15/Oct/1997:18:46:51 -0700", Sirius's
+// epoch seconds) plus a collection of common interchange forms.
+
+// DateLayouts are tried in order by ReadDate after the all-digits
+// epoch-seconds fast path. Extend the slice to teach the runtime new
+// formats (user-defined base types, section 6 of the paper).
+var DateLayouts = []string{
+	"02/Jan/2006:15:04:05 -0700", // Common Log Format
+	"02/Jan/2006:15:04:05",
+	time.RFC3339,
+	"2006-01-02 15:04:05",
+	"2006-01-02",
+	"01/02/06:15:04:05", // the %D:%T output form of Figure 8
+	"01/02/2006:15:04:05",
+	"01/02/2006",
+	"Jan _2 15:04:05 2006",
+	"Jan _2 15:04:05",
+}
+
+// ParseDateString interprets raw as a date, returning epoch seconds.
+func ParseDateString(raw string) (int64, ErrCode) {
+	if raw == "" {
+		return 0, ErrInvalidDate
+	}
+	allDigits := true
+	for i := 0; i < len(raw); i++ {
+		if !isDigit(raw[i]) {
+			allDigits = false
+			break
+		}
+	}
+	if allDigits {
+		var v int64
+		for i := 0; i < len(raw); i++ {
+			v = v*10 + int64(raw[i]-'0')
+		}
+		return v, ErrNone
+	}
+	for _, layout := range DateLayouts {
+		if t, err := time.Parse(layout, raw); err == nil {
+			return t.Unix(), ErrNone
+		}
+	}
+	return 0, ErrInvalidDate
+}
+
+// ReadDate reads text up to (not including) the terminator and parses it as
+// a date (Pdate(:']':) in Figure 4). It returns the epoch seconds and the
+// raw text.
+func ReadDate(s *Source, term byte) (int64, string, ErrCode) {
+	raw, code := ReadStringTerm(s, term)
+	if code != ErrNone {
+		return 0, raw, code
+	}
+	sec, code := ParseDateString(raw)
+	return sec, raw, code
+}
+
+// FormatDate renders epoch seconds using a strftime-like format string in
+// UTC: %Y %m %d %e %b %H %M %S %D (mm/dd/yy) %T (HH:MM:SS) %s (epoch) and
+// %% are supported, matching the customization hooks of the generated
+// formatting programs (section 5.3.1: "an output format for dates" such as
+// "%D:%T").
+func FormatDate(sec int64, format string) string {
+	t := time.Unix(sec, 0).UTC()
+	out := make([]byte, 0, len(format)+16)
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' || i+1 >= len(format) {
+			out = append(out, format[i])
+			continue
+		}
+		i++
+		switch format[i] {
+		case 'Y':
+			out = AppendUintFW(out, uint64(t.Year()), 4)
+		case 'y':
+			out = AppendUintFW(out, uint64(t.Year()%100), 2)
+		case 'm':
+			out = AppendUintFW(out, uint64(t.Month()), 2)
+		case 'd':
+			out = AppendUintFW(out, uint64(t.Day()), 2)
+		case 'e':
+			out = AppendUint(out, uint64(t.Day()))
+		case 'b':
+			out = append(out, t.Month().String()[:3]...)
+		case 'H':
+			out = AppendUintFW(out, uint64(t.Hour()), 2)
+		case 'M':
+			out = AppendUintFW(out, uint64(t.Minute()), 2)
+		case 'S':
+			out = AppendUintFW(out, uint64(t.Second()), 2)
+		case 'D':
+			out = AppendUintFW(out, uint64(t.Month()), 2)
+			out = append(out, '/')
+			out = AppendUintFW(out, uint64(t.Day()), 2)
+			out = append(out, '/')
+			out = AppendUintFW(out, uint64(t.Year()%100), 2)
+		case 'T':
+			out = AppendUintFW(out, uint64(t.Hour()), 2)
+			out = append(out, ':')
+			out = AppendUintFW(out, uint64(t.Minute()), 2)
+			out = append(out, ':')
+			out = AppendUintFW(out, uint64(t.Second()), 2)
+		case 's':
+			out = AppendInt(out, sec)
+		case '%':
+			out = append(out, '%')
+		default:
+			out = append(out, '%', format[i])
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,283 @@
+package padsrt
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// Coding is the ambient character coding used to interpret literals and
+// coding-agnostic base types such as Puint32 (section 3 of the paper). Types
+// like Pa_int32, Pe_char, and Pb_int8 select a coding explicitly and ignore
+// the ambient setting.
+type Coding int
+
+// Ambient codings.
+const (
+	ASCII Coding = iota
+	EBCDIC
+)
+
+// String names the coding.
+func (c Coding) String() string {
+	switch c {
+	case ASCII:
+		return "ASCII"
+	case EBCDIC:
+		return "EBCDIC"
+	default:
+		return fmt.Sprintf("Coding(%d)", int(c))
+	}
+}
+
+// ByteOrder selects the byte order for binary (Pb_*) integer types.
+type ByteOrder int
+
+// Byte orders.
+const (
+	BigEndian ByteOrder = iota
+	LittleEndian
+)
+
+// String names the byte order.
+func (o ByteOrder) String() string {
+	if o == LittleEndian {
+		return "little-endian"
+	}
+	return "big-endian"
+}
+
+// Discipline determines how a source is divided into records. The paper
+// (section 3, "Precord") supports newline-terminated ASCII records,
+// fixed-width binary records, Cobol-style length-prefixed records, and
+// user-defined encodings; each is a Discipline here.
+type Discipline interface {
+	// locate finds the extent of the record beginning at the cursor.
+	// skip is the number of header bytes before the record body (for
+	// length-prefixed records), body is the body length in bytes (-1 for
+	// an unbounded record covering the rest of the input), and trailer is
+	// the number of delimiter bytes following the body. locate may pull
+	// more data into the window via src.ensure. It reports ok=false at a
+	// clean end of input.
+	locate(src *Source) (skip, body, trailer int, ok bool, err error)
+	// writeRecord frames one record body on output (adding the newline,
+	// length prefix, or padding the discipline requires).
+	writeRecord(dst *[]byte, body []byte)
+	// Name identifies the discipline in diagnostics.
+	Name() string
+}
+
+// FrameRecord frames one record body on output under the discipline,
+// appending to dst: the write-side counterpart of BeginRecord/EndRecord.
+func FrameRecord(d Discipline, dst *[]byte, body []byte) { d.writeRecord(dst, body) }
+
+// NewlineDisc delimits records with a terminator byte, '\n' by default for
+// ASCII data. A final record missing its terminator is still returned.
+type NewlineDisc struct {
+	Term byte
+}
+
+// Newline returns the default discipline for ASCII data: records terminated
+// by '\n'.
+func Newline() *NewlineDisc { return &NewlineDisc{Term: '\n'} }
+
+// Name implements Discipline.
+func (d *NewlineDisc) Name() string { return "newline" }
+
+func (d *NewlineDisc) locate(src *Source) (int, int, int, bool, error) {
+	i := 0
+	for {
+		w, eof, err := src.ensure(i + 1)
+		if err != nil {
+			return 0, 0, 0, false, err
+		}
+		if len(w) <= i {
+			if eof {
+				if i == 0 {
+					return 0, 0, 0, false, nil // clean EOF
+				}
+				return 0, i, 0, true, nil // final unterminated record
+			}
+			continue
+		}
+		// Scan the newly available region for the terminator.
+		if j := bytes.IndexByte(w[i:], d.Term); j >= 0 {
+			return 0, i + j, 1, true, nil
+		}
+		i = len(w)
+	}
+}
+
+func (d *NewlineDisc) writeRecord(dst *[]byte, body []byte) {
+	*dst = append(*dst, body...)
+	*dst = append(*dst, d.Term)
+}
+
+// FixedDisc divides the input into fixed-width records of Width bytes with
+// no delimiters, the usual framing for binary sources such as call-detail
+// data (Figure 1 of the paper).
+type FixedDisc struct {
+	Width int
+}
+
+// FixedWidth returns a fixed-width record discipline.
+func FixedWidth(width int) *FixedDisc { return &FixedDisc{Width: width} }
+
+// Name implements Discipline.
+func (d *FixedDisc) Name() string { return fmt.Sprintf("fixed(%d)", d.Width) }
+
+func (d *FixedDisc) locate(src *Source) (int, int, int, bool, error) {
+	w, eof, err := src.ensure(d.Width)
+	if err != nil {
+		return 0, 0, 0, false, err
+	}
+	if len(w) == 0 && eof {
+		return 0, 0, 0, false, nil
+	}
+	if len(w) < d.Width {
+		// Short final record: surface what remains; the caller will
+		// report ErrRecordLength when a fixed-width read runs out.
+		return 0, len(w), 0, true, nil
+	}
+	return 0, d.Width, 0, true, nil
+}
+
+func (d *FixedDisc) writeRecord(dst *[]byte, body []byte) {
+	*dst = append(*dst, body...)
+	for i := len(body); i < d.Width; i++ {
+		*dst = append(*dst, 0)
+	}
+}
+
+// LenPrefixDisc frames each record with a length header, the convention of
+// the Cobol billing feeds in the paper (the record length is stored before
+// the data). HeaderBytes is the header size (2 or 4); the length is read in
+// the given byte order and, when IncludesHeader is set, counts the header
+// itself.
+type LenPrefixDisc struct {
+	HeaderBytes    int
+	Order          ByteOrder
+	IncludesHeader bool
+}
+
+// LenPrefix returns a big-endian 4-byte length-prefixed record discipline.
+func LenPrefix() *LenPrefixDisc { return &LenPrefixDisc{HeaderBytes: 4, Order: BigEndian} }
+
+// Name implements Discipline.
+func (d *LenPrefixDisc) Name() string { return fmt.Sprintf("lenprefix(%d)", d.HeaderBytes) }
+
+func (d *LenPrefixDisc) locate(src *Source) (int, int, int, bool, error) {
+	w, eof, err := src.ensure(d.HeaderBytes)
+	if err != nil {
+		return 0, 0, 0, false, err
+	}
+	if len(w) == 0 && eof {
+		return 0, 0, 0, false, nil
+	}
+	if len(w) < d.HeaderBytes {
+		return 0, len(w), 0, true, nil // truncated header: short record
+	}
+	n := 0
+	if d.Order == BigEndian {
+		for i := 0; i < d.HeaderBytes; i++ {
+			n = n<<8 | int(w[i])
+		}
+	} else {
+		for i := d.HeaderBytes - 1; i >= 0; i-- {
+			n = n<<8 | int(w[i])
+		}
+	}
+	if d.IncludesHeader {
+		n -= d.HeaderBytes
+	}
+	if n < 0 {
+		n = 0
+	}
+	return d.HeaderBytes, n, 0, true, nil
+}
+
+func (d *LenPrefixDisc) writeRecord(dst *[]byte, body []byte) {
+	n := len(body)
+	if d.IncludesHeader {
+		n += d.HeaderBytes
+	}
+	hdr := make([]byte, d.HeaderBytes)
+	if d.Order == BigEndian {
+		for i := d.HeaderBytes - 1; i >= 0; i-- {
+			hdr[i] = byte(n)
+			n >>= 8
+		}
+	} else {
+		for i := 0; i < d.HeaderBytes; i++ {
+			hdr[i] = byte(n)
+			n >>= 8
+		}
+	}
+	*dst = append(*dst, hdr...)
+	*dst = append(*dst, body...)
+}
+
+// CustomDisc adapts user-supplied functions into a record discipline — the
+// paper's "allows users to define their own encodings" (section 3). Locate
+// examines the unconsumed input through peek, which returns at least n
+// bytes unless the input ends first (the second result reports whether the
+// returned window is all that remains). It returns the header bytes to
+// skip, the body length (-1 for unbounded), the trailer length, ok=false at
+// a clean end of input, or an error. Frame is the write-side counterpart;
+// when nil, bodies are written unframed.
+type CustomDisc struct {
+	Label  string
+	Locate func(peek func(n int) ([]byte, bool)) (skip, body, trailer int, ok bool, err error)
+	Frame  func(dst *[]byte, body []byte)
+}
+
+// Name implements Discipline.
+func (d *CustomDisc) Name() string {
+	if d.Label == "" {
+		return "custom"
+	}
+	return d.Label
+}
+
+func (d *CustomDisc) locate(src *Source) (int, int, int, bool, error) {
+	peek := func(n int) ([]byte, bool) {
+		w, eof, err := src.ensure(n)
+		if err != nil {
+			return nil, true
+		}
+		return w, eof && len(w) < n
+	}
+	return d.Locate(peek)
+}
+
+func (d *CustomDisc) writeRecord(dst *[]byte, body []byte) {
+	if d.Frame == nil {
+		*dst = append(*dst, body...)
+		return
+	}
+	d.Frame(dst, body)
+}
+
+// NoneDisc treats the entire input as a single unbounded record; Peor is
+// equivalent to Peof. Useful for whole-file binary formats.
+type NoneDisc struct{}
+
+// NoRecords returns the unbounded discipline.
+func NoRecords() *NoneDisc { return &NoneDisc{} }
+
+// Name implements Discipline.
+func (d *NoneDisc) Name() string { return "none" }
+
+func (d *NoneDisc) locate(src *Source) (int, int, int, bool, error) {
+	w, eof, err := src.ensure(1)
+	if err != nil {
+		return 0, 0, 0, false, err
+	}
+	if len(w) == 0 && eof {
+		return 0, 0, 0, false, nil
+	}
+	return 0, -1, 0, true, nil
+}
+
+func (d *NoneDisc) writeRecord(dst *[]byte, body []byte) {
+	*dst = append(*dst, body...)
+}

@@ -1,0 +1,220 @@
+package padsrt
+
+// EBCDIC support: code-page 037 translation tables plus the zoned- and
+// packed-decimal (COMP-3) numeric encodings used by the Cobol billing
+// sources of Figure 1. Tables are built once at init from the printable
+// code points; unmapped EBCDIC bytes translate to ASCII SUB (0x1A).
+
+var (
+	ebcdicToASCIITab [256]byte
+	asciiToEBCDICTab [256]byte
+)
+
+func init() {
+	for i := range ebcdicToASCIITab {
+		ebcdicToASCIITab[i] = 0x1A
+		asciiToEBCDICTab[i] = 0x3F // EBCDIC SUB
+	}
+	type pair struct {
+		e, a byte
+	}
+	pairs := []pair{
+		{0x00, 0x00}, {0x05, '\t'}, {0x0D, '\r'}, {0x15, '\n'}, {0x25, 0x0A},
+		{0x40, ' '},
+		{0x4A, '\xA2'}, {0x4B, '.'}, {0x4C, '<'}, {0x4D, '('}, {0x4E, '+'}, {0x4F, '|'},
+		{0x50, '&'},
+		{0x5A, '!'}, {0x5B, '$'}, {0x5C, '*'}, {0x5D, ')'}, {0x5E, ';'}, {0x5F, '^'},
+		{0x60, '-'}, {0x61, '/'},
+		{0x6A, '\xA6'}, {0x6B, ','}, {0x6C, '%'}, {0x6D, '_'}, {0x6E, '>'}, {0x6F, '?'},
+		{0x79, '`'}, {0x7A, ':'}, {0x7B, '#'}, {0x7C, '@'}, {0x7D, '\''}, {0x7E, '='}, {0x7F, '"'},
+		{0xA1, '~'}, {0xAD, '['}, {0xBD, ']'}, {0xC0, '{'}, {0xD0, '}'}, {0xE0, '\\'},
+	}
+	for _, p := range pairs {
+		ebcdicToASCIITab[p.e] = p.a
+	}
+	// Letters and digits follow the standard banded layout.
+	for i := byte(0); i < 9; i++ {
+		ebcdicToASCIITab[0x81+i] = 'a' + i // a-i
+		ebcdicToASCIITab[0x91+i] = 'j' + i // j-r
+		ebcdicToASCIITab[0xC1+i] = 'A' + i // A-I
+		ebcdicToASCIITab[0xD1+i] = 'J' + i // J-R
+	}
+	for i := byte(0); i < 8; i++ {
+		ebcdicToASCIITab[0xA2+i] = 's' + i // s-z
+		ebcdicToASCIITab[0xE2+i] = 'S' + i // S-Z
+	}
+	for i := byte(0); i < 10; i++ {
+		ebcdicToASCIITab[0xF0+i] = '0' + i
+	}
+	// Inverse table: prefer 0x15 (NL) for '\n', matching the newline
+	// record discipline for EBCDIC text.
+	for e := 255; e >= 0; e-- {
+		a := ebcdicToASCIITab[e]
+		if a != 0x1A {
+			asciiToEBCDICTab[a] = byte(e)
+		}
+	}
+	asciiToEBCDICTab['\n'] = 0x15
+}
+
+// EBCDICToASCII translates one EBCDIC (cp037) byte to ASCII/Latin-1;
+// unmapped bytes become SUB (0x1A).
+func EBCDICToASCII(b byte) byte { return ebcdicToASCIITab[b] }
+
+// ASCIIToEBCDIC translates one ASCII/Latin-1 byte to EBCDIC (cp037).
+func ASCIIToEBCDIC(b byte) byte { return asciiToEBCDICTab[b] }
+
+// EBCDICBytesToString converts a whole EBCDIC byte slice to an ASCII string.
+func EBCDICBytesToString(bs []byte) string {
+	out := make([]byte, len(bs))
+	for i, b := range bs {
+		out[i] = ebcdicToASCIITab[b]
+	}
+	return string(out)
+}
+
+// StringToEBCDICBytes converts an ASCII string to EBCDIC bytes.
+func StringToEBCDICBytes(s string) []byte {
+	out := make([]byte, len(s))
+	for i := 0; i < len(s); i++ {
+		out[i] = asciiToEBCDICTab[s[i]]
+	}
+	return out
+}
+
+// ReadZoned reads a zoned-decimal integer of exactly digits bytes: each byte
+// holds one decimal digit in its low nibble with zone 0xF, except the final
+// byte whose zone nibble carries the sign (0xC/0xF positive, 0xD negative).
+func ReadZoned(s *Source, digits int) (int64, ErrCode) {
+	if digits <= 0 || digits > 18 {
+		return 0, ErrBadParam
+	}
+	if s.Avail(digits) < digits {
+		return 0, eofCode(s)
+	}
+	w := s.Peek(digits)
+	var v int64
+	neg := false
+	for i, b := range w {
+		zone, d := b>>4, b&0x0F
+		if d > 9 {
+			return 0, ErrInvalidZoned
+		}
+		if i == digits-1 {
+			switch zone {
+			case 0xC, 0xF, 0xA, 0xE:
+			case 0xD, 0xB:
+				neg = true
+			default:
+				return 0, ErrInvalidZoned
+			}
+		} else if zone != 0xF {
+			return 0, ErrInvalidZoned
+		}
+		v = v*10 + int64(d)
+	}
+	if neg {
+		v = -v
+	}
+	s.Skip(digits)
+	return v, ErrNone
+}
+
+// WriteZoned appends the zoned-decimal encoding of v using the given number
+// of digits (value truncated modulo 10^digits).
+func WriteZoned(dst []byte, v int64, digits int) []byte {
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	tmp := make([]byte, digits)
+	for i := digits - 1; i >= 0; i-- {
+		tmp[i] = 0xF0 | byte(v%10)
+		v /= 10
+	}
+	if neg {
+		tmp[digits-1] = 0xD0 | (tmp[digits-1] & 0x0F)
+	} else {
+		tmp[digits-1] = 0xC0 | (tmp[digits-1] & 0x0F)
+	}
+	return append(dst, tmp...)
+}
+
+// ReadBCD reads a packed-decimal (COMP-3) integer with the given digit
+// count. Digits are packed two per byte; the final nibble is the sign
+// (0xC/0xF positive, 0xD negative). The byte width is (digits+2)/2... more
+// precisely digits/2+1 bytes, with a leading pad nibble when digits is even.
+func ReadBCD(s *Source, digits int) (int64, ErrCode) {
+	if digits <= 0 || digits > 18 {
+		return 0, ErrBadParam
+	}
+	nbytes := digits/2 + 1
+	if s.Avail(nbytes) < nbytes {
+		return 0, eofCode(s)
+	}
+	w := s.Peek(nbytes)
+	var v int64
+	nibbles := make([]byte, 0, nbytes*2)
+	for _, b := range w {
+		nibbles = append(nibbles, b>>4, b&0x0F)
+	}
+	// With an even digit count the first nibble is a pad and must be 0.
+	start := 0
+	if digits%2 == 0 {
+		if nibbles[0] != 0 {
+			return 0, ErrInvalidBCD
+		}
+		start = 1
+	}
+	for i := start; i < start+digits; i++ {
+		if nibbles[i] > 9 {
+			return 0, ErrInvalidBCD
+		}
+		v = v*10 + int64(nibbles[i])
+	}
+	neg := false
+	switch sign := nibbles[len(nibbles)-1]; sign {
+	case 0xC, 0xF, 0xA, 0xE:
+	case 0xD, 0xB:
+		neg = true
+	default:
+		return 0, ErrInvalidBCD
+	}
+	if neg {
+		v = -v
+	}
+	s.Skip(nbytes)
+	return v, ErrNone
+}
+
+// WriteBCD appends the packed-decimal (COMP-3) encoding of v with the given
+// digit count.
+func WriteBCD(dst []byte, v int64, digits int) []byte {
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	ds := make([]byte, digits)
+	for i := digits - 1; i >= 0; i-- {
+		ds[i] = byte(v % 10)
+		v /= 10
+	}
+	sign := byte(0xC)
+	if neg {
+		sign = 0xD
+	}
+	nibbles := make([]byte, 0, digits+2)
+	if digits%2 == 0 {
+		nibbles = append(nibbles, 0)
+	}
+	nibbles = append(nibbles, ds...)
+	nibbles = append(nibbles, sign)
+	for i := 0; i < len(nibbles); i += 2 {
+		dst = append(dst, nibbles[i]<<4|nibbles[i+1])
+	}
+	return dst
+}
+
+// BCDWidth returns the byte width of a packed decimal with the given number
+// of digits.
+func BCDWidth(digits int) int { return digits/2 + 1 }

@@ -1,0 +1,160 @@
+// Package padsrt is the PADS run-time library: streaming input sources with
+// record disciplines and speculation checkpoints, parse descriptors, masks,
+// and the base-type parsers and printers (ASCII, binary, and EBCDIC) that
+// both the description interpreter and the generated parsers are built on.
+//
+// It is the Go counterpart of the C run time described in section 6 of
+// "PADS: a domain-specific language for processing ad hoc data" (PLDI 2005),
+// which the paper reports as roughly 30,000 lines of C built on the AST and
+// SFIO libraries. Everything here is stdlib-only.
+package padsrt
+
+import "fmt"
+
+// ErrCode identifies the first error detected while parsing a value. The
+// codes mirror the PerrCode_t enumeration of the C run time: system errors,
+// syntax errors, and semantic (user-constraint) errors are distinguished so
+// applications can react per class.
+type ErrCode int
+
+// Error codes. ErrNone means the parse was clean.
+const (
+	ErrNone ErrCode = iota
+
+	// System errors.
+	ErrIO       // the underlying reader failed
+	ErrBadParam // a bad argument reached a run-time entry point
+	ErrInternal // invariant violation inside the run time
+
+	// Syntax errors.
+	ErrAtEOF           // input exhausted before the value finished
+	ErrAtEOR           // record exhausted before the value finished
+	ErrExtraBeforeEOR  // data remained when end-of-record was required
+	ErrMissingLiteral  // a char/string/regexp literal did not match
+	ErrInvalidInt      // malformed integer
+	ErrRange           // integer does not fit the declared width
+	ErrInvalidChar     // malformed character
+	ErrInvalidString   // malformed string (e.g. unterminated)
+	ErrInvalidDate     // unrecognized date/time
+	ErrInvalidIP       // malformed dotted-quad IP address
+	ErrInvalidHostname // malformed hostname
+	ErrInvalidZip      // malformed zip code
+	ErrInvalidFloat    // malformed floating-point number
+	ErrInvalidEnum     // no enumeration literal matched
+	ErrInvalidRegexp   // regexp base type failed to match
+	ErrInvalidBCD      // malformed packed-decimal (COMP-3) datum
+	ErrInvalidZoned    // malformed zoned-decimal datum
+	ErrUnionMatch      // no branch of a Punion parsed
+	ErrUnionTag        // switched union selector matched no case
+	ErrArraySep        // array separator missing between elements
+	ErrArrayTerm       // array terminator missing
+	ErrArraySize       // array size bounds violated
+	ErrArrayElem       // one or more array elements had errors
+	ErrStructField     // one or more struct fields had errors
+	ErrRecordLength    // record shorter than a fixed-width type requires
+	ErrOptFailed       // internal: the present branch of a Popt failed
+
+	// Semantic errors.
+	ErrConstraint // a user-supplied predicate evaluated to false
+	ErrWhere      // a Pwhere clause evaluated to false
+
+	// Panic recovery.
+	ErrPanicSkipped // data skipped while re-synchronizing at a record boundary
+)
+
+var errNames = map[ErrCode]string{
+	ErrNone:            "no error",
+	ErrIO:              "I/O error",
+	ErrBadParam:        "bad parameter",
+	ErrInternal:        "internal error",
+	ErrAtEOF:           "unexpected end of input",
+	ErrAtEOR:           "unexpected end of record",
+	ErrExtraBeforeEOR:  "extra data before end of record",
+	ErrMissingLiteral:  "literal not found",
+	ErrInvalidInt:      "invalid integer",
+	ErrRange:           "integer out of range",
+	ErrInvalidChar:     "invalid character",
+	ErrInvalidString:   "invalid string",
+	ErrInvalidDate:     "invalid date",
+	ErrInvalidIP:       "invalid IP address",
+	ErrInvalidHostname: "invalid hostname",
+	ErrInvalidZip:      "invalid zip code",
+	ErrInvalidFloat:    "invalid floating-point number",
+	ErrInvalidEnum:     "invalid enumeration literal",
+	ErrInvalidRegexp:   "regular expression did not match",
+	ErrInvalidBCD:      "invalid packed decimal",
+	ErrInvalidZoned:    "invalid zoned decimal",
+	ErrUnionMatch:      "no union branch matched",
+	ErrUnionTag:        "union selector matched no case",
+	ErrArraySep:        "missing array separator",
+	ErrArrayTerm:       "missing array terminator",
+	ErrArraySize:       "array size out of bounds",
+	ErrArrayElem:       "array element error",
+	ErrStructField:     "struct field error",
+	ErrRecordLength:    "record too short",
+	ErrOptFailed:       "optional value not present",
+	ErrConstraint:      "user constraint violated",
+	ErrWhere:           "Pwhere clause violated",
+	ErrPanicSkipped:    "data skipped during panic recovery",
+}
+
+// String returns a human-readable description of the error code.
+func (e ErrCode) String() string {
+	if s, ok := errNames[e]; ok {
+		return s
+	}
+	return fmt.Sprintf("ErrCode(%d)", int(e))
+}
+
+// Class is the coarse classification of an error code used when deciding an
+// application-level response (section 1 of the paper: halt, repair, or
+// discard depending on the class of failure).
+type Class int
+
+// Error classes.
+const (
+	ClassNone Class = iota
+	ClassSystem
+	ClassSyntax
+	ClassSemantic
+)
+
+// Class reports which class the code belongs to.
+func (e ErrCode) Class() Class {
+	switch {
+	case e == ErrNone:
+		return ClassNone
+	case e >= ErrIO && e <= ErrInternal:
+		return ClassSystem
+	case e >= ErrConstraint && e <= ErrWhere:
+		return ClassSemantic
+	default:
+		return ClassSyntax
+	}
+}
+
+// Pos is a position in the input: an absolute byte offset plus the
+// record-relative coordinates used in diagnostics. For newline-delimited
+// ASCII data Record is the line number (1-based) and Col the 1-based byte
+// offset within the line.
+type Pos struct {
+	Byte   int64 // absolute byte offset from the start of the source
+	Record int   // 1-based record number; 0 if outside any record
+	Col    int   // 1-based byte offset within the record
+}
+
+// String formats the position as record:col (byte offset).
+func (p Pos) String() string {
+	return fmt.Sprintf("%d:%d(@%d)", p.Record, p.Col, p.Byte)
+}
+
+// Loc is the span of input a value (or its first error) occupies.
+type Loc struct {
+	Begin Pos
+	End   Pos
+}
+
+// String formats the span.
+func (l Loc) String() string {
+	return fmt.Sprintf("%s-%s", l.Begin, l.End)
+}

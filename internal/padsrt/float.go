@@ -1,0 +1,59 @@
+package padsrt
+
+import "strconv"
+
+// Floating-point base types (Pa_float32/64 and the coding-generic Pfloat*).
+
+// ReadAFloat reads an ASCII floating-point number: an optional sign, digits
+// with an optional fraction, and an optional exponent.
+func ReadAFloat(s *Source, bits int) (float64, ErrCode) {
+	w := s.Window(64)
+	if len(w) == 0 {
+		return 0, eofCode(s)
+	}
+	i := 0
+	if w[i] == '-' || w[i] == '+' {
+		i++
+	}
+	start := i
+	for i < len(w) && isDigit(w[i]) {
+		i++
+	}
+	intDigits := i - start
+	fracDigits := 0
+	if i < len(w) && w[i] == '.' {
+		i++
+		for i < len(w) && isDigit(w[i]) {
+			i++
+			fracDigits++
+		}
+	}
+	if intDigits == 0 && fracDigits == 0 {
+		return 0, ErrInvalidFloat
+	}
+	if i < len(w) && (w[i] == 'e' || w[i] == 'E') {
+		j := i + 1
+		if j < len(w) && (w[j] == '-' || w[j] == '+') {
+			j++
+		}
+		expDigits := 0
+		for j < len(w) && isDigit(w[j]) {
+			j++
+			expDigits++
+		}
+		if expDigits > 0 {
+			i = j
+		}
+	}
+	v, err := strconv.ParseFloat(string(w[:i]), bits)
+	if err != nil {
+		return 0, ErrInvalidFloat
+	}
+	s.Skip(i)
+	return v, ErrNone
+}
+
+// AppendFloat appends the shortest round-trippable decimal form of v.
+func AppendFloat(dst []byte, v float64, bits int) []byte {
+	return strconv.AppendFloat(dst, v, 'g', -1, bits)
+}

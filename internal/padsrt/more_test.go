@@ -1,0 +1,321 @@
+package padsrt
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestReadAIntFW(t *testing.T) {
+	cases := []struct {
+		in    string
+		width int
+		want  int64
+		code  ErrCode
+	}{
+		{"-12x", 3, -12, ErrNone},
+		{"+12x", 3, 12, ErrNone},
+		{" 42x", 3, 42, ErrNone},
+		{"127x", 3, 127, ErrNone},
+		{"1a3x", 3, 0, ErrInvalidInt},
+		{"   x", 3, 0, ErrInvalidInt},
+		{"12", 3, 0, ErrAtEOR},
+	}
+	for _, c := range cases {
+		s := recSrc(t, c.in)
+		v, code := ReadAIntFW(s, c.width, 16)
+		if code != c.code || (code == ErrNone && v != c.want) {
+			t.Errorf("ReadAIntFW(%q,%d) = %d,%v want %d,%v", c.in, c.width, v, code, c.want, c.code)
+		}
+	}
+	// Range: -129 does not fit int8.
+	s := recSrc(t, "-129!")
+	if _, code := ReadAIntFW(s, 4, 8); code != ErrRange {
+		t.Errorf("range code = %v", code)
+	}
+}
+
+func TestReadEIntAndDispatch(t *testing.T) {
+	data := StringToEBCDICBytes("-123|456")
+	s := NewBytesSource(data, WithDiscipline(NoRecords()), WithCoding(EBCDIC))
+	v, code := ReadEInt(s, 32)
+	if code != ErrNone || v != -123 {
+		t.Fatalf("ReadEInt = %d,%v", v, code)
+	}
+	if code := MatchChar(s, '|'); code != ErrNone {
+		t.Fatal(code)
+	}
+	// The ambient dispatchers pick the EBCDIC readers.
+	u, code := ReadUint(s, 32)
+	if code != ErrNone || u != 456 {
+		t.Fatalf("ReadUint(EBCDIC) = %d,%v", u, code)
+	}
+
+	s2 := NewBytesSource([]byte("789"), WithDiscipline(NoRecords()))
+	i, code := ReadInt(s2, 32)
+	if code != ErrNone || i != 789 {
+		t.Fatalf("ReadInt(ASCII) = %d,%v", i, code)
+	}
+}
+
+func TestReadUintFWEBCDIC(t *testing.T) {
+	data := StringToEBCDICBytes(" 42rest")
+	s := NewBytesSource(data, WithDiscipline(NoRecords()), WithCoding(EBCDIC))
+	v, code := ReadUintFW(s, 3, 16)
+	if code != ErrNone || v != 42 {
+		t.Fatalf("= %d,%v", v, code)
+	}
+	// Non-digit inside the field.
+	data = StringToEBCDICBytes("4x2")
+	s = NewBytesSource(data, WithDiscipline(NoRecords()), WithCoding(EBCDIC))
+	if _, code := ReadUintFW(s, 3, 16); code != ErrInvalidInt {
+		t.Fatalf("code = %v", code)
+	}
+	// Too large for the bit width.
+	data = StringToEBCDICBytes("300")
+	s = NewBytesSource(data, WithDiscipline(NoRecords()), WithCoding(EBCDIC))
+	if _, code := ReadUintFW(s, 3, 8); code != ErrRange {
+		t.Fatalf("range code = %v", code)
+	}
+}
+
+func TestAppendHelpers(t *testing.T) {
+	if got := string(AppendIntFW(nil, -42, 5)); got != "-0042" {
+		t.Errorf("AppendIntFW = %q", got)
+	}
+	if got := string(AppendIntFW(nil, 42, 5)); got != "00042" {
+		t.Errorf("AppendIntFW = %q", got)
+	}
+	if got := string(AppendInt(nil, -7)); got != "-7" {
+		t.Errorf("AppendInt = %q", got)
+	}
+	if got := string(AppendDate(nil, DateVal{Sec: 99, Raw: "raw text"})); got != "raw text" {
+		t.Errorf("AppendDate = %q", got)
+	}
+	if got := string(AppendDate(nil, DateVal{Sec: 99})); got != "99" {
+		t.Errorf("AppendDate no raw = %q", got)
+	}
+	if got := string(AppendFloat(nil, 2.5, 64)); got != "2.5" {
+		t.Errorf("AppendFloat = %q", got)
+	}
+	if got := EBCDICBytesToString(AppendEUint(nil, 905)); got != "905" {
+		t.Errorf("AppendEUint = %q", got)
+	}
+	if got := string(AppendString(nil, "hi", ASCII)); got != "hi" {
+		t.Errorf("AppendString = %q", got)
+	}
+	if got := EBCDICBytesToString(AppendString(nil, "hi", EBCDIC)); got != "hi" {
+		t.Errorf("AppendString EBCDIC = %q", got)
+	}
+	if got := AppendChar(nil, '|', EBCDIC); got[0] != ASCIIToEBCDIC('|') {
+		t.Errorf("AppendChar EBCDIC = %v", got)
+	}
+}
+
+// Property: ASCII fixed-width signed integers round-trip.
+func TestIntFWRoundTrip(t *testing.T) {
+	f := func(v int16) bool {
+		buf := AppendIntFW(nil, int64(v), 6)
+		s := NewBytesSource(buf, WithDiscipline(NoRecords()))
+		got, code := ReadAIntFW(s, 6, 16)
+		return code == ErrNone && got == int64(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	cases := []struct {
+		got, want string
+	}{
+		{ASCII.String(), "ASCII"},
+		{EBCDIC.String(), "EBCDIC"},
+		{BigEndian.String(), "big-endian"},
+		{LittleEndian.String(), "little-endian"},
+		{Newline().Name(), "newline"},
+		{FixedWidth(8).Name(), "fixed(8)"},
+		{LenPrefix().Name(), "lenprefix(4)"},
+		{NoRecords().Name(), "none"},
+		{Normal.String(), "Normal"},
+		{Partial.String(), "Partial"},
+		{Panicking.String(), "Panicking"},
+		{CheckAndSet.String(), "CheckAndSet"},
+		{Ignore.String(), "Ignore"},
+		{Set.String(), "Set"},
+		{Check.String(), "Check"},
+		{ErrNone.String(), "no error"},
+		{ErrCode(9999).String(), "ErrCode(9999)"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("String = %q, want %q", c.got, c.want)
+		}
+	}
+	var pd PD
+	if pd.String() != "ok" || !pd.IsOK() {
+		t.Errorf("clean pd = %q", pd.String())
+	}
+	pd.SetError(ErrRange, Loc{Begin: Pos{Byte: 3, Record: 1, Col: 4}})
+	if pd.IsOK() || !strings.Contains(pd.String(), "integer out of range") {
+		t.Errorf("pd = %q", pd.String())
+	}
+	if !strings.Contains(pd.Loc.String(), "1:4(@3)") {
+		t.Errorf("loc = %q", pd.Loc.String())
+	}
+	pd.Reset()
+	if !pd.IsOK() {
+		t.Error("Reset did not clear")
+	}
+}
+
+func TestFrameRecordAllDisciplines(t *testing.T) {
+	body := []byte("abc")
+	var out []byte
+	FrameRecord(Newline(), &out, body)
+	if string(out) != "abc\n" {
+		t.Errorf("newline frame = %q", out)
+	}
+	out = nil
+	FrameRecord(FixedWidth(5), &out, body)
+	if len(out) != 5 || string(out[:3]) != "abc" || out[3] != 0 {
+		t.Errorf("fixed frame = %q", out)
+	}
+	out = nil
+	FrameRecord(NoRecords(), &out, body)
+	if string(out) != "abc" {
+		t.Errorf("none frame = %q", out)
+	}
+	out = nil
+	FrameRecord(LenPrefix(), &out, body)
+	if len(out) != 7 || out[3] != 3 {
+		t.Errorf("lenprefix frame = %v", out)
+	}
+}
+
+func TestMaskElem(t *testing.T) {
+	m := NewMaskNode(Ignore)
+	em := m.ElemMask()
+	if em.BaseMask() != Ignore {
+		t.Errorf("elem inherit = %v", em.BaseMask())
+	}
+	m2 := NewMaskNode(CheckAndSet)
+	if m2.ElemMask() != nil {
+		t.Error("full mask elem should be nil")
+	}
+	explicit := NewMaskNode(CheckAndSet)
+	explicit.Elem = NewMaskNode(Set)
+	if explicit.ElemMask().BaseMask() != Set {
+		t.Error("explicit elem mask lost")
+	}
+}
+
+func TestReadPhone(t *testing.T) {
+	s := recSrc(t, "9735551212|")
+	v, code := ReadPhone(s)
+	if code != ErrNone || v != 9735551212 {
+		t.Errorf("= %d,%v", v, code)
+	}
+}
+
+func TestInternStability(t *testing.T) {
+	// Repeated reads of the same token return the same backing string.
+	line := strings.Repeat("LOC_6|", 100)
+	s := recSrc(t, line)
+	for i := 0; i < 100; i++ {
+		v, code := ReadStringTerm(s, '|')
+		if code != ErrNone || v != "LOC_6" {
+			t.Fatalf("read %d = %q,%v", i, v, code)
+		}
+		MatchChar(s, '|')
+	}
+}
+
+func TestLenPrefixLittleEndianRecords(t *testing.T) {
+	d := &LenPrefixDisc{HeaderBytes: 4, Order: LittleEndian}
+	var data []byte
+	d.writeRecord(&data, []byte("hello"))
+	if data[0] != 5 || data[3] != 0 {
+		t.Fatalf("little-endian header = %v", data[:4])
+	}
+	s := NewBytesSource(data, WithDiscipline(d))
+	mustBegin(t, s)
+	if got := string(s.RecordBytes()); got != "hello" {
+		t.Fatalf("record = %q", got)
+	}
+}
+
+func TestSourceAccessors(t *testing.T) {
+	s := NewBytesSource([]byte("x"), WithCoding(EBCDIC), WithByteOrder(LittleEndian))
+	if s.Coding() != EBCDIC || s.ByteOrder() != LittleEndian {
+		t.Error("options lost")
+	}
+	s.SetCoding(ASCII)
+	s.SetByteOrder(BigEndian)
+	s.SetDiscipline(FixedWidth(1))
+	if s.Coding() != ASCII || s.ByteOrder() != BigEndian || s.Discipline().Name() != "fixed(1)" {
+		t.Error("setters lost")
+	}
+	if !strings.Contains(s.String(), "fixed(1)") {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+// A user-defined record encoding (section 3: "allows users to define their
+// own encodings"): records framed as <ASCII length>:<body>.
+func TestCustomDiscipline(t *testing.T) {
+	disc := &CustomDisc{
+		Label: "digits-colon",
+		Locate: func(peek func(n int) ([]byte, bool)) (int, int, int, bool, error) {
+			w, last := peek(16)
+			if len(w) == 0 && last {
+				return 0, 0, 0, false, nil
+			}
+			n, i := 0, 0
+			for i < len(w) && w[i] >= '0' && w[i] <= '9' {
+				n = n*10 + int(w[i]-'0')
+				i++
+			}
+			if i == len(w) || w[i] != ':' {
+				return 0, 0, 0, false, errBadFrame{}
+			}
+			return i + 1, n, 0, true, nil
+		},
+		Frame: func(dst *[]byte, body []byte) {
+			*dst = AppendUint(*dst, uint64(len(body)))
+			*dst = append(*dst, ':')
+			*dst = append(*dst, body...)
+		},
+	}
+	var data []byte
+	FrameRecord(disc, &data, []byte("hello"))
+	FrameRecord(disc, &data, []byte(""))
+	FrameRecord(disc, &data, []byte("worlds"))
+	if string(data) != "5:hello0:6:worlds" {
+		t.Fatalf("framed = %q", data)
+	}
+	s := NewBytesSource(data, WithDiscipline(disc))
+	if s.Discipline().Name() != "digits-colon" {
+		t.Errorf("name = %s", s.Discipline().Name())
+	}
+	for _, want := range []string{"hello", "", "worlds"} {
+		mustBegin(t, s)
+		if got := string(s.RecordBytes()); got != want {
+			t.Errorf("record = %q, want %q", got, want)
+		}
+		s.SkipToEOR()
+		s.EndRecord(nil)
+	}
+	if ok, _ := s.BeginRecord(); ok {
+		t.Error("expected end of input")
+	}
+	// A malformed frame surfaces as an error from BeginRecord.
+	s = NewBytesSource([]byte("x:oops"), WithDiscipline(disc))
+	if ok, err := s.BeginRecord(); ok || err == nil {
+		t.Errorf("bad frame: ok=%v err=%v", ok, err)
+	}
+}
+
+type errBadFrame struct{}
+
+func (errBadFrame) Error() string { return "bad frame" }

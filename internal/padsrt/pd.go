@@ -1,0 +1,97 @@
+package padsrt
+
+import "fmt"
+
+// State is the parse state recorded in a parse descriptor. It mirrors the
+// Pflags_t pstate field of the C run time (Figure 6 of the paper): Normal,
+// Partial, or Panicking.
+type State uint8
+
+// Parse states.
+const (
+	// Normal: the value parsed without structural damage (it may still
+	// carry semantic errors — consult Nerr and ErrCode).
+	Normal State = iota
+	// Partial: some sub-component failed but the parser recovered within
+	// the value, so the representation is partially filled in.
+	Partial
+	// Panicking: the parser lost synchronization inside this value and
+	// skipped ahead (typically to the next record boundary).
+	Panicking
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case Normal:
+		return "Normal"
+	case Partial:
+		return "Partial"
+	case Panicking:
+		return "Panicking"
+	default:
+		return fmt.Sprintf("State(%d)", uint8(s))
+	}
+}
+
+// PD is a parse descriptor: the per-value error report every PADS parsing
+// function returns alongside the in-memory representation. Structured types
+// embed one PD per component next to this header, exactly as the generated
+// C structs do in Figure 6 of the paper.
+type PD struct {
+	State   State   // Normal, Partial, or Panicking
+	Nerr    uint32  // number of errors detected inside this value
+	ErrCode ErrCode // code of the first detected error
+	Loc     Loc     // location of the first detected error
+}
+
+// IsOK reports whether the value parsed without any detected error.
+func (pd *PD) IsOK() bool { return pd.Nerr == 0 }
+
+// SetError records an error in the descriptor. Only the first error's code
+// and location are kept; the count always increments. It returns the code
+// for call-chaining convenience.
+func (pd *PD) SetError(code ErrCode, loc Loc) ErrCode {
+	if pd.Nerr == 0 {
+		pd.ErrCode = code
+		pd.Loc = loc
+	}
+	pd.Nerr++
+	return code
+}
+
+// AddChildErrors propagates a child descriptor's errors into a parent. The
+// parent inherits the child's first-error code and location (so "the error
+// code of the first detected error" stays specific all the way up); the
+// supplied code is a fallback for children flagged without a code.
+func (pd *PD) AddChildErrors(child *PD, code ErrCode) {
+	if child.Nerr == 0 {
+		return
+	}
+	if pd.Nerr == 0 {
+		cc := child.ErrCode
+		if cc == ErrNone {
+			cc = code
+		}
+		pd.ErrCode = cc
+		pd.Loc = child.Loc
+	}
+	pd.Nerr += child.Nerr
+	if child.State == Panicking {
+		pd.State = Panicking
+	} else if pd.State == Normal {
+		pd.State = Partial
+	}
+}
+
+// Reset returns the descriptor to the clean state so it can be reused
+// across records, which keeps per-record parsing allocation-free.
+func (pd *PD) Reset() { *pd = PD{} }
+
+// String summarizes the descriptor for diagnostics.
+func (pd *PD) String() string {
+	if pd.Nerr == 0 {
+		return "ok"
+	}
+	return fmt.Sprintf("%s nerr=%d first=%v at %v", pd.State, pd.Nerr, pd.ErrCode, pd.Loc)
+}

@@ -1,0 +1,18 @@
+package padsrt
+
+// Representation helper types used by generated code.
+
+// DateVal is the in-memory representation of Pdate/Ptime values in
+// generated parsers: epoch seconds plus the raw source text (kept so data
+// writes back out unchanged).
+type DateVal struct {
+	Sec int64
+	Raw string
+}
+
+// Opt is the representation of Popt values in generated parsers: Val is
+// meaningful only when Present is true.
+type Opt[T any] struct {
+	Present bool
+	Val     T
+}

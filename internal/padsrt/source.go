@@ -1,0 +1,458 @@
+package padsrt
+
+import (
+	"fmt"
+	"io"
+)
+
+// Source is a streaming parse cursor over an io.Reader. It maintains a
+// sliding window of the input, divides it into records under a Discipline,
+// and supports speculation checkpoints so Punion branches can backtrack.
+// Consumed data is discarded at record boundaries (unless pinned by a
+// checkpoint), so arbitrarily large inputs parse in O(record) memory — the
+// paper's gigabytes-per-day sources must never be loaded whole (section 1).
+//
+// A Source also carries the ambient configuration: the character coding and
+// the byte order used by binary base types.
+type Source struct {
+	r   io.Reader
+	buf []byte
+	off int64 // absolute offset of buf[0]
+	pos int   // cursor, as an index into buf
+	eof bool
+	err error // sticky read error
+
+	disc   Discipline
+	coding Coding
+	order  ByteOrder
+
+	recDepth int // nesting depth of BeginRecord (inner calls are no-ops)
+	recBody  int // index of the current record body start
+	recEnd   int // index one past the record body; -1 when unbounded
+	recTrail int // delimiter bytes that follow the body
+	recNum   int // 1-based record count
+
+	cps []checkpoint
+
+	readBuf []byte // scratch for Read calls
+
+	// intern is a direct-mapped cache of short strings produced by the
+	// string base types: ad hoc fields draw from small vocabularies (the
+	// Sirius feed has ~420 distinct states across millions of records),
+	// so reusing cached copies removes most per-record allocations. A
+	// fixed-size table with a trivial hash keeps the lookup far cheaper
+	// than a map and bounds memory on adversarial inputs.
+	intern [internSlots]string
+}
+
+const (
+	maxInternLen = 40
+	internSlots  = 1024
+)
+
+// internString returns a string for w, reusing a cached copy when possible.
+func (s *Source) internString(w []byte) string {
+	n := len(w)
+	if n == 0 {
+		return ""
+	}
+	if n > maxInternLen {
+		return string(w)
+	}
+	idx := (uint32(n)*131 + uint32(w[0])*31 + uint32(w[n-1])*7 + uint32(w[n/2])) % internSlots
+	if v := s.intern[idx]; v == string(w) { // comparison does not allocate
+		return v
+	}
+	v := string(w)
+	s.intern[idx] = v
+	return v
+}
+
+type checkpoint struct {
+	pos      int
+	recDepth int
+	recBody  int
+	recEnd   int
+	recTrail int
+	recNum   int
+}
+
+// SourceOption configures a Source.
+type SourceOption func(*Source)
+
+// WithDiscipline sets the record discipline (default: newline-terminated).
+func WithDiscipline(d Discipline) SourceOption { return func(s *Source) { s.disc = d } }
+
+// WithCoding sets the ambient character coding (default: ASCII).
+func WithCoding(c Coding) SourceOption { return func(s *Source) { s.coding = c } }
+
+// WithByteOrder sets the byte order for Pb_* types (default: big-endian,
+// i.e. network order).
+func WithByteOrder(o ByteOrder) SourceOption { return func(s *Source) { s.order = o } }
+
+// NewSource wraps r in a parse cursor. By default records are
+// newline-terminated, the ambient coding is ASCII, and binary integers are
+// big-endian; use the options to override, mirroring the paper's "the user
+// can direct PADS to use a different record definition".
+func NewSource(r io.Reader, opts ...SourceOption) *Source {
+	s := &Source{
+		r:       r,
+		disc:    Newline(),
+		coding:  ASCII,
+		order:   BigEndian,
+		recEnd:  -1,
+		readBuf: make([]byte, 64*1024),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// NewBytesSource is a convenience for parsing in-memory data. The data is
+// copied: the window compacts in place as records are consumed, and the
+// caller's slice must not be disturbed.
+func NewBytesSource(data []byte, opts ...SourceOption) *Source {
+	s := NewSource(nil, opts...)
+	s.buf = append([]byte(nil), data...)
+	s.eof = true
+	return s
+}
+
+// Coding returns the ambient character coding.
+func (s *Source) Coding() Coding { return s.coding }
+
+// SetCoding changes the ambient character coding mid-parse (mixed-coding
+// sources appear in the Cobol feeds of Figure 1).
+func (s *Source) SetCoding(c Coding) { s.coding = c }
+
+// ByteOrder returns the byte order used by binary integer types.
+func (s *Source) ByteOrder() ByteOrder { return s.order }
+
+// SetByteOrder changes the binary byte order.
+func (s *Source) SetByteOrder(o ByteOrder) { s.order = o }
+
+// Discipline returns the active record discipline.
+func (s *Source) Discipline() Discipline { return s.disc }
+
+// SetDiscipline changes the record discipline. It must not be called while
+// inside a record.
+func (s *Source) SetDiscipline(d Discipline) { s.disc = d }
+
+// Err returns the sticky I/O error, if any (io.EOF is not an error).
+func (s *Source) Err() error { return s.err }
+
+// ensure makes at least n bytes available at the cursor if the input has
+// them, returning the window from the cursor onward and whether the input
+// is exhausted. It never blocks for more than the input provides.
+func (s *Source) ensure(n int) ([]byte, bool, error) {
+	for len(s.buf)-s.pos < n && !s.eof && s.err == nil {
+		s.fill()
+	}
+	return s.buf[s.pos:], s.eof, s.err
+}
+
+func (s *Source) fill() {
+	if s.r == nil {
+		s.eof = true
+		return
+	}
+	m, err := s.r.Read(s.readBuf)
+	if m > 0 {
+		s.buf = append(s.buf, s.readBuf[:m]...)
+	}
+	if err == io.EOF {
+		s.eof = true
+	} else if err != nil {
+		s.err = err
+		s.eof = true
+	}
+}
+
+// compact discards consumed data when nothing pins it. Called between
+// records so memory use stays proportional to one record. The copy is
+// amortized O(total input): it runs only once the consumed prefix is at
+// least 64 KiB and at least as large as the unconsumed tail, so neither
+// in-memory sources (huge tail) nor streaming sources (tiny tail) pay a
+// per-record copy.
+func (s *Source) compact() {
+	if len(s.cps) > 0 || s.recDepth > 0 {
+		return
+	}
+	tail := len(s.buf) - s.pos
+	if s.pos < 64*1024 || s.pos < tail {
+		return
+	}
+	n := copy(s.buf, s.buf[s.pos:])
+	s.buf = s.buf[:n]
+	s.off += int64(s.pos)
+	s.pos = 0
+	s.recBody = 0
+	s.recEnd = -1
+}
+
+// Pos reports the cursor position.
+func (s *Source) Pos() Pos {
+	col := s.pos - s.recBody + 1
+	if s.recDepth == 0 {
+		col = 0
+	}
+	return Pos{Byte: s.off + int64(s.pos), Record: s.recNum, Col: col}
+}
+
+// LocFrom builds a Loc spanning from begin to the current position.
+func (s *Source) LocFrom(begin Pos) Loc { return Loc{Begin: begin, End: s.Pos()} }
+
+// LocHere builds a zero-width Loc at the current position: the error
+// location used on paths that consume nothing on failure, so the success
+// path pays no position bookkeeping.
+func (s *Source) LocHere() Loc {
+	p := s.Pos()
+	return Loc{Begin: p, End: p}
+}
+
+// BeginRecord opens the next record. It returns ok=false at a clean end of
+// input and a non-nil error on I/O failure. Nested calls (a Precord type
+// inside another Precord type) are no-ops that stay inside the same record,
+// so descriptions compose.
+func (s *Source) BeginRecord() (ok bool, err error) {
+	if s.recDepth > 0 {
+		s.recDepth++
+		return true, nil
+	}
+	s.compact()
+	skip, body, trailer, ok, err := s.disc.locate(s)
+	if err != nil || !ok {
+		return false, err
+	}
+	s.pos += skip
+	s.recBody = s.pos
+	if body < 0 {
+		s.recEnd = -1
+	} else {
+		// Buffer the whole record body (locate may have examined only a
+		// header); clamp to a truncated final record.
+		s.ensure(body + trailer)
+		s.recEnd = s.pos + body
+		if s.recEnd > len(s.buf) {
+			s.recEnd = len(s.buf)
+			trailer = 0
+		}
+	}
+	s.recTrail = trailer
+	s.recNum++
+	s.recDepth = 1
+	return true, nil
+}
+
+// EndRecord closes the current record, skipping its trailer. If data remains
+// before the record end it records ErrExtraBeforeEOR in pd (when pd is
+// non-nil) and discards the extra bytes. Inner (nested) EndRecord calls just
+// unwind the nesting.
+func (s *Source) EndRecord(pd *PD) {
+	if s.recDepth == 0 {
+		return
+	}
+	if s.recDepth > 1 {
+		s.recDepth--
+		return
+	}
+	if s.recEnd >= 0 {
+		if s.pos < s.recEnd && pd != nil {
+			begin := s.Pos()
+			s.pos = s.recEnd
+			pd.SetError(ErrExtraBeforeEOR, s.LocFrom(begin))
+		}
+		if s.pos < s.recEnd {
+			s.pos = s.recEnd
+		}
+		s.pos = s.recEnd + s.recTrail
+		if s.pos > len(s.buf) {
+			s.pos = len(s.buf)
+		}
+	}
+	s.recDepth = 0
+	s.compact()
+}
+
+// InRecord reports whether a record is open.
+func (s *Source) InRecord() bool { return s.recDepth > 0 }
+
+// RecordNum returns the 1-based number of the current (or last) record.
+func (s *Source) RecordNum() int { return s.recNum }
+
+// limit returns the exclusive upper bound of readable bytes, growing the
+// window as needed to honor a request for n bytes.
+func (s *Source) limit(n int) int {
+	if s.recDepth > 0 && s.recEnd >= 0 {
+		return s.recEnd
+	}
+	s.ensure(n)
+	return len(s.buf)
+}
+
+// Avail reports how many bytes remain in the current record (or input when
+// unbounded), making at least n available if possible.
+func (s *Source) Avail(n int) int {
+	if s.recDepth > 0 && s.recEnd >= 0 {
+		return s.recEnd - s.pos
+	}
+	s.ensure(n)
+	return len(s.buf) - s.pos
+}
+
+// PeekByte returns the byte at the cursor without consuming it. ok is false
+// at end of record or end of input.
+func (s *Source) PeekByte() (byte, bool) {
+	if s.limit(1) <= s.pos {
+		return 0, false
+	}
+	return s.buf[s.pos], true
+}
+
+// Peek returns up to n bytes at the cursor without consuming them; fewer are
+// returned at a record/input boundary.
+func (s *Source) Peek(n int) []byte {
+	lim := s.limit(n)
+	end := s.pos + n
+	if end > lim {
+		end = lim
+	}
+	return s.buf[s.pos:end]
+}
+
+// Skip advances the cursor by n bytes (clamped to the record/input end).
+func (s *Source) Skip(n int) {
+	lim := s.limit(n)
+	s.pos += n
+	if s.pos > lim {
+		s.pos = lim
+	}
+}
+
+// AtEOR reports whether the cursor is at the end of the current record. In
+// an unbounded record it is true only at end of input.
+func (s *Source) AtEOR() bool {
+	if s.recDepth == 0 {
+		return false
+	}
+	if s.recEnd >= 0 {
+		return s.pos >= s.recEnd
+	}
+	return s.AtEOF()
+}
+
+// AtEOF reports whether the input is exhausted at the cursor (only
+// meaningful outside a bounded record, or inside an unbounded one).
+func (s *Source) AtEOF() bool {
+	if s.pos < len(s.buf) {
+		return false
+	}
+	s.ensure(1)
+	return s.pos >= len(s.buf) && s.eof
+}
+
+// More reports whether another record (or more bytes) can follow; it is the
+// termination test for Psource-level arrays of records.
+func (s *Source) More() bool { return !s.AtEOF() }
+
+// SkipToEOR advances to the end of the current record (panic-mode
+// resynchronization). It reports how many bytes were skipped.
+func (s *Source) SkipToEOR() int {
+	if s.recDepth == 0 {
+		return 0
+	}
+	if s.recEnd >= 0 {
+		n := s.recEnd - s.pos
+		if n < 0 {
+			n = 0
+		}
+		s.pos = s.recEnd
+		return n
+	}
+	// Unbounded record: consume everything.
+	n := 0
+	for {
+		w, eofHit, _ := s.ensure(1)
+		if len(w) == 0 {
+			if eofHit {
+				return n
+			}
+			continue
+		}
+		n += len(w)
+		s.pos += len(w)
+	}
+}
+
+// Window returns the unconsumed remainder of the current record (fully
+// buffered), for regexp matching and diagnostics. In an unbounded record it
+// buffers up to max bytes (max<=0 means 64 KiB).
+func (s *Source) Window(max int) []byte {
+	if max <= 0 {
+		max = 64 * 1024
+	}
+	if s.recDepth > 0 && s.recEnd >= 0 {
+		return s.buf[s.pos:s.recEnd]
+	}
+	w, _, _ := s.ensure(max)
+	if len(w) > max {
+		w = w[:max]
+	}
+	return w
+}
+
+// Checkpoint pushes a speculation point; the window is pinned until the
+// matching Commit or Restore. Checkpoints nest, supporting unions inside
+// unions.
+func (s *Source) Checkpoint() {
+	s.cps = append(s.cps, checkpoint{
+		pos: s.pos, recDepth: s.recDepth, recBody: s.recBody,
+		recEnd: s.recEnd, recTrail: s.recTrail, recNum: s.recNum,
+	})
+}
+
+// Commit pops the most recent checkpoint, keeping all input consumed since.
+func (s *Source) Commit() {
+	if len(s.cps) == 0 {
+		panic("padsrt: Commit without Checkpoint")
+	}
+	s.cps = s.cps[:len(s.cps)-1]
+}
+
+// Restore pops the most recent checkpoint and rewinds to it.
+func (s *Source) Restore() {
+	if len(s.cps) == 0 {
+		panic("padsrt: Restore without Checkpoint")
+	}
+	cp := s.cps[len(s.cps)-1]
+	s.cps = s.cps[:len(s.cps)-1]
+	s.pos = cp.pos
+	s.recDepth = cp.recDepth
+	s.recBody = cp.recBody
+	s.recEnd = cp.recEnd
+	s.recTrail = cp.recTrail
+	s.recNum = cp.recNum
+}
+
+// Speculating reports whether any checkpoint is active.
+func (s *Source) Speculating() bool { return len(s.cps) > 0 }
+
+// RecordBytes returns the bytes of the current record consumed so far plus
+// the unconsumed remainder — i.e. the whole record body when called right
+// after BeginRecord, useful to echo erroneous records to an error log as
+// the Figure 7 program does.
+func (s *Source) RecordBytes() []byte {
+	if s.recDepth == 0 {
+		return nil
+	}
+	if s.recEnd >= 0 {
+		return s.buf[s.recBody:s.recEnd]
+	}
+	return s.buf[s.recBody:]
+}
+
+// String summarizes the cursor state for debugging.
+func (s *Source) String() string {
+	return fmt.Sprintf("Source{pos=%d rec=%d depth=%d disc=%s}", s.off+int64(s.pos), s.recNum, s.recDepth, s.disc.Name())
+}

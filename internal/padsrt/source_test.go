@@ -1,0 +1,288 @@
+package padsrt
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+func mustBegin(t *testing.T, s *Source) {
+	t.Helper()
+	ok, err := s.BeginRecord()
+	if err != nil {
+		t.Fatalf("BeginRecord: %v", err)
+	}
+	if !ok {
+		t.Fatalf("BeginRecord: unexpected end of input")
+	}
+}
+
+func TestNewlineRecords(t *testing.T) {
+	s := NewSource(strings.NewReader("abc\nde\n\nxyz"))
+	want := []string{"abc", "de", "", "xyz"}
+	for i, w := range want {
+		mustBegin(t, s)
+		if got := string(s.RecordBytes()); got != w {
+			t.Errorf("record %d = %q, want %q", i, got, w)
+		}
+		if s.RecordNum() != i+1 {
+			t.Errorf("RecordNum = %d, want %d", s.RecordNum(), i+1)
+		}
+		s.SkipToEOR()
+		var pd PD
+		s.EndRecord(&pd)
+		if pd.Nerr != 0 {
+			t.Errorf("record %d: unexpected errors %v", i, &pd)
+		}
+	}
+	ok, err := s.BeginRecord()
+	if err != nil || ok {
+		t.Errorf("after last record: ok=%v err=%v, want false,nil", ok, err)
+	}
+}
+
+func TestNewlineRecordsSmallReads(t *testing.T) {
+	// Drive the buffered fill path with a reader that returns one byte at
+	// a time.
+	s := NewSource(&oneByteReader{data: []byte("hello\nworld\n")})
+	for _, w := range []string{"hello", "world"} {
+		mustBegin(t, s)
+		if got := string(s.RecordBytes()); got != w {
+			t.Errorf("record = %q, want %q", got, w)
+		}
+		s.SkipToEOR()
+		s.EndRecord(nil)
+	}
+	if ok, _ := s.BeginRecord(); ok {
+		t.Error("expected end of input")
+	}
+}
+
+type oneByteReader struct{ data []byte }
+
+func (r *oneByteReader) Read(p []byte) (int, error) {
+	if len(r.data) == 0 {
+		return 0, io.EOF
+	}
+	p[0] = r.data[0]
+	r.data = r.data[1:]
+	return 1, nil
+}
+
+func TestFixedWidthRecords(t *testing.T) {
+	s := NewSource(bytes.NewReader([]byte("aaaabbbbcc")), WithDiscipline(FixedWidth(4)))
+	mustBegin(t, s)
+	if got := string(s.RecordBytes()); got != "aaaa" {
+		t.Fatalf("record 1 = %q", got)
+	}
+	s.SkipToEOR()
+	s.EndRecord(nil)
+	mustBegin(t, s)
+	if got := string(s.RecordBytes()); got != "bbbb" {
+		t.Fatalf("record 2 = %q", got)
+	}
+	s.SkipToEOR()
+	s.EndRecord(nil)
+	// Truncated final record is surfaced short.
+	mustBegin(t, s)
+	if got := string(s.RecordBytes()); got != "cc" {
+		t.Fatalf("record 3 = %q", got)
+	}
+	s.SkipToEOR()
+	s.EndRecord(nil)
+}
+
+func TestLenPrefixRecords(t *testing.T) {
+	var data []byte
+	d := LenPrefix()
+	d.writeRecord(&data, []byte("hello"))
+	d.writeRecord(&data, []byte(""))
+	d.writeRecord(&data, []byte("worlds"))
+	s := NewSource(bytes.NewReader(data), WithDiscipline(LenPrefix()))
+	for _, w := range []string{"hello", "", "worlds"} {
+		mustBegin(t, s)
+		if got := string(s.RecordBytes()); got != w {
+			t.Errorf("record = %q, want %q", got, w)
+		}
+		s.SkipToEOR()
+		s.EndRecord(nil)
+	}
+	if ok, _ := s.BeginRecord(); ok {
+		t.Error("expected end of input")
+	}
+}
+
+func TestLenPrefixIncludesHeader(t *testing.T) {
+	d := &LenPrefixDisc{HeaderBytes: 2, Order: LittleEndian, IncludesHeader: true}
+	var data []byte
+	d.writeRecord(&data, []byte("abc"))
+	if len(data) != 5 || data[0] != 5 || data[1] != 0 {
+		t.Fatalf("framed bytes = %v", data)
+	}
+	s := NewSource(bytes.NewReader(data), WithDiscipline(d))
+	mustBegin(t, s)
+	if got := string(s.RecordBytes()); got != "abc" {
+		t.Fatalf("record = %q", got)
+	}
+}
+
+func TestUnboundedDiscipline(t *testing.T) {
+	s := NewSource(strings.NewReader("raw bytes"), WithDiscipline(NoRecords()))
+	mustBegin(t, s)
+	if s.AtEOR() {
+		t.Error("AtEOR true at start of unbounded record")
+	}
+	s.Skip(9)
+	if !s.AtEOR() || !s.AtEOF() {
+		t.Error("expected EOR==EOF at end of unbounded record")
+	}
+}
+
+func TestExtraBeforeEOR(t *testing.T) {
+	s := NewSource(strings.NewReader("abcdef\n"))
+	mustBegin(t, s)
+	s.Skip(3)
+	var pd PD
+	s.EndRecord(&pd)
+	if pd.ErrCode != ErrExtraBeforeEOR || pd.Nerr != 1 {
+		t.Errorf("pd = %v, want ErrExtraBeforeEOR", &pd)
+	}
+}
+
+func TestCheckpointRestore(t *testing.T) {
+	s := NewSource(strings.NewReader("abcdef\n"))
+	mustBegin(t, s)
+	s.Checkpoint()
+	s.Skip(4)
+	if b, _ := s.PeekByte(); b != 'e' {
+		t.Fatalf("after skip: %c", b)
+	}
+	s.Restore()
+	if b, _ := s.PeekByte(); b != 'a' {
+		t.Fatalf("after restore: %c", b)
+	}
+	s.Checkpoint()
+	s.Skip(2)
+	s.Commit()
+	if b, _ := s.PeekByte(); b != 'c' {
+		t.Fatalf("after commit: %c", b)
+	}
+	if s.Speculating() {
+		t.Error("Speculating should be false after Commit")
+	}
+}
+
+func TestNestedCheckpoints(t *testing.T) {
+	s := NewBytesSource([]byte("0123456789\n"))
+	mustBegin(t, s)
+	s.Checkpoint()
+	s.Skip(2)
+	s.Checkpoint()
+	s.Skip(3)
+	s.Restore() // back to 2
+	if b, _ := s.PeekByte(); b != '2' {
+		t.Fatalf("inner restore: %c", b)
+	}
+	s.Restore() // back to 0
+	if b, _ := s.PeekByte(); b != '0' {
+		t.Fatalf("outer restore: %c", b)
+	}
+}
+
+func TestPositions(t *testing.T) {
+	s := NewSource(strings.NewReader("ab\ncd\n"))
+	mustBegin(t, s)
+	s.SkipToEOR()
+	s.EndRecord(nil)
+	mustBegin(t, s)
+	s.Skip(1)
+	p := s.Pos()
+	if p.Record != 2 || p.Col != 2 || p.Byte != 4 {
+		t.Errorf("Pos = %+v, want record 2 col 2 byte 4", p)
+	}
+}
+
+func TestCompactKeepsMemoryBounded(t *testing.T) {
+	// 10k records of ~1KB each; the window must stay near one record.
+	line := strings.Repeat("x", 1024) + "\n"
+	r := &repeatReader{chunk: []byte(line), n: 10000}
+	s := NewSource(r)
+	for {
+		ok, err := s.BeginRecord()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		s.SkipToEOR()
+		s.EndRecord(nil)
+		if cap(s.buf) > 1<<20 {
+			t.Fatalf("window grew to %d bytes; compaction is broken", cap(s.buf))
+		}
+	}
+	if s.RecordNum() != 10000 {
+		t.Fatalf("records = %d", s.RecordNum())
+	}
+}
+
+type repeatReader struct {
+	chunk []byte
+	n     int
+	off   int
+}
+
+func (r *repeatReader) Read(p []byte) (int, error) {
+	if r.n == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, r.chunk[r.off:])
+	r.off += n
+	if r.off == len(r.chunk) {
+		r.off = 0
+		r.n--
+	}
+	return n, nil
+}
+
+func TestNestedBeginRecordIsNoop(t *testing.T) {
+	s := NewSource(strings.NewReader("abc\n"))
+	mustBegin(t, s)
+	mustBegin(t, s) // nested: same record
+	if got := string(s.RecordBytes()); got != "abc" {
+		t.Fatalf("nested record = %q", got)
+	}
+	s.EndRecord(nil) // inner
+	if !s.InRecord() {
+		t.Fatal("inner EndRecord closed the record")
+	}
+	s.SkipToEOR()
+	var pd PD
+	s.EndRecord(&pd)
+	if s.InRecord() {
+		t.Fatal("outer EndRecord did not close the record")
+	}
+	if pd.Nerr != 0 {
+		t.Fatalf("pd = %v", &pd)
+	}
+}
+
+func TestReaderErrorSticky(t *testing.T) {
+	s := NewSource(&failingReader{})
+	ok, err := s.BeginRecord()
+	if ok || err == nil {
+		t.Fatalf("BeginRecord = %v, %v; want failure", ok, err)
+	}
+	if s.Err() == nil {
+		t.Error("sticky error not recorded")
+	}
+}
+
+type failingReader struct{}
+
+func (failingReader) Read(p []byte) (int, error) { return 0, errEOFTypeBoom{} }
+
+type errEOFTypeBoom struct{}
+
+func (errEOFTypeBoom) Error() string { return "boom" }

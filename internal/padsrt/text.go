@@ -1,0 +1,320 @@
+package padsrt
+
+import (
+	"bytes"
+	"regexp"
+)
+
+// Character, string, and literal base types. Terminated strings
+// (Pstring(:'|':)) stop before their terminator without consuming it;
+// fixed-width strings (Pstring_FW) consume exactly their width; regexp
+// strings (Pstring_ME) take the longest anchored match. All respect record
+// boundaries, one of the extra challenges of non-binary data the paper calls
+// out in section 8.
+
+// ReadChar reads one character in the ambient coding, returning it as ASCII.
+func ReadChar(s *Source) (byte, ErrCode) {
+	b, ok := s.PeekByte()
+	if !ok {
+		return 0, eofCode(s)
+	}
+	s.Skip(1)
+	if s.coding == EBCDIC {
+		return EBCDICToASCII(b), ErrNone
+	}
+	return b, ErrNone
+}
+
+// ReadAChar reads one ASCII character regardless of the ambient coding.
+func ReadAChar(s *Source) (byte, ErrCode) {
+	b, ok := s.PeekByte()
+	if !ok {
+		return 0, eofCode(s)
+	}
+	s.Skip(1)
+	return b, ErrNone
+}
+
+// ReadEChar reads one EBCDIC character, returning its ASCII translation.
+func ReadEChar(s *Source) (byte, ErrCode) {
+	b, ok := s.PeekByte()
+	if !ok {
+		return 0, eofCode(s)
+	}
+	s.Skip(1)
+	return EBCDICToASCII(b), ErrNone
+}
+
+// ReadBChar reads one raw byte (Pb_char / Pb_int8 as character data).
+func ReadBChar(s *Source) (byte, ErrCode) {
+	return ReadAChar(s)
+}
+
+// ReadStringTerm reads a (possibly empty) string up to, but not including,
+// the terminator character, or up to end-of-record. The terminator is given
+// in ASCII and translated under the ambient coding. Pstring(:' ':) in
+// Figure 4 is ReadStringTerm(s, ' ').
+func ReadStringTerm(s *Source, term byte) (string, ErrCode) {
+	raw := term
+	if s.coding == EBCDIC {
+		raw = ASCIIToEBCDIC(term)
+	}
+	n := 0
+	for {
+		want := n + 4096
+		w := s.Window(want)
+		if i := bytes.IndexByte(w[n:], raw); i >= 0 {
+			n += i
+			break
+		}
+		n = len(w)
+		if len(w) < want {
+			break // record or input boundary reached
+		}
+	}
+	w := s.Peek(n)
+	var out string
+	if s.coding == EBCDIC {
+		out = EBCDICBytesToString(w)
+	} else {
+		out = s.internString(w)
+	}
+	s.Skip(n)
+	return out, ErrNone
+}
+
+// SkipStringTerm consumes a terminated string without materializing it: the
+// fast path generated parsers take when a field's mask neither checks nor
+// sets (the run-time saving masks exist to provide).
+func SkipStringTerm(s *Source, term byte) ErrCode {
+	raw := term
+	if s.coding == EBCDIC {
+		raw = ASCIIToEBCDIC(term)
+	}
+	n := 0
+	for {
+		want := n + 4096
+		w := s.Window(want)
+		if i := bytes.IndexByte(w[n:], raw); i >= 0 {
+			n += i
+			break
+		}
+		n = len(w)
+		if len(w) < want {
+			break
+		}
+	}
+	s.Skip(n)
+	return ErrNone
+}
+
+// SkipStringFW consumes a fixed-width string without materializing it.
+func SkipStringFW(s *Source, width int) ErrCode {
+	if width < 0 {
+		return ErrBadParam
+	}
+	if s.Avail(width) < width {
+		return eofCode(s)
+	}
+	s.Skip(width)
+	return ErrNone
+}
+
+// SkipStringEOR consumes the remainder of the record.
+func SkipStringEOR(s *Source) ErrCode {
+	s.SkipToEOR()
+	return ErrNone
+}
+
+// ReadStringEOR reads the remainder of the current record as a string
+// (Pstring(:Peor:)).
+func ReadStringEOR(s *Source) (string, ErrCode) {
+	var out []byte
+	for {
+		w := s.Window(64 * 1024)
+		if len(w) == 0 {
+			break
+		}
+		out = append(out, w...)
+		s.Skip(len(w))
+		if s.AtEOR() || s.AtEOF() {
+			break
+		}
+	}
+	if s.coding == EBCDIC {
+		return EBCDICBytesToString(out), ErrNone
+	}
+	return string(out), ErrNone
+}
+
+// ReadStringFW reads a string of exactly width bytes.
+func ReadStringFW(s *Source, width int) (string, ErrCode) {
+	if width < 0 {
+		return "", ErrBadParam
+	}
+	if s.Avail(width) < width {
+		return "", eofCode(s)
+	}
+	w := s.Peek(width)
+	var out string
+	if s.coding == EBCDIC {
+		out = EBCDICBytesToString(w)
+	} else {
+		out = s.internString(w)
+	}
+	s.Skip(width)
+	return out, ErrNone
+}
+
+// ReadStringME reads the longest match of re anchored at the cursor
+// (Pstring_ME). The expression must have been compiled with CompileRegexp so
+// it is anchored.
+func ReadStringME(s *Source, re *Regexp) (string, ErrCode) {
+	w := s.Window(0)
+	loc := re.re.FindIndex(w)
+	if loc == nil || loc[0] != 0 {
+		return "", ErrInvalidRegexp
+	}
+	out := string(w[:loc[1]])
+	s.Skip(loc[1])
+	return out, ErrNone
+}
+
+// ReadStringSE reads a string terminated by (and not including) the first
+// match of re in the remainder of the record (Pstring_SE).
+func ReadStringSE(s *Source, re *Regexp) (string, ErrCode) {
+	w := s.Window(0)
+	loc := re.unanchored.FindIndex(w)
+	n := len(w)
+	if loc != nil {
+		n = loc[0]
+	}
+	out := string(w[:n])
+	s.Skip(n)
+	return out, ErrNone
+}
+
+// MatchChar matches a single literal character (given in ASCII; translated
+// under the ambient coding) and consumes it.
+func MatchChar(s *Source, c byte) ErrCode {
+	raw := c
+	if s.coding == EBCDIC {
+		raw = ASCIIToEBCDIC(c)
+	}
+	b, ok := s.PeekByte()
+	if !ok {
+		return eofCode(s)
+	}
+	if b != raw {
+		return ErrMissingLiteral
+	}
+	s.Skip(1)
+	return ErrNone
+}
+
+// MatchString matches a literal string (given in ASCII) and consumes it.
+func MatchString(s *Source, lit string) ErrCode {
+	n := len(lit)
+	if n == 0 {
+		return ErrNone
+	}
+	if s.Avail(n) < n {
+		return eofCode(s)
+	}
+	w := s.Peek(n)
+	if s.coding == EBCDIC {
+		for i := 0; i < n; i++ {
+			if EBCDICToASCII(w[i]) != lit[i] {
+				return ErrMissingLiteral
+			}
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			if w[i] != lit[i] {
+				return ErrMissingLiteral
+			}
+		}
+	}
+	s.Skip(n)
+	return ErrNone
+}
+
+// MatchRegexp matches re anchored at the cursor and consumes the longest
+// match (regular-expression literals, section 3).
+func MatchRegexp(s *Source, re *Regexp) ErrCode {
+	w := s.Window(0)
+	loc := re.re.FindIndex(w)
+	if loc == nil || loc[0] != 0 {
+		return ErrMissingLiteral
+	}
+	s.Skip(loc[1])
+	return ErrNone
+}
+
+// MatchEOR matches the Peor pseudo-literal: the cursor must be at the end of
+// the current record. It does not consume the record trailer (EndRecord
+// does).
+func MatchEOR(s *Source) ErrCode {
+	if s.AtEOR() {
+		return ErrNone
+	}
+	return ErrMissingLiteral
+}
+
+// MatchEOF matches the Peof pseudo-literal.
+func MatchEOF(s *Source) ErrCode {
+	if s.AtEOF() {
+		return ErrNone
+	}
+	return ErrMissingLiteral
+}
+
+// Regexp wraps a compiled regular expression with both an anchored and an
+// unanchored form, as the runtime needs each for different base types.
+type Regexp struct {
+	src        string
+	re         *regexp.Regexp // anchored at the start
+	unanchored *regexp.Regexp
+}
+
+// CompileRegexp compiles a PADS regular-expression literal.
+func CompileRegexp(src string) (*Regexp, error) {
+	a, err := regexp.Compile("^(?:" + src + ")")
+	if err != nil {
+		return nil, err
+	}
+	u, err := regexp.Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	return &Regexp{src: src, re: a, unanchored: u}, nil
+}
+
+// MustCompileRegexp is CompileRegexp that panics on error, for generated
+// code whose patterns were validated at compile time.
+func MustCompileRegexp(src string) *Regexp {
+	re, err := CompileRegexp(src)
+	if err != nil {
+		panic("padsrt: bad regexp literal " + src + ": " + err.Error())
+	}
+	return re
+}
+
+// String returns the source pattern.
+func (re *Regexp) String() string { return re.src }
+
+// AppendString appends s in the ambient coding of the source configuration.
+func AppendString(dst []byte, s string, coding Coding) []byte {
+	if coding == EBCDIC {
+		return append(dst, StringToEBCDICBytes(s)...)
+	}
+	return append(dst, s...)
+}
+
+// AppendChar appends c in the given coding.
+func AppendChar(dst []byte, c byte, coding Coding) []byte {
+	if coding == EBCDIC {
+		return append(dst, ASCIIToEBCDIC(c))
+	}
+	return append(dst, c)
+}

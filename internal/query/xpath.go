@@ -1,0 +1,543 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"pads/internal/padsrt"
+)
+
+// The XPath-subset query language, standing in for XQuery over the data
+// API. Supported:
+//
+//	/a/b/c               child steps
+//	//name               descendant-or-self steps
+//	*                    any child
+//	a[3]                 positional predicate (1-based, as in XPath)
+//	a[b/c = "x"]         comparison predicates (= != < <= > >=)
+//	a[p1 and p2 or p3]   boolean connectives
+//	xs:date("2002-04-14")  date literals (compare against epoch seconds)
+//	count(path), sum(p), avg(p), min(p), max(p)  top-level aggregates
+//	$var/...             a leading variable is accepted and ignored
+//
+// Comparisons between a node set and a literal hold when any node in the
+// set satisfies the comparison (XPath existential semantics).
+
+// Query is a compiled query.
+type Query struct {
+	agg   string // "", "count", "sum", "avg", "min", "max"
+	steps []step
+}
+
+type step struct {
+	name       string // "*" matches any
+	descendant bool
+	preds      []pred
+}
+
+type pred interface{ eval(n *Node, pos int) bool }
+
+type posPred struct{ k int }
+
+type cmpPred struct {
+	op   string
+	l, r operand
+}
+
+type andPred struct{ l, r pred }
+type orPred struct{ l, r pred }
+type existsPred struct{ steps []step }
+
+type operand struct {
+	isPath bool
+	steps  []step
+	num    float64
+	isNum  bool
+	str    string
+}
+
+// Compile parses a query.
+func Compile(src string) (*Query, error) {
+	p := &qparser{src: src}
+	q, err := p.parse()
+	if err != nil {
+		return nil, fmt.Errorf("query: %v", err)
+	}
+	return q, nil
+}
+
+// Run evaluates the query against a root node, returning matching nodes.
+// For aggregate queries use Eval.
+func (q *Query) Run(root *Node) []*Node {
+	return evalSteps([]*Node{root}, q.steps)
+}
+
+// Eval evaluates the query, returning either a node set (agg == "") or an
+// aggregate number.
+func (q *Query) Eval(root *Node) (nodes []*Node, agg float64, isAgg bool) {
+	nodes = q.Run(root)
+	if q.agg == "" {
+		return nodes, 0, false
+	}
+	switch q.agg {
+	case "count":
+		return nil, float64(len(nodes)), true
+	default:
+		var sum, min, max float64
+		n := 0
+		for _, node := range nodes {
+			if f, ok := node.Num(); ok {
+				if n == 0 || f < min {
+					min = f
+				}
+				if n == 0 || f > max {
+					max = f
+				}
+				sum += f
+				n++
+			}
+		}
+		switch q.agg {
+		case "sum":
+			return nil, sum, true
+		case "min":
+			return nil, min, true
+		case "max":
+			return nil, max, true
+		default: // avg
+			if n == 0 {
+				return nil, 0, true
+			}
+			return nil, sum / float64(n), true
+		}
+	}
+}
+
+func evalSteps(ns []*Node, steps []step) []*Node {
+	cur := ns
+	for _, st := range steps {
+		var next []*Node
+		for _, n := range cur {
+			var cands []*Node
+			if st.descendant {
+				collectDescendants(n, st.name, &cands)
+			} else {
+				for _, c := range n.Children() {
+					if st.name == "*" || c.Name == st.name {
+						cands = append(cands, c)
+					}
+				}
+			}
+			// Apply predicates positionally per parent node.
+			for _, p := range st.preds {
+				var kept []*Node
+				for i, c := range cands {
+					if p.eval(c, i+1) {
+						kept = append(kept, c)
+					}
+				}
+				cands = kept
+			}
+			next = append(next, cands...)
+		}
+		cur = next
+	}
+	return cur
+}
+
+func collectDescendants(n *Node, name string, out *[]*Node) {
+	for _, c := range n.Children() {
+		if name == "*" || c.Name == name {
+			*out = append(*out, c)
+		}
+		collectDescendants(c, name, out)
+	}
+}
+
+func (p posPred) eval(n *Node, pos int) bool { return pos == p.k }
+
+func (p existsPred) eval(n *Node, pos int) bool {
+	return len(evalSteps([]*Node{n}, p.steps)) > 0
+}
+
+func (p andPred) eval(n *Node, pos int) bool { return p.l.eval(n, pos) && p.r.eval(n, pos) }
+func (p orPred) eval(n *Node, pos int) bool  { return p.l.eval(n, pos) || p.r.eval(n, pos) }
+
+func (p cmpPred) eval(n *Node, pos int) bool {
+	lvals := p.l.resolve(n)
+	rvals := p.r.resolve(n)
+	for _, l := range lvals {
+		for _, r := range rvals {
+			if cmpVals(l, r, p.op) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// val is a comparison operand value: a number or a string.
+type val struct {
+	num   float64
+	isNum bool
+	str   string
+}
+
+func (o operand) resolve(n *Node) []val {
+	if !o.isPath {
+		return []val{{num: o.num, isNum: o.isNum, str: o.str}}
+	}
+	nodes := evalSteps([]*Node{n}, o.steps)
+	out := make([]val, 0, len(nodes))
+	for _, nd := range nodes {
+		if f, ok := nd.Num(); ok {
+			out = append(out, val{num: f, isNum: true, str: nd.Text()})
+		} else {
+			out = append(out, val{str: nd.Text()})
+		}
+	}
+	return out
+}
+
+func cmpVals(l, r val, op string) bool {
+	if l.isNum && r.isNum {
+		switch op {
+		case "=":
+			return l.num == r.num
+		case "!=":
+			return l.num != r.num
+		case "<":
+			return l.num < r.num
+		case "<=":
+			return l.num <= r.num
+		case ">":
+			return l.num > r.num
+		case ">=":
+			return l.num >= r.num
+		}
+	}
+	ls, rs := l.str, r.str
+	switch op {
+	case "=":
+		return ls == rs
+	case "!=":
+		return ls != rs
+	case "<":
+		return ls < rs
+	case "<=":
+		return ls <= rs
+	case ">":
+		return ls > rs
+	case ">=":
+		return ls >= rs
+	}
+	return false
+}
+
+// ---- query parser ----
+
+type qparser struct {
+	src string
+	off int
+}
+
+func (p *qparser) ws() {
+	for p.off < len(p.src) && (p.src[p.off] == ' ' || p.src[p.off] == '\t' || p.src[p.off] == '\n') {
+		p.off++
+	}
+}
+
+func (p *qparser) peek() byte {
+	if p.off >= len(p.src) {
+		return 0
+	}
+	return p.src[p.off]
+}
+
+func (p *qparser) hasPrefix(s string) bool { return strings.HasPrefix(p.src[p.off:], s) }
+
+func (p *qparser) ident() string {
+	start := p.off
+	for p.off < len(p.src) {
+		c := p.src[p.off]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' || c == '-' {
+			p.off++
+		} else {
+			break
+		}
+	}
+	return p.src[start:p.off]
+}
+
+func (p *qparser) parse() (*Query, error) {
+	p.ws()
+	q := &Query{}
+	// Aggregate wrapper?
+	for _, agg := range []string{"count", "sum", "avg", "min", "max"} {
+		if p.hasPrefix(agg + "(") {
+			q.agg = agg
+			p.off += len(agg) + 1
+			steps, err := p.parsePath()
+			if err != nil {
+				return nil, err
+			}
+			p.ws()
+			if p.peek() != ')' {
+				return nil, fmt.Errorf("expected ) to close %s(...)", agg)
+			}
+			p.off++
+			q.steps = steps
+			return q, p.expectEOF()
+		}
+	}
+	steps, err := p.parsePath()
+	if err != nil {
+		return nil, err
+	}
+	q.steps = steps
+	return q, p.expectEOF()
+}
+
+func (p *qparser) expectEOF() error {
+	p.ws()
+	if p.off < len(p.src) {
+		return fmt.Errorf("unexpected %q at offset %d", p.src[p.off:], p.off)
+	}
+	return nil
+}
+
+func (p *qparser) parsePath() ([]step, error) {
+	p.ws()
+	// Skip a leading variable: $sirius.
+	if p.peek() == '$' {
+		p.off++
+		p.ident()
+	}
+	var steps []step
+	for {
+		p.ws()
+		descendant := false
+		if p.hasPrefix("//") {
+			descendant = true
+			p.off += 2
+		} else if p.peek() == '/' {
+			p.off++
+		} else if len(steps) > 0 {
+			break
+		}
+		p.ws()
+		var name string
+		if p.peek() == '*' {
+			p.off++
+			name = "*"
+		} else {
+			name = p.ident()
+		}
+		if name == "" {
+			if len(steps) == 0 {
+				return nil, fmt.Errorf("empty path")
+			}
+			break
+		}
+		st := step{name: name, descendant: descendant}
+		for {
+			p.ws()
+			if p.peek() != '[' {
+				break
+			}
+			p.off++
+			pr, err := p.parsePred()
+			if err != nil {
+				return nil, err
+			}
+			p.ws()
+			if p.peek() != ']' {
+				return nil, fmt.Errorf("expected ] at offset %d", p.off)
+			}
+			p.off++
+			st.preds = append(st.preds, pr)
+		}
+		steps = append(steps, st)
+		p.ws()
+		if p.peek() != '/' && !p.hasPrefix("//") {
+			break
+		}
+	}
+	return steps, nil
+}
+
+func (p *qparser) parsePred() (pred, error) {
+	l, err := p.parsePredAnd()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.ws()
+		if !p.hasPrefix("or ") && !p.hasPrefix("or\t") {
+			return l, nil
+		}
+		p.off += 2
+		r, err := p.parsePredAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = orPred{l, r}
+	}
+}
+
+func (p *qparser) parsePredAnd() (pred, error) {
+	l, err := p.parsePredAtom()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.ws()
+		if !p.hasPrefix("and ") && !p.hasPrefix("and\t") {
+			return l, nil
+		}
+		p.off += 3
+		r, err := p.parsePredAtom()
+		if err != nil {
+			return nil, err
+		}
+		l = andPred{l, r}
+	}
+}
+
+func (p *qparser) parsePredAtom() (pred, error) {
+	p.ws()
+	// Pure position: [3]
+	if c := p.peek(); c >= '0' && c <= '9' {
+		save := p.off
+		n := p.number()
+		p.ws()
+		if p.peek() == ']' {
+			return posPred{k: int(n)}, nil
+		}
+		p.off = save
+	}
+	l, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	p.ws()
+	ops := []string{"!=", "<=", ">=", "=", "<", ">"}
+	for _, op := range ops {
+		if p.hasPrefix(op) {
+			p.off += len(op)
+			r, err := p.parseOperand()
+			if err != nil {
+				return nil, err
+			}
+			return cmpPred{op: op, l: l, r: r}, nil
+		}
+	}
+	// No operator: existence test on a path.
+	if l.isPath {
+		return existsPred{steps: l.steps}, nil
+	}
+	return nil, fmt.Errorf("expected a comparison at offset %d", p.off)
+}
+
+func (p *qparser) number() float64 {
+	start := p.off
+	for p.off < len(p.src) && (p.src[p.off] >= '0' && p.src[p.off] <= '9' || p.src[p.off] == '.') {
+		p.off++
+	}
+	f, _ := strconv.ParseFloat(p.src[start:p.off], 64)
+	return f
+}
+
+func (p *qparser) parseOperand() (operand, error) {
+	p.ws()
+	c := p.peek()
+	switch {
+	case c == '"' || c == '\'':
+		quote := c
+		p.off++
+		start := p.off
+		for p.off < len(p.src) && p.src[p.off] != quote {
+			p.off++
+		}
+		if p.off >= len(p.src) {
+			return operand{}, fmt.Errorf("unterminated string literal")
+		}
+		s := p.src[start:p.off]
+		p.off++
+		return operand{str: s}, nil
+	case c >= '0' && c <= '9' || c == '-':
+		neg := false
+		if c == '-' {
+			neg = true
+			p.off++
+		}
+		f := p.number()
+		if neg {
+			f = -f
+		}
+		return operand{num: f, isNum: true}, nil
+	case p.hasPrefix("xs:date(") || p.hasPrefix("xs:dateTime("):
+		i := strings.IndexByte(p.src[p.off:], '(')
+		p.off += i + 1
+		p.ws()
+		inner, err := p.parseOperand()
+		if err != nil {
+			return operand{}, err
+		}
+		p.ws()
+		if p.peek() != ')' {
+			return operand{}, fmt.Errorf("expected ) after xs:date")
+		}
+		p.off++
+		sec, code := padsrt.ParseDateString(inner.str)
+		if code != padsrt.ErrNone {
+			return operand{}, fmt.Errorf("invalid xs:date %q", inner.str)
+		}
+		return operand{num: float64(sec), isNum: true}, nil
+	default:
+		steps, err := p.parseRelPath()
+		if err != nil {
+			return operand{}, err
+		}
+		return operand{isPath: true, steps: steps}, nil
+	}
+}
+
+// parseRelPath parses a relative path inside a predicate: a/b[1]/c.
+func (p *qparser) parseRelPath() ([]step, error) {
+	var steps []step
+	for {
+		p.ws()
+		name := p.ident()
+		if name == "" {
+			if len(steps) == 0 {
+				return nil, fmt.Errorf("expected a path at offset %d", p.off)
+			}
+			return steps, nil
+		}
+		st := step{name: name}
+		for {
+			p.ws()
+			if p.peek() != '[' {
+				break
+			}
+			p.off++
+			pr, err := p.parsePred()
+			if err != nil {
+				return nil, err
+			}
+			p.ws()
+			if p.peek() != ']' {
+				return nil, fmt.Errorf("expected ]")
+			}
+			p.off++
+			st.preds = append(st.preds, pr)
+		}
+		steps = append(steps, st)
+		if p.peek() != '/' {
+			return steps, nil
+		}
+		p.off++
+	}
+}

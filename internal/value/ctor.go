@@ -1,0 +1,55 @@
+package value
+
+import "pads/internal/padsrt"
+
+// Constructors used by generated ToValue bridges (and handy in tests).
+
+// NewUint builds an unsigned-integer value.
+func NewUint(v uint64, bits int, typ string, pd padsrt.PD) *Uint {
+	return &Uint{Common: Common{Pd: pd, Type: typ}, Val: v, Bits: bits}
+}
+
+// NewInt builds a signed-integer value.
+func NewInt(v int64, bits int, typ string, pd padsrt.PD) *Int {
+	return &Int{Common: Common{Pd: pd, Type: typ}, Val: v, Bits: bits}
+}
+
+// NewFloat builds a floating-point value.
+func NewFloat(v float64, bits int, typ string, pd padsrt.PD) *Float {
+	return &Float{Common: Common{Pd: pd, Type: typ}, Val: v, Bits: bits}
+}
+
+// NewChar builds a character value.
+func NewChar(v byte, typ string, pd padsrt.PD) *Char {
+	return &Char{Common: Common{Pd: pd, Type: typ}, Val: v}
+}
+
+// NewStr builds a string value.
+func NewStr(v, typ string, pd padsrt.PD) *Str {
+	return &Str{Common: Common{Pd: pd, Type: typ}, Val: v}
+}
+
+// NewDate builds a date value.
+func NewDate(sec int64, raw, typ string, pd padsrt.PD) *Date {
+	return &Date{Common: Common{Pd: pd, Type: typ}, Sec: sec, Raw: raw}
+}
+
+// NewIP builds an IPv4 value.
+func NewIP(v uint32, typ string, pd padsrt.PD) *IP {
+	return &IP{Common: Common{Pd: pd, Type: typ}, Val: v}
+}
+
+// NewVoid builds a void value.
+func NewVoid(typ string, pd padsrt.PD) *Void {
+	return &Void{Common: Common{Pd: pd, Type: typ}}
+}
+
+// NewEnum builds an enumeration value.
+func NewEnum(typ, member string, index int, pd padsrt.PD) *Enum {
+	return &Enum{Common: Common{Pd: pd, Type: typ}, Member: member, Index: index}
+}
+
+// NewOpt builds an optional value.
+func NewOpt(present bool, val Value, typ string, pd padsrt.PD) *Opt {
+	return &Opt{Common: Common{Pd: pd, Type: typ}, Present: present, Val: val}
+}

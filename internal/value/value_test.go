@@ -1,0 +1,167 @@
+package value
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"pads/internal/padsrt"
+	"pads/internal/sema"
+)
+
+func sampleStruct() *Struct {
+	st := &Struct{Common: Common{Type: "pair_t"}}
+	st.Names = []string{"a", "b"}
+	st.Fields = []Value{
+		NewUint(7, 32, "Puint32", padsrt.PD{}),
+		NewStr("hi", "Pstring", padsrt.PD{}),
+	}
+	return st
+}
+
+func TestKinds(t *testing.T) {
+	cases := map[Value]sema.Kind{
+		&Uint{}:   sema.KUint,
+		&Int{}:    sema.KInt,
+		&Float{}:  sema.KFloat,
+		&Char{}:   sema.KChar,
+		&Str{}:    sema.KString,
+		&Date{}:   sema.KDate,
+		&IP{}:     sema.KIP,
+		&Void{}:   sema.KVoid,
+		&Enum{}:   sema.KEnum,
+		&Struct{}: sema.KStruct,
+		&Union{}:  sema.KUnion,
+		&Array{}:  sema.KArray,
+		&Opt{}:    sema.KOpt,
+	}
+	for v, want := range cases {
+		if v.Kind() != want {
+			t.Errorf("%T.Kind() = %v, want %v", v, v.Kind(), want)
+		}
+	}
+}
+
+func TestFieldLookup(t *testing.T) {
+	st := sampleStruct()
+	if st.Field("a") == nil || st.Field("b") == nil {
+		t.Fatal("field lookup failed")
+	}
+	if st.Field("c") != nil {
+		t.Fatal("phantom field")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	st := sampleStruct()
+	s := String(st)
+	for _, want := range []string{"pair_t{", "a=7", `b="hi"`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+	un := &Union{Common: Common{Type: "u_t"}, Tag: "left", Val: NewInt(-3, 32, "Pint32", padsrt.PD{})}
+	if got := String(un); got != "u_t.left=-3" {
+		t.Errorf("union String() = %q", got)
+	}
+	arr := &Array{Elems: []Value{NewUint(1, 8, "Puint8", padsrt.PD{}), NewUint(2, 8, "Puint8", padsrt.PD{})}}
+	if got := String(arr); got != "[1, 2]" {
+		t.Errorf("array String() = %q", got)
+	}
+	if got := String(&Opt{Present: false}); got != "none" {
+		t.Errorf("absent opt = %q", got)
+	}
+	if got := String(NewOpt(true, NewChar('x', "Pchar", padsrt.PD{}), "opt", padsrt.PD{})); got != "some('x')" {
+		t.Errorf("present opt = %q", got)
+	}
+	if got := String(NewDate(5, "raw", "Pdate", padsrt.PD{})); got != `date(5,"raw")` {
+		t.Errorf("date = %q", got)
+	}
+	if got := String(NewIP(0x01020304, "Pip", padsrt.PD{})); got != "1.2.3.4" {
+		t.Errorf("ip = %q", got)
+	}
+	if got := String(nil); got != "<nil>" {
+		t.Errorf("nil = %q", got)
+	}
+}
+
+func TestEqualStructural(t *testing.T) {
+	a, b := sampleStruct(), sampleStruct()
+	if !Equal(a, b) {
+		t.Fatal("identical structs unequal")
+	}
+	// Parse descriptors are ignored.
+	b.Fields[0].PD().SetError(padsrt.ErrInvalidInt, padsrt.Loc{})
+	if !Equal(a, b) {
+		t.Fatal("pd difference affected Equal")
+	}
+	// Value differences are detected.
+	c := sampleStruct()
+	c.Fields[0] = NewUint(8, 32, "Puint32", padsrt.PD{})
+	if Equal(a, c) {
+		t.Fatal("different values equal")
+	}
+	// Cross-kind comparisons are unequal.
+	if Equal(NewUint(1, 8, "", padsrt.PD{}), NewInt(1, 8, "", padsrt.PD{})) {
+		t.Fatal("uint equals int")
+	}
+	// Unions compare tags then payloads.
+	u1 := &Union{Tag: "x", Val: NewUint(1, 8, "", padsrt.PD{})}
+	u2 := &Union{Tag: "y", Val: NewUint(1, 8, "", padsrt.PD{})}
+	if Equal(u1, u2) {
+		t.Fatal("different tags equal")
+	}
+	// Opt presence matters.
+	if Equal(&Opt{Present: true, Val: NewUint(1, 8, "", padsrt.PD{})}, &Opt{Present: false}) {
+		t.Fatal("present equals absent")
+	}
+}
+
+// Property: Equal is reflexive over randomly built scalar arrays.
+func TestEqualReflexive(t *testing.T) {
+	f := func(vals []uint32) bool {
+		arr := &Array{}
+		for _, v := range vals {
+			arr.Elems = append(arr.Elems, NewUint(uint64(v), 32, "Puint32", padsrt.PD{}))
+		}
+		return Equal(arr, arr)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConstructorsSetCommon(t *testing.T) {
+	var pd padsrt.PD
+	pd.SetError(padsrt.ErrRange, padsrt.Loc{})
+	u := NewUint(9, 16, "Puint16", pd)
+	if u.TypeName() != "Puint16" || u.PD().ErrCode != padsrt.ErrRange || u.Bits != 16 {
+		t.Errorf("constructor lost metadata: %+v", u)
+	}
+	e := NewEnum("m_t", "GET", 0, padsrt.PD{})
+	if e.Member != "GET" || e.TypeName() != "m_t" {
+		t.Errorf("enum ctor: %+v", e)
+	}
+	v := NewVoid("Pempty", padsrt.PD{})
+	if v.TypeName() != "Pempty" {
+		t.Errorf("void ctor: %+v", v)
+	}
+	f := NewFloat(1.5, 64, "Pfloat64", padsrt.PD{})
+	if f.Val != 1.5 || f.Bits != 64 {
+		t.Errorf("float ctor: %+v", f)
+	}
+}
+
+func TestTotalErrors(t *testing.T) {
+	st := sampleStruct()
+	if TotalErrors(st) != 0 {
+		t.Fatal("clean value has errors")
+	}
+	st.PD().Nerr = 3
+	if TotalErrors(st) != 3 {
+		t.Fatal("root nerr not authoritative")
+	}
+	if TotalErrors(nil) != 0 {
+		t.Fatal("nil value")
+	}
+}

@@ -1,0 +1,264 @@
+// Package xmlgen converts parsed values into a canonical XML embedding and
+// generates the XML Schema describing that embedding for a description
+// (section 5.3.2 of the paper). Parse descriptors are embedded for buggy
+// data so the error portions of a source remain explorable; clean values
+// omit them.
+package xmlgen
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"pads/internal/dsl"
+	"pads/internal/padsrt"
+	"pads/internal/sema"
+	"pads/internal/value"
+)
+
+// WriteXML writes the canonical XML form of v as one element named tag,
+// indented by indent levels: the generated <type>_write_xml_2io of Figure 6.
+func WriteXML(w io.Writer, v value.Value, tag string, indent int) error {
+	p := &printer{w: w}
+	p.value(v, tag, indent)
+	return p.err
+}
+
+// XMLString renders the canonical XML form as a string.
+func XMLString(v value.Value, tag string) string {
+	var sb strings.Builder
+	WriteXML(&sb, v, tag, 0)
+	return sb.String()
+}
+
+type printer struct {
+	w   io.Writer
+	err error
+}
+
+func (p *printer) printf(format string, args ...interface{}) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+func (p *printer) ind(n int) string { return strings.Repeat("  ", n) }
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+func (p *printer) value(v value.Value, tag string, indent int) {
+	if v == nil {
+		return
+	}
+	switch v := v.(type) {
+	case *value.Struct:
+		p.printf("%s<%s>\n", p.ind(indent), tag)
+		for i, n := range v.Names {
+			p.value(v.Fields[i], n, indent+1)
+		}
+		p.pd(v.PD(), indent+1)
+		p.printf("%s</%s>\n", p.ind(indent), tag)
+	case *value.Union:
+		p.printf("%s<%s>\n", p.ind(indent), tag)
+		if v.Val != nil {
+			p.value(v.Val, v.Tag, indent+1)
+		}
+		p.pd(v.PD(), indent+1)
+		p.printf("%s</%s>\n", p.ind(indent), tag)
+	case *value.Array:
+		p.printf("%s<%s>\n", p.ind(indent), tag)
+		for _, e := range v.Elems {
+			p.value(e, "elt", indent+1)
+		}
+		p.printf("%s<length>%d</length>\n", p.ind(indent+1), len(v.Elems))
+		p.pd(v.PD(), indent+1)
+		p.printf("%s</%s>\n", p.ind(indent), tag)
+	case *value.Opt:
+		if v.Present {
+			p.value(v.Val, tag, indent)
+		} else {
+			p.printf("%s<%s/>\n", p.ind(indent), tag)
+		}
+	case *value.Void:
+		p.printf("%s<%s/>\n", p.ind(indent), tag)
+	default:
+		if v.PD().Nerr > 0 {
+			// A buggy leaf embeds its descriptor next to the value.
+			p.printf("%s<%s>\n", p.ind(indent), tag)
+			p.printf("%s<val>%s</val>\n", p.ind(indent+1), escape(leafText(v)))
+			p.pd(v.PD(), indent+1)
+			p.printf("%s</%s>\n", p.ind(indent), tag)
+			return
+		}
+		p.printf("%s<%s>%s</%s>\n", p.ind(indent), tag, escape(leafText(v)), tag)
+	}
+}
+
+func leafText(v value.Value) string {
+	switch v := v.(type) {
+	case *value.Uint:
+		return fmt.Sprintf("%d", v.Val)
+	case *value.Int:
+		return fmt.Sprintf("%d", v.Val)
+	case *value.Float:
+		return fmt.Sprintf("%g", v.Val)
+	case *value.Char:
+		return string(v.Val)
+	case *value.Str:
+		return v.Val
+	case *value.Date:
+		return v.Raw
+	case *value.IP:
+		return padsrt.FormatIP(v.Val)
+	case *value.Enum:
+		return v.Member
+	}
+	return ""
+}
+
+// pd writes the parse-descriptor element when the value carries errors —
+// "we embed not just the in-memory representation … but also the parse
+// descriptors in cases where the data was buggy".
+func (p *printer) pd(pd *padsrt.PD, indent int) {
+	if pd.Nerr == 0 {
+		return
+	}
+	p.printf("%s<pd>\n", p.ind(indent))
+	p.printf("%s<pstate>%s</pstate>\n", p.ind(indent+1), pd.State)
+	p.printf("%s<nerr>%d</nerr>\n", p.ind(indent+1), pd.Nerr)
+	p.printf("%s<errCode>%s</errCode>\n", p.ind(indent+1), escape(pd.ErrCode.String()))
+	p.printf("%s<loc>%s</loc>\n", p.ind(indent+1), pd.Loc)
+	p.printf("%s</pd>\n", p.ind(indent))
+}
+
+// ---- XML Schema generation ----
+
+// Schema generates the XML Schema for the canonical embedding of the whole
+// description. Each declared type yields a complexType (plus a companion
+// <name>_pd type), matching the paper's eventSeq example.
+func Schema(desc *sema.Desc) string {
+	var b strings.Builder
+	b.WriteString(`<?xml version="1.0"?>` + "\n")
+	b.WriteString(`<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">` + "\n\n")
+	for _, d := range desc.Program.Decls {
+		if _, ok := d.(*dsl.FuncDecl); ok {
+			continue
+		}
+		writeDeclSchema(&b, desc, d)
+	}
+	b.WriteString("</xs:schema>\n")
+	return b.String()
+}
+
+// SchemaFor generates just the complexTypes of one declaration, as the
+// paper's excerpt shows for eventSeq.
+func SchemaFor(desc *sema.Desc, name string) (string, error) {
+	d, ok := desc.Types[name]
+	if !ok {
+		return "", fmt.Errorf("xmlgen: unknown type %s", name)
+	}
+	var b strings.Builder
+	writeDeclSchema(&b, desc, d)
+	return b.String(), nil
+}
+
+func xsdBase(kind sema.Kind, name string) string {
+	if sema.LookupBase(name) != nil {
+		return name // base types keep their PADS names, as in the paper
+	}
+	switch kind {
+	case sema.KUint, sema.KInt:
+		return "xs:integer"
+	case sema.KFloat:
+		return "xs:decimal"
+	case sema.KString, sema.KChar, sema.KDate, sema.KIP:
+		return "xs:string"
+	}
+	return name
+}
+
+func refTypeName(tr dsl.TypeRef) string { return tr.Name }
+
+func writePDType(b *strings.Builder, name string, array bool) {
+	fmt.Fprintf(b, "<xs:complexType name=\"%s_pd\">\n", name)
+	b.WriteString("  <xs:sequence>\n")
+	b.WriteString("    <xs:element name=\"pstate\" type=\"Pflags_t\"/>\n")
+	b.WriteString("    <xs:element name=\"nerr\" type=\"Puint32\"/>\n")
+	b.WriteString("    <xs:element name=\"errCode\" type=\"PerrCode_t\"/>\n")
+	b.WriteString("    <xs:element name=\"loc\" type=\"Ploc_t\"/>\n")
+	if array {
+		b.WriteString("    <xs:element name=\"neerr\" type=\"Puint32\"/>\n")
+		b.WriteString("    <xs:element name=\"firstError\" type=\"Puint32\"/>\n")
+		b.WriteString("    <xs:element name=\"elt\" type=\"Puint32\"\n")
+		b.WriteString("        minOccurs=\"0\" maxOccurs=\"unbounded\"/>\n")
+	}
+	b.WriteString("  </xs:sequence>\n")
+	b.WriteString("</xs:complexType>\n\n")
+}
+
+func writeDeclSchema(b *strings.Builder, desc *sema.Desc, d dsl.Decl) {
+	switch d := d.(type) {
+	case *dsl.StructDecl:
+		writePDType(b, d.Name, false)
+		fmt.Fprintf(b, "<xs:complexType name=\"%s\">\n", d.Name)
+		b.WriteString("  <xs:sequence>\n")
+		for _, it := range d.Items {
+			if it.Field == nil {
+				continue
+			}
+			t := refTypeName(it.Field.Type)
+			if it.Field.Type.Opt {
+				fmt.Fprintf(b, "    <xs:element name=\"%s\" type=\"%s\" minOccurs=\"0\"/>\n", it.Field.Name, t)
+			} else {
+				fmt.Fprintf(b, "    <xs:element name=\"%s\" type=\"%s\"/>\n", it.Field.Name, t)
+			}
+		}
+		fmt.Fprintf(b, "    <xs:element name=\"pd\" type=\"%s_pd\"\n        minOccurs=\"0\" maxOccurs=\"1\"/>\n", d.Name)
+		b.WriteString("  </xs:sequence>\n")
+		b.WriteString("</xs:complexType>\n\n")
+	case *dsl.UnionDecl:
+		writePDType(b, d.Name, false)
+		fmt.Fprintf(b, "<xs:complexType name=\"%s\">\n", d.Name)
+		b.WriteString("  <xs:sequence>\n")
+		b.WriteString("    <xs:choice>\n")
+		branches := d.Branches
+		if d.Switch != nil {
+			for i := range d.Switch.Cases {
+				branches = append(branches, d.Switch.Cases[i].Field)
+			}
+		}
+		for i := range branches {
+			fmt.Fprintf(b, "      <xs:element name=\"%s\" type=\"%s\"/>\n", branches[i].Name, refTypeName(branches[i].Type))
+		}
+		b.WriteString("    </xs:choice>\n")
+		fmt.Fprintf(b, "    <xs:element name=\"pd\" type=\"%s_pd\"\n        minOccurs=\"0\" maxOccurs=\"1\"/>\n", d.Name)
+		b.WriteString("  </xs:sequence>\n")
+		b.WriteString("</xs:complexType>\n\n")
+	case *dsl.ArrayDecl:
+		writePDType(b, d.Name, true)
+		fmt.Fprintf(b, "<xs:complexType name=\"%s\">\n", d.Name)
+		b.WriteString("  <xs:sequence>\n")
+		fmt.Fprintf(b, "    <xs:element name=\"elt\" type=\"%s\"\n        minOccurs=\"0\" maxOccurs=\"unbounded\"/>\n", refTypeName(d.Elem))
+		b.WriteString("    <xs:element name=\"length\" type=\"Puint32\"/>\n")
+		fmt.Fprintf(b, "    <xs:element name=\"pd\" type=\"%s_pd\"\n        minOccurs=\"0\" maxOccurs=\"1\"/>\n", d.Name)
+		b.WriteString("  </xs:sequence>\n")
+		b.WriteString("</xs:complexType>\n\n")
+	case *dsl.EnumDecl:
+		fmt.Fprintf(b, "<xs:simpleType name=\"%s\">\n", d.Name)
+		b.WriteString("  <xs:restriction base=\"xs:string\">\n")
+		for _, m := range d.Members {
+			fmt.Fprintf(b, "    <xs:enumeration value=\"%s\"/>\n", m.Name)
+		}
+		b.WriteString("  </xs:restriction>\n")
+		b.WriteString("</xs:simpleType>\n\n")
+	case *dsl.TypedefDecl:
+		under := xsdBase(sema.KTypedef, d.Base.Name)
+		fmt.Fprintf(b, "<xs:simpleType name=\"%s\">\n", d.Name)
+		fmt.Fprintf(b, "  <xs:restriction base=\"%s\"/>\n", under)
+		b.WriteString("</xs:simpleType>\n\n")
+	}
+}

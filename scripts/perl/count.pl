@@ -1,0 +1,8 @@
+#!/usr/bin/perl
+# The trivial record-counting baseline of section 7 (124 seconds of Perl on
+# the paper's 2.2GB file).
+use strict;
+use warnings;
+my $n = 0;
+$n++ while <STDIN>;
+print "$n\n";

@@ -1,0 +1,24 @@
+#!/usr/bin/perl
+# The Sirius selection program of section 7 of the PADS paper: print the
+# order number of every record that ever passes through state $STATE, using
+# the Figure 9 regular expression verbatim:
+#
+#   qr/^(\d+)\|(?:[^|]*\|){12}(?:[^|]*\|[^|]*\|)*$STATE\|/;
+#
+# usage: perl select.pl STATE < data > order-numbers
+use strict;
+use warnings;
+
+my $STATE = $ARGV[0] or die "usage: select.pl STATE < data\n";
+my $re = qr/^(\d+)\|(?:[^|]*\|){12}(?:[^|]*\|[^|]*\|)*\Q$STATE\E\|/;
+
+my $matched = 0;
+my $first   = 1;
+while (my $line = <STDIN>) {
+    if ($first) { $first = 0; next; }    # skip the summary header
+    if ($line =~ $re) {
+        print "$1\n";
+        $matched++;
+    }
+}
+print STDERR "select.pl: $matched matches\n";

@@ -1,0 +1,67 @@
+#!/usr/bin/perl
+# The Sirius vetting program of section 7 of the PADS paper, reconstructed:
+# split each record on '|' (the paper: "the PERL vetter uses the built-in
+# split operator to produce an in-memory array of the pipe-separated
+# fields"), validate every field and the event-timestamp sort order, and
+# echo clean and erroneous records to separate files.
+#
+# usage: perl vet.pl [clean-file [error-file]] < data
+use strict;
+use warnings;
+
+my ($cleanF, $errF) = @ARGV;
+$cleanF ||= '/dev/null';
+$errF   ||= '/dev/null';
+open(my $clean, '>', $cleanF) or die "vet.pl: $cleanF: $!";
+open(my $err,   '>', $errF)   or die "vet.pl: $errF: $!";
+
+my ($records, $good, $bad) = (0, 0, 0);
+my $first = 1;
+while (my $line = <STDIN>) {
+    chomp $line;
+    if ($first) {            # the summary header record
+        $first = 0;
+        print $clean "$line\n";
+        next;
+    }
+    $records++;
+    if (vet($line)) {
+        $good++;
+        print $clean "$line\n";
+    } else {
+        $bad++;
+        print $err "$line\n";
+    }
+}
+print STDERR "vet.pl: $records records, $good clean, $bad errors\n";
+
+sub vet {
+    my ($line) = @_;
+    my @f = split /\|/, $line, -1;
+    return 0 if @f < 15;
+    # order number, AT&T order number, order version: unsigned integers
+    for my $i (0 .. 2) {
+        return 0 unless $f[$i] =~ /^\d+$/;
+    }
+    # four telephone numbers: optional digits
+    for my $i (3 .. 6) {
+        return 0 unless $f[$i] eq '' || $f[$i] =~ /^\d+$/;
+    }
+    # zip code: optional 5 digits or zip+4
+    return 0 unless $f[7] eq '' || $f[7] =~ /^\d{5}(-\d{4})?$/;
+    # billing identifier: integer or generated no_ii<digits>
+    return 0 unless $f[8] =~ /^(?:no_ii\d+|-?\d+)$/;
+    # order details: unsigned integer
+    return 0 unless $f[10] =~ /^\d+$/;
+    # events: (state, timestamp) pairs with non-decreasing timestamps
+    my @ev = @f[13 .. $#f];
+    return 0 if @ev % 2;
+    my $prev = -1;
+    for (my $i = 0; $i < @ev; $i += 2) {
+        return 0 if $ev[$i] eq '';
+        return 0 unless $ev[$i + 1] =~ /^\d+$/;
+        return 0 if $ev[$i + 1] < $prev;
+        $prev = $ev[$i + 1];
+    }
+    return 1;
+}

@@ -1,0 +1,12 @@
+* Altair-style Cobol billing record (Figure 1, row 4). Translated to a
+* PADS description by cmd/cobol2pads; testdata/billing.pads is its output.
+01 BILLING-RECORD.
+   05 ACCOUNT-ID        PIC 9(8).
+   05 CUSTOMER-NAME     PIC X(12).
+   05 BALANCE           PIC S9(7)V99 COMP-3.
+   05 REGION-CODE       PIC 99.
+   05 USAGE-BLOCK.
+      10 CALL-COUNT     PIC 9(5).
+      10 TOTAL-MINUTES  PIC S9(5) COMP.
+   05 MONTH-TOTALS      PIC S9(5) OCCURS 3 TIMES.
+   05 FILLER            PIC X(2).
