@@ -14,6 +14,7 @@ package pads_test
 
 import (
 	"bytes"
+	"fmt"
 	"io"
 	"sync"
 	"testing"
@@ -40,7 +41,9 @@ var (
 )
 
 func benchCorpus(b *testing.B) {
-	b.Helper()
+	if b != nil {
+		b.Helper()
+	}
 	benchOnce.Do(func() {
 		var buf bytes.Buffer
 		if _, err := datagen.Sirius(&buf, datagen.DefaultSirius(benchRecords)); err != nil {
@@ -271,6 +274,28 @@ func BenchmarkWriteBack_Sirius(b *testing.B) {
 		for j := range entries {
 			out = sirius.WriteEntry_t(out, &entries[j])
 		}
+	}
+}
+
+// ---- E13: record-sharded parallel parsing (internal/parallel) ----
+//
+// The vetting task of E10 sharded across worker goroutines; workers=1 is
+// the parallel engine's overhead floor against BenchmarkFig10_PadsVet.
+// Speedup expectations only hold on multi-core machines — see the E13
+// entry in EXPERIMENTS.md for measured curves.
+
+func BenchmarkParallel_Sirius(b *testing.B) {
+	benchCorpus(b)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.SetBytes(int64(len(siriusData)))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := fig10.PadsVetParallel(siriusData, io.Discard, io.Discard, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -5,13 +5,14 @@
 //
 // Usage:
 //
-//	padsacc -desc weblog.pads [-field length] [-track 1000] [-top 10] data.log
+//	padsacc -desc weblog.pads [-field length] [-track 1000] [-top 10] [-workers 4] data.log
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"pads/internal/accum"
@@ -27,6 +28,7 @@ func main() {
 	disc := flag.String("disc", "newline", "record discipline: newline, none, fixed:N, lenprefix[:N]")
 	ebcdic := flag.Bool("ebcdic", false, "treat the ambient coding as EBCDIC")
 	le := flag.Bool("le", false, "little-endian binary integers")
+	workers := flag.Int("workers", 1, "parse worker goroutines: 1 streams sequentially, 0 uses all CPUs (docs/PARALLEL.md)")
 	flag.Parse()
 
 	if *descPath == "" {
@@ -44,19 +46,35 @@ func main() {
 	}
 	defer in.Close()
 
-	s := padsrt.NewSource(bufio.NewReaderSize(in, 1<<20), opts...)
-	rr, err := desc.Records(s, nil)
-	if err != nil {
-		cliutil.Fatal(err)
-	}
-	acc := accum.New(accum.Config{MaxTracked: *track, TopN: *top})
-	n := 0
-	for rr.More() {
-		acc.Add(rr.Read())
-		n++
-	}
-	if err := rr.Err(); err != nil {
-		cliutil.Fatal(err)
+	cfg := accum.Config{MaxTracked: *track, TopN: *top}
+	var acc *accum.Accum
+	var n int
+	if *workers != 1 {
+		// Record-sharded parallel accumulation over the whole input in
+		// memory; the chunk-ordered merge keeps the exact statistics
+		// identical to a sequential run (docs/PARALLEL.md).
+		data, err := io.ReadAll(bufio.NewReaderSize(in, 1<<20))
+		if err != nil {
+			cliutil.Fatal(err)
+		}
+		acc, n, err = desc.AccumulateParallel(data, opts, cfg, *workers)
+		if err != nil {
+			cliutil.Fatal(err)
+		}
+	} else {
+		s := padsrt.NewSource(bufio.NewReaderSize(in, 1<<20), opts...)
+		rr, err := desc.Records(s, nil)
+		if err != nil {
+			cliutil.Fatal(err)
+		}
+		acc = accum.New(cfg)
+		for rr.More() {
+			acc.Add(rr.Read())
+			n++
+		}
+		if err := rr.Err(); err != nil {
+			cliutil.Fatal(err)
+		}
 	}
 
 	out := bufio.NewWriter(os.Stdout)

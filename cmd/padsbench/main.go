@@ -18,7 +18,7 @@
 //
 // Usage:
 //
-//	padsbench [-n 2000000] [-runs 3] [-state LOC_0] [-noperl]
+//	padsbench [-n 2000000] [-runs 3] [-state LOC_0] [-noperl] [-workers 4]
 //	padsbench -leverage        # the section 4 description-expansion ratio
 package main
 
@@ -46,6 +46,7 @@ func main() {
 	noPerl := flag.Bool("noperl", false, "skip the real-Perl runs even if perl is installed")
 	leverage := flag.Bool("leverage", false, "print the section 4 leverage ratio and exit")
 	keep := flag.String("keep", "", "also keep the generated data at this path")
+	workers := flag.Int("workers", 0, "if > 1, also time the record-sharded parallel programs with this many workers")
 	flag.Parse()
 
 	if *leverage {
@@ -106,6 +107,18 @@ func main() {
 	raw.Close()
 	cleanFile.Close()
 
+	// The parallel programs (docs/PARALLEL.md) shard in-memory input, so
+	// load the corpora once when they are in play.
+	var rawData, cleanData []byte
+	if *workers > 1 {
+		if rawData, err = os.ReadFile(rawPath); err != nil {
+			cliutil.Fatal(err)
+		}
+		if cleanData, err = os.ReadFile(cleanPath); err != nil {
+			cliutil.Fatal(err)
+		}
+	}
+
 	type prog struct {
 		name string
 		run  func() error
@@ -158,6 +171,12 @@ func main() {
 		_, err := baseline.SiriusVet(r, io.Discard, io.Discard)
 		return err
 	}})
+	if *workers > 1 {
+		vetProgs = append(vetProgs, prog{fmt.Sprintf("pads-par%d", *workers), func() error {
+			_, err := fig10.PadsVetParallel(rawData, io.Discard, io.Discard, *workers)
+			return err
+		}})
+	}
 	bench("vetting", "paper: padsvet 1616s vs perl 3272s, 2.03x", vetProgs)
 
 	selProgs := []prog{
@@ -179,6 +198,12 @@ func main() {
 		_, err := baseline.SiriusSelect(r, io.Discard, *state)
 		return err
 	}})
+	if *workers > 1 {
+		selProgs = append(selProgs, prog{fmt.Sprintf("pads-par%d", *workers), func() error {
+			_, err := fig10.PadsSelectParallel(cleanData, io.Discard, *state, *workers)
+			return err
+		}})
+	}
 	bench("selection", "paper: padsselect 421s vs perl 520s, 1.23x", selProgs)
 
 	countProgs := []prog{
@@ -200,6 +225,12 @@ func main() {
 		_, err := baseline.CountRecords(r)
 		return err
 	}})
+	if *workers > 1 {
+		countProgs = append(countProgs, prog{fmt.Sprintf("pads-par%d", *workers), func() error {
+			_, err := fig10.PadsCountParallel(cleanData, *workers)
+			return err
+		}})
+	}
 	bench("record count", "paper: PADS 81s vs perl 124s, 1.53x", countProgs)
 }
 

@@ -18,6 +18,7 @@ import (
 	"pads/internal/cliutil"
 	"pads/internal/padsrt"
 	"pads/internal/query"
+	"pads/internal/value"
 	"pads/internal/xmlgen"
 )
 
@@ -27,6 +28,7 @@ func main() {
 	disc := flag.String("disc", "newline", "record discipline: newline, none, fixed:N, lenprefix[:N]")
 	ebcdic := flag.Bool("ebcdic", false, "treat the ambient coding as EBCDIC")
 	le := flag.Bool("le", false, "little-endian binary integers")
+	workers := flag.Int("workers", 1, "parse worker goroutines: 1 parses sequentially, 0 uses all CPUs (docs/PARALLEL.md)")
 	flag.Parse()
 
 	if *descPath == "" || *q == "" {
@@ -52,7 +54,17 @@ func main() {
 		cliutil.Fatal(err)
 	}
 
-	v, err := desc.ParseAll(padsrt.NewBytesSource(data, opts...))
+	var v value.Value
+	if *workers != 1 {
+		// Record-sharded parallel parse; sources that are not
+		// header+records shaped fall back to the sequential parse.
+		v, err = desc.ParseAllParallel(data, opts, *workers)
+		if err != nil {
+			v, err = desc.ParseAll(padsrt.NewBytesSource(data, opts...))
+		}
+	} else {
+		v, err = desc.ParseAll(padsrt.NewBytesSource(data, opts...))
+	}
 	if err != nil {
 		cliutil.Fatal(err)
 	}

@@ -1,0 +1,194 @@
+package accum
+
+import (
+	"bytes"
+	"math"
+	"sort"
+	"testing"
+
+	"pads/internal/padsrt"
+	"pads/internal/value"
+)
+
+// splitAccumulate accumulates vals sequentially into one accumulator, and
+// separately into per-shard accumulators at the given cut points which are
+// then merged in shard order; it returns both for comparison.
+func splitAccumulate(cfg Config, vals []value.Value, cuts []int) (seq, merged *Accum) {
+	seq = New(cfg)
+	for _, v := range vals {
+		seq.Add(v)
+	}
+	merged = New(cfg)
+	prev := 0
+	bounds := append(append([]int(nil), cuts...), len(vals))
+	for _, end := range bounds {
+		shard := New(cfg)
+		for _, v := range vals[prev:end] {
+			shard.Add(v)
+		}
+		merged.Merge(shard)
+		prev = end
+	}
+	return seq, merged
+}
+
+func report(a *Accum) string {
+	var buf bytes.Buffer
+	a.Report(&buf, "<top>")
+	return buf.String()
+}
+
+// TestMergeEqualsSequential is the core property: for mixed good/bad numeric
+// data below the sketch thresholds, Merge(split(data)) must be byte-identical
+// to accumulate(data) — counts, error tallies, min/max/mean, tracked values,
+// and report text all agree, for every split tried.
+func TestMergeEqualsSequential(t *testing.T) {
+	var vals []value.Value
+	rng := uint64(42)
+	next := func() uint64 {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return rng >> 33
+	}
+	for i := 0; i < 500; i++ {
+		if next()%10 == 0 {
+			vals = append(vals, badUint())
+		} else {
+			vals = append(vals, uintVal(next()%97))
+		}
+	}
+	for _, cuts := range [][]int{nil, {250}, {100, 200, 300, 400}, {1, 499}, {0, 0, 250}} {
+		seq, merged := splitAccumulate(DefaultConfig(), vals, cuts)
+		if seq.Good != merged.Good || seq.Bad != merged.Bad {
+			t.Fatalf("cuts %v: good/bad %d/%d, want %d/%d", cuts, merged.Good, merged.Bad, seq.Good, seq.Bad)
+		}
+		if seq.Min() != merged.Min() || seq.Max() != merged.Max() || seq.Avg() != merged.Avg() {
+			t.Fatalf("cuts %v: min/max/avg %v/%v/%v, want %v/%v/%v", cuts,
+				merged.Min(), merged.Max(), merged.Avg(), seq.Min(), seq.Max(), seq.Avg())
+		}
+		if got, want := report(merged), report(seq); got != want {
+			t.Fatalf("cuts %v: merged report differs from sequential:\n--- merged\n%s\n--- sequential\n%s", cuts, got, want)
+		}
+	}
+}
+
+// TestMergeStructured checks the property through nested structure: structs,
+// unions (branch tallies), arrays (length and element accumulators), and
+// optionals all merge to the sequential profile.
+func TestMergeStructured(t *testing.T) {
+	mk := func(i int) value.Value {
+		st := &value.Struct{Common: value.NewCommon("rec_t")}
+		st.Names = []string{"id", "events"}
+		st.Fields = []value.Value{uintVal(uint64(i))}
+		arr := &value.Array{Common: value.NewCommon("seq_t")}
+		for j := 0; j <= i%3; j++ {
+			arr.Elems = append(arr.Elems, uintVal(uint64(j)))
+		}
+		st.Fields = append(st.Fields, arr)
+		return st
+	}
+	var vals []value.Value
+	for i := 0; i < 200; i++ {
+		vals = append(vals, mk(i))
+	}
+	seq, merged := splitAccumulate(DefaultConfig(), vals, []int{50, 100, 150})
+	if got, want := report(merged), report(seq); got != want {
+		t.Fatalf("structured merged report differs:\n--- merged\n%s\n--- sequential\n%s", got, want)
+	}
+	if f := merged.Field("events"); f == nil || f.Elem() == nil {
+		t.Fatal("merged accumulator lost array structure")
+	}
+}
+
+// TestMergeIdentity: merging one shard into a fresh accumulator is exactly
+// the shard — the workers=1 determinism guarantee, including the reservoir
+// (sample and PRNG state adopted verbatim) and histogram.
+func TestMergeIdentity(t *testing.T) {
+	shard := New(DefaultConfig())
+	for i := 0; i < 5000; i++ {
+		shard.Add(uintVal(uint64(i * i % 10007)))
+	}
+	merged := New(DefaultConfig())
+	merged.Merge(shard)
+	if got, want := report(merged), report(shard); got != want {
+		t.Fatalf("identity merge differs:\n--- merged\n%s\n--- shard\n%s", got, want)
+	}
+	for _, q := range []float64{0.25, 0.5, 0.9, 0.99} {
+		if merged.Quantile(q) != shard.Quantile(q) {
+			t.Fatalf("identity merge: quantile %v = %v, want %v", q, merged.Quantile(q), shard.Quantile(q))
+		}
+	}
+}
+
+// TestMergeTrackerOverflow: when shards overflow their trackers, merged
+// per-key counts may degrade to untracked (as sequential tracking does after
+// it fills), but the total number of good values accounted for must be
+// conserved.
+func TestMergeTrackerOverflow(t *testing.T) {
+	cfg := Config{MaxTracked: 16, TopN: 4}
+	var vals []value.Value
+	for i := 0; i < 400; i++ {
+		vals = append(vals, uintVal(uint64(i%64)))
+	}
+	seq, merged := splitAccumulate(cfg, vals, []int{100, 200, 300})
+	accounted := func(a *Accum) uint64 {
+		var n uint64
+		for _, c := range a.counts {
+			n += c
+		}
+		return n + a.untracked
+	}
+	if accounted(seq) != seq.Good || accounted(merged) != merged.Good {
+		t.Fatalf("value accounting broken: seq %d/%d merged %d/%d",
+			accounted(seq), seq.Good, accounted(merged), merged.Good)
+	}
+	if merged.Distinct() != cfg.MaxTracked {
+		t.Fatalf("merged tracker holds %d values, want cap %d", merged.Distinct(), cfg.MaxTracked)
+	}
+}
+
+// TestMergeQuantileBounds: reservoir merges across shards must estimate
+// quantiles within the documented sampling error. With a 1024-value sample
+// over n uniform values, the rank error concentrates well under a few
+// percent; we allow 5% of the value range.
+func TestMergeQuantileBounds(t *testing.T) {
+	const n = 20000
+	var vals []value.Value
+	rng := uint64(7)
+	for i := 0; i < n; i++ {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		vals = append(vals, uintVal((rng>>33)%100000))
+	}
+	_, merged := splitAccumulate(DefaultConfig(), vals, []int{5000, 10000, 15000})
+
+	exactVals := make([]float64, 0, n)
+	for _, v := range vals {
+		exactVals = append(exactVals, float64(v.(*value.Uint).Val))
+	}
+	sort.Float64s(exactVals)
+	for _, q := range []float64{0.25, 0.5, 0.9} {
+		exact := exactVals[int(q*float64(n-1))]
+		got := merged.Quantile(q)
+		if math.Abs(got-exact) > 0.05*100000 {
+			t.Errorf("q=%v: merged estimate %v, exact %v (off by %v, bound 5000)", q, got, exact, math.Abs(got-exact))
+		}
+	}
+	if merged.HistogramBucket(17) == 0 && merged.HistogramBucket(16) == 0 {
+		t.Error("merged histogram lost its mass")
+	}
+}
+
+// TestMergeErrCounts: error-code tallies merge exactly.
+func TestMergeErrCounts(t *testing.T) {
+	a := New(DefaultConfig())
+	b := New(DefaultConfig())
+	for i := 0; i < 3; i++ {
+		a.Add(badUint())
+	}
+	for i := 0; i < 5; i++ {
+		b.Add(badUint())
+	}
+	a.Merge(b)
+	if a.Bad != 8 || a.ErrCounts[padsrt.ErrInvalidInt] != 8 {
+		t.Fatalf("merged bad=%d errcounts=%v, want 8", a.Bad, a.ErrCounts)
+	}
+}

@@ -44,6 +44,17 @@ func (h *histogram) add(f float64) {
 	}
 }
 
+// merge adds o's buckets into h: bucket counts are commutative, so the
+// merged histogram is exactly the histogram of the concatenated inputs.
+func (h *histogram) merge(o *histogram) {
+	h.neg += o.neg
+	h.zero += o.zero
+	h.n += o.n
+	for i := range h.buckets {
+		h.buckets[i] += o.buckets[i]
+	}
+}
+
 func (h *histogram) report(w io.Writer) {
 	if h.n == 0 {
 		return
@@ -100,6 +111,48 @@ func (r *reservoir) add(f float64) {
 	if j := r.next() % r.seen; j < reservoirSize {
 		r.sample[j] = f
 	}
+}
+
+// merge folds o's sample into r. Merging into an empty reservoir adopts o
+// verbatim (including the PRNG state), so a one-shard parallel run stays
+// byte-identical to the sequential one. When both sides are below capacity
+// their samples are complete populations and the union is exact. Otherwise
+// the merged sample is drawn from the two samples by a deterministic
+// weighted draw without replacement: each slot picks side r with
+// probability seen_r/(seen_r+seen_o) — the standard distributed reservoir
+// merge, whose estimates stay within the single-reservoir error bounds.
+func (r *reservoir) merge(o *reservoir) {
+	if o == nil || o.seen == 0 {
+		return
+	}
+	if r.seen == 0 {
+		r.sample = append(r.sample[:0], o.sample...)
+		r.seen = o.seen
+		r.rng = o.rng
+		return
+	}
+	if len(r.sample)+len(o.sample) <= reservoirSize {
+		r.sample = append(r.sample, o.sample...)
+		r.seen += o.seen
+		r.rng ^= o.rng
+		return
+	}
+	merged := make([]float64, 0, reservoirSize)
+	i, j := 0, 0
+	for len(merged) < reservoirSize && (i < len(r.sample) || j < len(o.sample)) {
+		takeR := j >= len(o.sample) ||
+			(i < len(r.sample) && r.next()%(r.seen+o.seen) < r.seen)
+		if takeR {
+			merged = append(merged, r.sample[i])
+			i++
+		} else {
+			merged = append(merged, o.sample[j])
+			j++
+		}
+	}
+	r.sample = merged
+	r.seen += o.seen
+	r.rng ^= o.rng
 }
 
 // Quantile estimates the q-quantile (0 <= q <= 1) of the values seen.

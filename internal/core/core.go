@@ -24,6 +24,7 @@ import (
 	"pads/internal/fmtconv"
 	"pads/internal/interp"
 	"pads/internal/padsrt"
+	"pads/internal/parallel"
 	"pads/internal/query"
 	"pads/internal/sema"
 	"pads/internal/value"
@@ -202,4 +203,102 @@ func (d *Description) AccumulateReader(r io.Reader, opts []padsrt.SourceOption, 
 		return acc, n, nil
 	}
 	return acc, n, rr.Err()
+}
+
+// openShards parses the source header sequentially over data and returns
+// the reader (for its record type and header value) plus the parallel
+// options that make each chunk's positions and record numbers match a
+// sequential run: the records region starts where the header ended.
+func (d *Description) openShards(data []byte, opts []padsrt.SourceOption, workers int) (*interp.RecordReader, parallel.Options, int, error) {
+	s := padsrt.NewBorrowedSource(data, opts...)
+	rr, err := d.Records(s, nil)
+	if err != nil {
+		return nil, parallel.Options{}, 0, err
+	}
+	base := int(s.Pos().Byte)
+	popts := parallel.Options{
+		Workers: workers,
+		Disc:    s.Discipline(),
+		Source:  opts,
+		Off:     int64(base),
+		Records: s.RecordNum(),
+	}
+	return rr, popts, base, nil
+}
+
+// AccumulateParallel is AccumulateReader over an in-memory input,
+// record-sharded across workers (<= 0 means GOMAXPROCS): each worker folds
+// its chunk into a private accumulator, and the shards merge in chunk order
+// (accum.Merge). With workers=1 the report is byte-identical to
+// AccumulateReader's; with more workers counts and numeric statistics are
+// still exact, and the approximate sketches stay within their documented
+// bounds (docs/PARALLEL.md).
+func (d *Description) AccumulateParallel(data []byte, opts []padsrt.SourceOption, cfg accum.Config, workers int) (*accum.Accum, int, error) {
+	rr, popts, base, err := d.openShards(data, opts, workers)
+	if err != nil {
+		return nil, 0, err
+	}
+	type shard struct {
+		acc *accum.Accum
+		n   int
+	}
+	acc := accum.New(cfg)
+	total := 0
+	err = parallel.Run(data[base:], popts,
+		func(src *padsrt.Source, c parallel.Chunk) (shard, error) {
+			sh := shard{acc: accum.New(cfg)}
+			r := rr.Shard(src)
+			for r.More() {
+				sh.acc.Add(r.Read())
+				sh.n++
+			}
+			err := r.Err()
+			if errors.Is(err, io.EOF) {
+				err = nil
+			}
+			return sh, err
+		},
+		func(c parallel.Chunk, sh shard) error {
+			acc.Merge(sh.acc)
+			total += sh.n
+			return nil
+		})
+	if err != nil {
+		return nil, total, err
+	}
+	return acc, total, nil
+}
+
+// ParseAllParallel is ParseAll over an in-memory input, record-sharded
+// across workers: the header parses sequentially, the record sequence
+// parses in parallel, and the records reassemble (in order) into the same
+// Psource value a sequential ParseAll builds. It requires a header+records
+// shaped source; callers should fall back to ParseAll when it errors.
+func (d *Description) ParseAllParallel(data []byte, opts []padsrt.SourceOption, workers int) (value.Value, error) {
+	rr, popts, base, err := d.openShards(data, opts, workers)
+	if err != nil {
+		return nil, err
+	}
+	var recs []value.Value
+	err = parallel.Run(data[base:], popts,
+		func(src *padsrt.Source, c parallel.Chunk) ([]value.Value, error) {
+			r := rr.Shard(src)
+			var out []value.Value
+			for r.More() {
+				out = append(out, r.Read())
+			}
+			err := r.Err()
+			if errors.Is(err, io.EOF) {
+				err = nil
+			}
+			return out, err
+		},
+		func(c parallel.Chunk, out []value.Value) error {
+			recs = append(recs, out...)
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	return d.Interp.AssembleSource(rr.Header(), recs)
 }

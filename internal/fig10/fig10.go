@@ -20,6 +20,7 @@ import (
 	"pads/internal/baseline"
 	"pads/internal/gen/sirius"
 	"pads/internal/padsrt"
+	"pads/internal/parallel"
 )
 
 // VetStats aliases the baseline stats type so the two sides report alike.
@@ -112,6 +113,147 @@ func PadsSelect(r io.Reader, w io.Writer, state string) (SelectStats, error) {
 }
 
 var selectHdrMask = sirius.NewSummary_header_tMask(padsrt.Set)
+
+// PadsVetParallel is PadsVet over an in-memory input, record-sharded
+// across workers (internal/parallel). The header parses sequentially; each
+// worker vets its chunk with a private parser and buffers its clean and
+// erroneous output, which the chunk-ordered merge then writes out — so the
+// clean and error streams are byte-identical to PadsVet's for any worker
+// count.
+func PadsVetParallel(data []byte, clean, errOut io.Writer, workers int) (VetStats, error) {
+	s := padsrt.NewBorrowedSource(data)
+	var st VetStats
+
+	var hdr sirius.Summary_header_t
+	var hdrPD sirius.Summary_header_tPD
+	sirius.ReadSummary_header_t(s, nil, &hdrPD, &hdr)
+	if clean != nil && hdrPD.PD.Nerr == 0 {
+		if _, err := clean.Write(sirius.WriteSummary_header_t(nil, &hdr)); err != nil {
+			return st, err
+		}
+	}
+	base := int(s.Pos().Byte)
+
+	type shard struct {
+		st         VetStats
+		clean, bad []byte
+	}
+	err := parallel.Run(data[base:],
+		parallel.Options{Workers: workers, Off: int64(base), Records: s.RecordNum()},
+		func(src *padsrt.Source, c parallel.Chunk) (*shard, error) {
+			sh := &shard{}
+			var e sirius.Entry_t
+			var epd sirius.Entry_tPD
+			for src.More() {
+				sirius.ReadEntry_t(src, nil, &epd, &e)
+				sh.st.Records++
+				if epd.PD.Nerr == 0 {
+					sh.st.Clean++
+					if clean != nil {
+						sh.clean = sirius.WriteEntry_t(sh.clean, &e)
+					}
+				} else {
+					sh.st.Errors++
+					if errOut != nil {
+						sh.bad = sirius.WriteEntry_t(sh.bad, &e)
+					}
+				}
+			}
+			return sh, src.Err()
+		},
+		func(c parallel.Chunk, sh *shard) error {
+			st.Records += sh.st.Records
+			st.Clean += sh.st.Clean
+			st.Errors += sh.st.Errors
+			if clean != nil && len(sh.clean) > 0 {
+				if _, err := clean.Write(sh.clean); err != nil {
+					return err
+				}
+			}
+			if errOut != nil && len(sh.bad) > 0 {
+				if _, err := errOut.Write(sh.bad); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	return st, err
+}
+
+// PadsSelectParallel is PadsSelect over an in-memory input, record-sharded
+// across workers; matched order numbers print in record order, identical to
+// the sequential output.
+func PadsSelectParallel(data []byte, w io.Writer, state string, workers int) (SelectStats, error) {
+	s := padsrt.NewBorrowedSource(data)
+	var st SelectStats
+
+	var hdr sirius.Summary_header_t
+	var hdrPD sirius.Summary_header_tPD
+	sirius.ReadSummary_header_t(s, selectHdrMask, &hdrPD, &hdr)
+	base := int(s.Pos().Byte)
+
+	type shard struct {
+		st  SelectStats
+		out []byte
+	}
+	err := parallel.Run(data[base:],
+		parallel.Options{Workers: workers, Off: int64(base), Records: s.RecordNum()},
+		func(src *padsrt.Source, c parallel.Chunk) (*shard, error) {
+			sh := &shard{}
+			var e sirius.Entry_t
+			var epd sirius.Entry_tPD
+			for src.More() {
+				sirius.ReadEntry_t(src, selectMask, &epd, &e)
+				sh.st.Records++
+				for i := range e.Events.Elems {
+					if e.Events.Elems[i].State == state {
+						sh.st.Matched++
+						if w != nil {
+							sh.out = padsrt.AppendUint(sh.out, uint64(e.Header.Order_num))
+							sh.out = append(sh.out, '\n')
+						}
+						break
+					}
+				}
+			}
+			return sh, src.Err()
+		},
+		func(c parallel.Chunk, sh *shard) error {
+			st.Records += sh.st.Records
+			st.Matched += sh.st.Matched
+			if w != nil && len(sh.out) > 0 {
+				if _, err := w.Write(sh.out); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	return st, err
+}
+
+// PadsCountParallel counts records over an in-memory input, sharded across
+// workers.
+func PadsCountParallel(data []byte, workers int) (int, error) {
+	n := 0
+	err := parallel.Run(data, parallel.Options{Workers: workers},
+		func(src *padsrt.Source, c parallel.Chunk) (int, error) {
+			m := 0
+			for {
+				ok, err := src.BeginRecord()
+				if err != nil {
+					return m, err
+				}
+				if !ok {
+					return m, nil
+				}
+				src.SkipToEOR()
+				src.EndRecord(nil)
+				m++
+			}
+		},
+		func(c parallel.Chunk, m int) error { n += m; return nil })
+	return n, err
+}
 
 // PadsCount counts records through the PADS record discipline (the trivial
 // 81-second program of section 7).

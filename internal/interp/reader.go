@@ -104,10 +104,89 @@ func (rr *RecordReader) ReadWith(mask *padsrt.MaskNode) value.Value {
 	return rr.in.parseDecl(rr.recDecl, rr.s, mask, nil)
 }
 
+// Shard returns a reader that parses records of the same type, under the
+// same mask, from s — without re-parsing the source header. It is the
+// per-chunk reader of internal/parallel: the caller parses the header once
+// sequentially, then gives each worker a Shard over its chunk's source.
+// The shard gets its own evaluator (expression evaluation carries call-depth
+// state), so shards of one reader may run concurrently.
+func (rr *RecordReader) Shard(s *padsrt.Source) *RecordReader {
+	return &RecordReader{
+		in:      New(rr.in.Desc),
+		s:       s,
+		mask:    rr.mask,
+		recDecl: rr.recDecl,
+	}
+}
+
 // Err surfaces any I/O error from the underlying source.
 func (rr *RecordReader) Err() error { return rr.s.Err() }
 
 // RecordTypeName names the per-record type.
 func (rr *RecordReader) RecordTypeName() string { return rr.recDecl.DeclName() }
+
+// AssembleSource rebuilds the Psource value from a sequentially-parsed
+// header (nil when the source has no header) and the record values, in
+// order — the merge step of a record-sharded parallel parse. The parse
+// descriptors aggregate child errors exactly as a sequential ParseSource
+// over the same records would (each erroneous record propagates into the
+// array descriptor, and each field into the source struct's). Source-level
+// Pwhere clauses and literal items are not re-evaluated; sources with them
+// should parse sequentially.
+func (in *Interp) AssembleSource(header value.Value, recs []value.Value) (value.Value, error) {
+	src := in.Desc.Source
+	switch d := src.(type) {
+	case *dsl.ArrayDecl:
+		return in.assembleRecords(d, recs), nil
+	case *dsl.StructDecl:
+		st := &value.Struct{Common: value.NewCommon(d.Name)}
+		pd := st.PD()
+		usedHeader := false
+		for _, it := range d.Items {
+			if it.Field == nil {
+				continue
+			}
+			f := it.Field
+			ft := f.Type.Name
+			fd, ok := in.Desc.Types[ft]
+			if !ok {
+				return nil, fmt.Errorf("interp: unknown source field type %s", ft)
+			}
+			if !usedHeader && len(st.Names) == 0 && sema.Annot(fd).IsRecord {
+				if header == nil {
+					return nil, fmt.Errorf("interp: source %s has a header but none was parsed", d.Name)
+				}
+				usedHeader = true
+				st.Names = append(st.Names, f.Name)
+				st.Fields = append(st.Fields, header)
+				pd.AddChildErrors(header.PD(), padsrt.ErrStructField)
+				continue
+			}
+			if ad, ok := fd.(*dsl.ArrayDecl); ok {
+				av := in.assembleRecords(ad, recs)
+				st.Names = append(st.Names, f.Name)
+				st.Fields = append(st.Fields, av)
+				pd.AddChildErrors(av.PD(), padsrt.ErrStructField)
+				continue
+			}
+			return nil, fmt.Errorf("interp: source %s is not header+records shaped", d.Name)
+		}
+		return st, nil
+	default:
+		return nil, fmt.Errorf("interp: source %s is not record shaped", src.DeclName())
+	}
+}
+
+func (in *Interp) assembleRecords(d *dsl.ArrayDecl, recs []value.Value) value.Value {
+	arr := &value.Array{Common: value.NewCommon(d.Name)}
+	pd := arr.PD()
+	for _, ev := range recs {
+		if ev.PD().Nerr > 0 {
+			pd.AddChildErrors(ev.PD(), padsrt.ErrArrayElem)
+		}
+		arr.Elems = append(arr.Elems, ev)
+	}
+	return arr
+}
 
 var _ = expr.V{} // keep the import set stable while the package grows

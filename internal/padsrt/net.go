@@ -87,7 +87,7 @@ func ReadHostname(s *Source) (string, ErrCode) {
 	if !sawAlpha {
 		return "", ErrInvalidHostname
 	}
-	out := string(w[:i])
+	out := s.internString(w[:i])
 	s.Skip(i)
 	return out, ErrNone
 }
@@ -112,7 +112,7 @@ func ReadZip(s *Source) (string, ErrCode) {
 	if len(w) > n && isDigit(w[n]) {
 		return "", ErrInvalidZip
 	}
-	out := string(w[:n])
+	out := s.internString(w[:n])
 	s.Skip(n)
 	return out, ErrNone
 }

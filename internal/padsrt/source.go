@@ -15,12 +15,13 @@ import (
 // A Source also carries the ambient configuration: the character coding and
 // the byte order used by binary base types.
 type Source struct {
-	r   io.Reader
-	buf []byte
-	off int64 // absolute offset of buf[0]
-	pos int   // cursor, as an index into buf
-	eof bool
-	err error // sticky read error
+	r        io.Reader
+	buf      []byte
+	off      int64 // absolute offset of buf[0]
+	pos      int   // cursor, as an index into buf
+	eof      bool
+	err      error // sticky read error
+	borrowed bool  // buf belongs to the caller: never compact (shift) it
 
 	disc   Discipline
 	coding Coding
@@ -59,7 +60,14 @@ func (s *Source) internString(w []byte) string {
 	if n > maxInternLen {
 		return string(w)
 	}
-	idx := (uint32(n)*131 + uint32(w[0])*31 + uint32(w[n-1])*7 + uint32(w[n/2])) % internSlots
+	// FNV-1a over the whole string: vocabularies that differ only in one
+	// digit (states, zips, hostnames) must not collide into the same slot,
+	// or the cache thrashes and every record allocates.
+	h := uint32(2166136261)
+	for _, b := range w {
+		h = (h ^ uint32(b)) * 16777619
+	}
+	idx := h % internSlots
 	if v := s.intern[idx]; v == string(w) { // comparison does not allocate
 		return v
 	}
@@ -96,12 +104,11 @@ func WithByteOrder(o ByteOrder) SourceOption { return func(s *Source) { s.order 
 // can direct PADS to use a different record definition".
 func NewSource(r io.Reader, opts ...SourceOption) *Source {
 	s := &Source{
-		r:       r,
-		disc:    Newline(),
-		coding:  ASCII,
-		order:   BigEndian,
-		recEnd:  -1,
-		readBuf: make([]byte, 64*1024),
+		r:      r,
+		disc:   Newline(),
+		coding: ASCII,
+		order:  BigEndian,
+		recEnd: -1,
 	}
 	for _, o := range opts {
 		o(s)
@@ -117,6 +124,29 @@ func NewBytesSource(data []byte, opts ...SourceOption) *Source {
 	s.buf = append([]byte(nil), data...)
 	s.eof = true
 	return s
+}
+
+// NewBorrowedSource parses in-memory data in place, without copying it. The
+// caller must not modify data while the Source is in use; in exchange the
+// window never compacts, so many cursors (one per shard in
+// internal/parallel) can read disjoint slices of one buffer with no
+// duplication.
+func NewBorrowedSource(data []byte, opts ...SourceOption) *Source {
+	s := NewSource(nil, opts...)
+	s.buf = data
+	s.eof = true
+	s.borrowed = true
+	return s
+}
+
+// SetBase declares that the buffer begins partway into a larger input:
+// subsequent Pos calls report byteOff plus the local offset, and record
+// numbering starts after records prior records. It must be called before
+// any parsing; internal/parallel uses it so a sharded parse reports the
+// same error locations and record numbers as a sequential run.
+func (s *Source) SetBase(byteOff int64, records int) {
+	s.off = byteOff
+	s.recNum = records
 }
 
 // Coding returns the ambient character coding.
@@ -157,6 +187,9 @@ func (s *Source) fill() {
 		s.eof = true
 		return
 	}
+	if s.readBuf == nil {
+		s.readBuf = make([]byte, 64*1024)
+	}
 	m, err := s.r.Read(s.readBuf)
 	if m > 0 {
 		s.buf = append(s.buf, s.readBuf[:m]...)
@@ -176,7 +209,7 @@ func (s *Source) fill() {
 // in-memory sources (huge tail) nor streaming sources (tiny tail) pay a
 // per-record copy.
 func (s *Source) compact() {
-	if len(s.cps) > 0 || s.recDepth > 0 {
+	if s.borrowed || len(s.cps) > 0 || s.recDepth > 0 {
 		return
 	}
 	tail := len(s.buf) - s.pos

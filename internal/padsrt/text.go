@@ -144,7 +144,7 @@ func ReadStringEOR(s *Source) (string, ErrCode) {
 	if s.coding == EBCDIC {
 		return EBCDICBytesToString(out), ErrNone
 	}
-	return string(out), ErrNone
+	return s.internString(out), ErrNone
 }
 
 // ReadStringFW reads a string of exactly width bytes.
@@ -175,7 +175,7 @@ func ReadStringME(s *Source, re *Regexp) (string, ErrCode) {
 	if loc == nil || loc[0] != 0 {
 		return "", ErrInvalidRegexp
 	}
-	out := string(w[:loc[1]])
+	out := s.internString(w[:loc[1]])
 	s.Skip(loc[1])
 	return out, ErrNone
 }
@@ -189,7 +189,7 @@ func ReadStringSE(s *Source, re *Regexp) (string, ErrCode) {
 	if loc != nil {
 		n = loc[0]
 	}
-	out := string(w[:n])
+	out := s.internString(w[:n])
 	s.Skip(n)
 	return out, ErrNone
 }

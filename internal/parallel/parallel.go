@@ -1,0 +1,129 @@
+// Package parallel is the record-sharded parallel parsing engine: it splits
+// an in-memory input into chunks aligned to record boundaries under the
+// active padsrt.Discipline, fans the chunks out to worker goroutines — each
+// with its own padsrt.Source and parser state — and merges the per-chunk
+// results deterministically in chunk order.
+//
+// The paper's workloads (section 7) are record-oriented scans, which are
+// embarrassingly parallel once chunk boundaries respect record framing:
+// newline-terminated, fixed-width, and length-prefixed disciplines all
+// admit cheap boundary resynchronization (see Shard). Because every chunk
+// source carries the absolute byte offset and record number of its start
+// (Source.SetBase), parse descriptors, error locations, and record numbers
+// come out identical to a sequential run, and the chunk-ordered merge makes
+// outputs (echoed records, accumulator reports) deterministic; with one
+// worker they are byte-identical to the sequential path.
+package parallel
+
+import (
+	"runtime"
+
+	"pads/internal/padsrt"
+)
+
+// Options configures a parallel run.
+type Options struct {
+	// Workers is the number of worker goroutines (and chunks); <= 0 means
+	// GOMAXPROCS. One worker runs the work function inline, with no
+	// goroutines — the sequential path with sharding bookkeeping only.
+	Workers int
+	// Disc is the record discipline used to align chunk boundaries (nil =
+	// newline). Disciplines with no cheap resynchronization (none, custom)
+	// degrade to a single chunk.
+	Disc padsrt.Discipline
+	// Source options applied to each per-chunk Source (discipline, coding,
+	// byte order).
+	Source []padsrt.SourceOption
+	// Off and Records seed each chunk source's SetBase: the absolute byte
+	// offset and record count of the sharded region's start within the
+	// enclosing input. Callers that parse a header sequentially pass the
+	// post-header position here so shard positions match a sequential run.
+	Off     int64
+	Records int
+	// MinChunk is the smallest worthwhile chunk in bytes (default 64 KiB):
+	// inputs smaller than Workers*MinChunk get fewer chunks.
+	MinChunk int
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+const defaultMinChunk = 64 * 1024
+
+// Run shards data, applies work to every chunk — concurrently, each on its
+// own goroutine with its own borrowed Source — and folds the results with
+// merge, called exactly once per successful chunk in chunk order (merge
+// runs on the calling goroutine; it needs no locking). The first error from
+// work or merge, in chunk order, is returned; merging stops at the first
+// failed chunk so downstream output is never built on a hole.
+func Run[R any](data []byte, opts Options, work func(src *padsrt.Source, c Chunk) (R, error), merge func(c Chunk, r R) error) error {
+	workers := opts.workers()
+	minChunk := opts.MinChunk
+	if minChunk <= 0 {
+		minChunk = defaultMinChunk
+	}
+	nchunks := workers
+	if most := len(data)/minChunk + 1; nchunks > most {
+		nchunks = most
+	}
+	chunks := Shard(data, opts.Disc, nchunks)
+
+	newSource := func(c Chunk) *padsrt.Source {
+		src := padsrt.NewBorrowedSource(c.Data, opts.Source...)
+		src.SetBase(opts.Off+c.Off, opts.Records+c.RecBase)
+		return src
+	}
+
+	if workers == 1 || len(chunks) == 1 {
+		for _, c := range chunks {
+			r, err := work(newSource(c), c)
+			if err != nil {
+				return err
+			}
+			if err := merge(c, r); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	type result struct {
+		r   R
+		err error
+	}
+	done := make([]chan result, len(chunks))
+	for i := range done {
+		done[i] = make(chan result, 1)
+	}
+	sem := make(chan struct{}, workers)
+	go func() {
+		for i := range chunks {
+			sem <- struct{}{}
+			go func(c Chunk) {
+				defer func() { <-sem }()
+				r, err := work(newSource(c), c)
+				done[c.Index] <- result{r: r, err: err}
+			}(chunks[i])
+		}
+	}()
+
+	var firstErr error
+	for i := range chunks {
+		res := <-done[i]
+		if firstErr != nil {
+			continue // drain remaining workers, discarding their results
+		}
+		if res.err != nil {
+			firstErr = res.err
+			continue
+		}
+		if err := merge(chunks[i], res.r); err != nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

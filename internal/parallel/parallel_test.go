@@ -1,0 +1,259 @@
+package parallel
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"pads/internal/padsrt"
+)
+
+// checkCover verifies the chunk invariants: exact coverage of the input in
+// order, and RecBase counting the records before each chunk.
+func checkCover(t *testing.T, data []byte, chunks []Chunk, recsBefore func(off int) int) {
+	t.Helper()
+	var joined []byte
+	off := int64(0)
+	for i, c := range chunks {
+		if c.Index != i {
+			t.Fatalf("chunk %d has Index %d", i, c.Index)
+		}
+		if c.Off != off {
+			t.Fatalf("chunk %d at Off %d, want %d", i, c.Off, off)
+		}
+		if want := recsBefore(int(c.Off)); c.RecBase != want {
+			t.Fatalf("chunk %d RecBase = %d, want %d", i, c.RecBase, want)
+		}
+		joined = append(joined, c.Data...)
+		off += int64(len(c.Data))
+	}
+	if !bytes.Equal(joined, data) {
+		t.Fatalf("chunks do not reassemble the input: %d joined bytes vs %d", len(joined), len(data))
+	}
+}
+
+func TestShardNewline(t *testing.T) {
+	var data []byte
+	for i := 0; i < 100; i++ {
+		data = append(data, fmt.Sprintf("record-%03d with some padding %d\n", i, i*i)...)
+	}
+	data = append(data, "final unterminated"...)
+	recsBefore := func(off int) int { return bytes.Count(data[:off], []byte{'\n'}) }
+	for _, n := range []int{1, 2, 3, 4, 8, 64, 1000} {
+		chunks := Shard(data, padsrt.Newline(), n)
+		if len(chunks) > n {
+			t.Fatalf("n=%d: got %d chunks", n, len(chunks))
+		}
+		checkCover(t, data, chunks, recsBefore)
+		for i, c := range chunks[:len(chunks)-1] {
+			if len(c.Data) == 0 || c.Data[len(c.Data)-1] != '\n' {
+				t.Fatalf("n=%d: chunk %d does not end on a record boundary", n, i)
+			}
+		}
+	}
+}
+
+func TestShardFixed(t *testing.T) {
+	const width = 17
+	data := bytes.Repeat([]byte{0xAB}, width*53+5) // short final record
+	for _, n := range []int{1, 2, 4, 7, 100} {
+		chunks := Shard(data, padsrt.FixedWidth(width), n)
+		checkCover(t, data, chunks, func(off int) int { return off / width })
+		for i, c := range chunks[:len(chunks)-1] {
+			if len(c.Data)%width != 0 {
+				t.Fatalf("n=%d: chunk %d length %d not a multiple of %d", n, i, len(c.Data), width)
+			}
+		}
+	}
+}
+
+func TestShardLenPrefix(t *testing.T) {
+	disc := padsrt.LenPrefix() // 4-byte big-endian header
+	var data []byte
+	var starts []int
+	for i := 0; i < 60; i++ {
+		starts = append(starts, len(data))
+		body := bytes.Repeat([]byte{byte(i)}, 5+i%23)
+		var rec []byte
+		padsrt.FrameRecord(disc, &rec, body)
+		data = append(data, rec...)
+	}
+	recsBefore := func(off int) int {
+		n := 0
+		for _, s := range starts {
+			if s < off {
+				n++
+			}
+		}
+		return n
+	}
+	for _, n := range []int{1, 2, 4, 9} {
+		chunks := Shard(data, disc, n)
+		checkCover(t, data, chunks, recsBefore)
+		for i, c := range chunks {
+			found := int(c.Off) == len(data)
+			for _, s := range starts {
+				if s == int(c.Off) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("n=%d: chunk %d starts at %d, not a record start", n, i, c.Off)
+			}
+		}
+	}
+}
+
+func TestShardUnshardableDisciplines(t *testing.T) {
+	data := []byte("whatever bytes these are")
+	for _, disc := range []padsrt.Discipline{padsrt.NoRecords(), &padsrt.CustomDisc{}} {
+		chunks := Shard(data, disc, 8)
+		if len(chunks) != 1 || !bytes.Equal(chunks[0].Data, data) {
+			t.Fatalf("%s: expected a single covering chunk, got %d", disc.Name(), len(chunks))
+		}
+	}
+}
+
+// scan reads every record of a chunk through the record discipline,
+// capturing (absolute record number, absolute start offset, body) — the
+// determinism witnesses the engine must preserve.
+type scanned struct {
+	rec  int
+	off  int64
+	body string
+}
+
+func scanChunk(src *padsrt.Source) ([]scanned, error) {
+	var out []scanned
+	for {
+		ok, err := src.BeginRecord()
+		if err != nil {
+			return out, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, scanned{rec: src.RecordNum(), off: src.Pos().Byte, body: string(src.RecordBytes())})
+		src.SkipToEOR()
+		src.EndRecord(nil)
+	}
+}
+
+// TestRunMatchesSequential: for every worker count, the merged stream of
+// (record number, offset, body) triples equals the sequential scan exactly,
+// and merge is called in chunk order.
+func TestRunMatchesSequential(t *testing.T) {
+	var data []byte
+	for i := 0; i < 997; i++ {
+		data = append(data, fmt.Sprintf("%d|payload-%d\n", i, i*7)...)
+	}
+	seq, err := scanChunk(padsrt.NewBorrowedSource(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 3, 4, 8} {
+		var got []scanned
+		lastIdx := -1
+		err := Run(data, Options{Workers: workers, MinChunk: 64},
+			func(src *padsrt.Source, c Chunk) ([]scanned, error) { return scanChunk(src) },
+			func(c Chunk, rs []scanned) error {
+				if c.Index != lastIdx+1 {
+					return fmt.Errorf("merge out of order: chunk %d after %d", c.Index, lastIdx)
+				}
+				lastIdx = c.Index
+				got = append(got, rs...)
+				return nil
+			})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != len(seq) {
+			t.Fatalf("workers=%d: %d records, want %d", workers, len(got), len(seq))
+		}
+		for i := range got {
+			if got[i] != seq[i] {
+				t.Fatalf("workers=%d: record %d = %+v, want %+v", workers, i, got[i], seq[i])
+			}
+		}
+	}
+}
+
+// TestRunBaseOffsets: Off/Records shift every chunk's reported positions,
+// the way a sequentially-parsed header is accounted for.
+func TestRunBaseOffsets(t *testing.T) {
+	data := []byte("aa\nbb\ncc\ndd\n")
+	var got []scanned
+	err := Run(data, Options{Workers: 2, MinChunk: 1, Off: 100, Records: 7},
+		func(src *padsrt.Source, c Chunk) ([]scanned, error) { return scanChunk(src) },
+		func(c Chunk, rs []scanned) error { got = append(got, rs...); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []scanned{{8, 100, "aa"}, {9, 103, "bb"}, {10, 106, "cc"}, {11, 109, "dd"}}
+	if len(got) != len(want) {
+		t.Fatalf("got %d records, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("record %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestRunWorkError: the first error in chunk order wins, and later chunks
+// are not merged.
+func TestRunWorkError(t *testing.T) {
+	var data []byte
+	for i := 0; i < 64; i++ {
+		data = append(data, fmt.Sprintf("line %d\n", i)...)
+	}
+	boom := errors.New("boom")
+	merged := 0
+	err := Run(data, Options{Workers: 4, MinChunk: 1},
+		func(src *padsrt.Source, c Chunk) (int, error) {
+			if c.Index == 1 {
+				return 0, boom
+			}
+			return c.Index, nil
+		},
+		func(c Chunk, r int) error {
+			if c.Index > 1 {
+				t.Errorf("chunk %d merged after the failed chunk", c.Index)
+			}
+			merged++
+			return nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if merged != 1 {
+		t.Fatalf("merged %d chunks, want only chunk 0", merged)
+	}
+}
+
+// TestRunMergeError: merge failures propagate too.
+func TestRunMergeError(t *testing.T) {
+	data := []byte("a\nb\nc\nd\n")
+	boom := errors.New("sink failed")
+	err := Run(data, Options{Workers: 2, MinChunk: 1},
+		func(src *padsrt.Source, c Chunk) (int, error) { return 0, nil },
+		func(c Chunk, r int) error { return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want sink failure", err)
+	}
+}
+
+func TestRunEmptyInput(t *testing.T) {
+	calls := 0
+	err := Run(nil, Options{Workers: 4},
+		func(src *padsrt.Source, c Chunk) (int, error) { n, _ := scanChunk(src); _ = n; calls++; return 0, nil },
+		func(c Chunk, r int) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("work called %d times on empty input, want 1", calls)
+	}
+}

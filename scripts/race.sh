@@ -1,0 +1,7 @@
+#!/usr/bin/env bash
+# Concurrency gate for the record-sharded parallel engine (docs/PARALLEL.md):
+# vet the whole module, then run every test under the race detector.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+go vet ./...
+go test -race ./...
