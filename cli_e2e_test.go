@@ -12,6 +12,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"pads/internal/telemetry"
 )
 
 func buildTools(t *testing.T) string {
@@ -138,6 +140,146 @@ func TestCLIToolsEndToEnd(t *testing.T) {
 	lev := run(t, bin, "padsbench", nil, "-leverage")
 	if !strings.Contains(lev, "leverage ratio") {
 		t.Errorf("padsbench -leverage = %q", lev)
+	}
+}
+
+// run2 is run, but returns stderr too — the telemetry flags print their
+// reports there so stdout stays pipeline-clean.
+func run2(t *testing.T, bin, tool string, args ...string) (stdout, stderr string) {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(bin, tool), args...)
+	var outBuf, errBuf bytes.Buffer
+	cmd.Stdout = &outBuf
+	cmd.Stderr = &errBuf
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("%s %v: %v\nstderr: %s", tool, args, err, errBuf.String())
+	}
+	return outBuf.String(), errBuf.String()
+}
+
+// TestCLITelemetryFlags drives the observability surface end to end: -stats
+// on padsacc/padsquery/padsfmt, -trace with and without the bounded ring,
+// and padsbench -json, whose stdout must round-trip through the
+// pads-bench/v1 reader that scripts/bench.sh trajectory files rely on.
+func TestCLITelemetryFlags(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped with -short")
+	}
+	bin := buildTools(t)
+	work := t.TempDir()
+
+	clfData := run(t, bin, "padsgen", nil, "-corpus", "clf", "-n", "80", "-seed", "7")
+	clfPath := filepath.Join(work, "clf.txt")
+	if err := os.WriteFile(clfPath, []byte(clfData), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// padsacc -stats: the counter block lands on stderr, the report on stdout.
+	stdout, stderr := run2(t, bin, "padsacc",
+		"-desc", "testdata/clf.pads", "-stats", clfPath)
+	if !strings.Contains(stdout, "80 records") {
+		t.Errorf("padsacc stdout lost the report:\n%s", stdout)
+	}
+	for _, want := range []string{"parse telemetry", "records", "speculation", "intern", "union choices"} {
+		if !strings.Contains(stderr, want) {
+			t.Errorf("padsacc -stats stderr missing %q:\n%s", want, stderr)
+		}
+	}
+
+	// padsacc -trace: one JSONL event stream, then the same with a bounded
+	// ring that must retain exactly N events.
+	tracePath := filepath.Join(work, "trace.jsonl")
+	run2(t, bin, "padsacc", "-desc", "testdata/clf.pads", "-trace", tracePath, clfPath)
+	traced, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := strings.Count(string(traced), "\n")
+	if full == 0 || !strings.Contains(string(traced), `"ev":"record_end"`) {
+		t.Fatalf("padsacc -trace produced no record events:\n%.300s", traced)
+	}
+	run2(t, bin, "padsacc", "-desc", "testdata/clf.pads",
+		"-trace", tracePath, "-trace-last", "10", clfPath)
+	ringed, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(string(ringed), "\n"); got != 10 {
+		t.Errorf("padsacc -trace-last 10 kept %d events, want 10", got)
+	}
+	if !strings.HasSuffix(string(traced), string(ringed)) {
+		t.Error("ring tail is not a suffix of the full trace")
+	}
+
+	// padsquery and padsfmt share the -stats plumbing via internal/cliutil.
+	_, stderr = run2(t, bin, "padsquery",
+		"-desc", "testdata/clf.pads", "-q", "count(/elt)", "-stats", clfPath)
+	if !strings.Contains(stderr, "parse telemetry") {
+		t.Errorf("padsquery -stats stderr missing the counter block:\n%s", stderr)
+	}
+	_, stderr = run2(t, bin, "padsfmt",
+		"-desc", "testdata/clf.pads", "-stats", clfPath)
+	if !strings.Contains(stderr, "parse telemetry") {
+		t.Errorf("padsfmt -stats stderr missing the counter block:\n%s", stderr)
+	}
+
+	// padsbench -json: stdout is exactly one pads-bench/v1 document.
+	stdout, _ = run2(t, bin, "padsbench", "-n", "500", "-runs", "1", "-noperl", "-json")
+	rep, err := telemetry.ReadBenchReport([]byte(stdout))
+	if err != nil {
+		t.Fatalf("padsbench -json does not round-trip: %v\n%.300s", err, stdout)
+	}
+	if len(rep.Rows) == 0 {
+		t.Fatal("padsbench -json report has no rows")
+	}
+	padsRows := 0
+	for _, row := range rep.Rows {
+		if row.Runs != 1 || len(row.Secs) != 1 {
+			t.Errorf("row %s/%s: runs=%d secs=%v, want 1 run", row.Task, row.Prog, row.Runs, row.Secs)
+		}
+		if row.BytesPerSec <= 0 {
+			t.Errorf("row %s/%s: bytes_per_sec = %v", row.Task, row.Prog, row.BytesPerSec)
+		}
+		if row.Prog == "pads" {
+			padsRows++
+			if row.Counters == nil || row.Counters.Source.RecordsBegun == 0 {
+				t.Errorf("row %s/pads carries no runtime counters", row.Task)
+			}
+		}
+	}
+	if padsRows != 3 {
+		t.Errorf("report has %d pads rows, want 3 (vetting, selection, count)", padsRows)
+	}
+}
+
+// TestBenchTrajectoryFiles keeps the committed BENCH_*.json history
+// readable: every trajectory file at the repo root must parse as the
+// pads-bench/v1 schema and carry counters on its pads rows.
+func TestBenchTrajectoryFiles(t *testing.T) {
+	files, err := filepath.Glob("BENCH_*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no BENCH_*.json trajectory files committed (scripts/bench.sh writes them)")
+	}
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := telemetry.ReadBenchReport(data)
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		if len(rep.Rows) == 0 {
+			t.Errorf("%s: no rows", f)
+		}
+		for _, row := range rep.Rows {
+			if row.Prog == "pads" && (row.Counters == nil || row.Counters.Source.BytesRead == 0) {
+				t.Errorf("%s: row %s/pads has no source counters", f, row.Task)
+			}
+		}
 	}
 }
 

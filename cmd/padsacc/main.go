@@ -6,6 +6,7 @@
 // Usage:
 //
 //	padsacc -desc weblog.pads [-field length] [-track 1000] [-top 10] [-workers 4] data.log
+//	padsacc -desc weblog.pads -stats -trace trace.jsonl -trace-last 1000 data.log
 package main
 
 import (
@@ -29,6 +30,8 @@ func main() {
 	ebcdic := flag.Bool("ebcdic", false, "treat the ambient coding as EBCDIC")
 	le := flag.Bool("le", false, "little-endian binary integers")
 	workers := flag.Int("workers", 1, "parse worker goroutines: 1 streams sequentially, 0 uses all CPUs (docs/PARALLEL.md)")
+	stats := cliutil.StatsFlag()
+	traceFlags := cliutil.NewTraceFlags()
 	flag.Parse()
 
 	if *descPath == "" {
@@ -40,6 +43,11 @@ func main() {
 	if err != nil {
 		cliutil.Fatal(err)
 	}
+	tel, err := cliutil.OpenTelemetry(*stats, traceFlags.Path, traceFlags.Last)
+	if err != nil {
+		cliutil.Fatal(err)
+	}
+	tel.Observe(desc)
 	in, err := cliutil.OpenData(flag.Arg(0))
 	if err != nil {
 		cliutil.Fatal(err)
@@ -62,7 +70,7 @@ func main() {
 			cliutil.Fatal(err)
 		}
 	} else {
-		s := padsrt.NewSource(bufio.NewReaderSize(in, 1<<20), opts...)
+		s := padsrt.NewSource(bufio.NewReaderSize(in, 1<<20), tel.SourceOptions(opts)...)
 		rr, err := desc.Records(s, nil)
 		if err != nil {
 			cliutil.Fatal(err)
@@ -75,6 +83,9 @@ func main() {
 		if err := rr.Err(); err != nil {
 			cliutil.Fatal(err)
 		}
+	}
+	if err := tel.Close(); err != nil {
+		cliutil.Fatal(err)
 	}
 
 	out := bufio.NewWriter(os.Stdout)

@@ -19,16 +19,25 @@
 // Usage:
 //
 //	padsbench [-n 2000000] [-runs 3] [-state LOC_0] [-noperl] [-workers 4]
+//	padsbench -json > BENCH.json   # machine-readable rows (scripts/bench.sh)
 //	padsbench -leverage        # the section 4 description-expansion ratio
+//
+// With -json the human-readable progress goes to stderr and stdout carries
+// one pads-bench/v1 report (internal/telemetry.BenchReport): per-program
+// timing rows with bytes/sec, allocs per run, and — for the pads rows — the
+// runtime telemetry counters of one instrumented pass, so BENCH_*.json
+// trajectory files track counter regressions alongside wall time.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -37,6 +46,8 @@ import (
 	"pads/internal/codegen"
 	"pads/internal/datagen"
 	"pads/internal/fig10"
+	"pads/internal/padsrt"
+	"pads/internal/telemetry"
 )
 
 func main() {
@@ -47,11 +58,27 @@ func main() {
 	leverage := flag.Bool("leverage", false, "print the section 4 leverage ratio and exit")
 	keep := flag.String("keep", "", "also keep the generated data at this path")
 	workers := flag.Int("workers", 0, "if > 1, also time the record-sharded parallel programs with this many workers")
+	jsonOut := cliutil.JSONFlag()
 	flag.Parse()
 
 	if *leverage {
 		printLeverage()
 		return
+	}
+
+	// With -json, stdout is reserved for the report; narration moves to
+	// stderr so `padsbench -json > BENCH.json` stays clean.
+	out := io.Writer(os.Stdout)
+	var report *telemetry.BenchReport
+	if *jsonOut {
+		out = os.Stderr
+		report = &telemetry.BenchReport{
+			Schema:  telemetry.BenchSchema,
+			Date:    time.Now().Format("2006-01-02"),
+			Go:      runtime.Version(),
+			Records: *n,
+			Workers: *workers,
+		}
 	}
 
 	perlPath := ""
@@ -61,7 +88,7 @@ func main() {
 		}
 	}
 
-	fmt.Printf("Figure 10 reproduction: %d synthetic Sirius records, %d runs each\n", *n, *runs)
+	fmt.Fprintf(out, "Figure 10 reproduction: %d synthetic Sirius records, %d runs each\n", *n, *runs)
 	tmpDir, err := os.MkdirTemp("", "padsbench")
 	if err != nil {
 		cliutil.Fatal(err)
@@ -79,15 +106,18 @@ func main() {
 		cliutil.Fatal(err)
 	}
 	rawFile.Close()
-	fmt.Printf("data: %d bytes, %d sort violations, %d syntax errors, events %d..%d mean %.2f\n",
+	fmt.Fprintf(out, "data: %d bytes, %d sort violations, %d syntax errors, events %d..%d mean %.2f\n",
 		st.Bytes, st.SortViolations, st.SyntaxErrors, st.MinEvents, st.MaxEvents,
 		float64(st.Events)/float64(st.Records))
-	if perlPath != "" {
-		fmt.Printf("perl: %s (scripts/perl)\n", perlPath)
-	} else {
-		fmt.Println("perl: not run")
+	if report != nil {
+		report.Bytes = st.Bytes
 	}
-	fmt.Println()
+	if perlPath != "" {
+		fmt.Fprintf(out, "perl: %s (scripts/perl)\n", perlPath)
+	} else {
+		fmt.Fprintln(out, "perl: not run")
+	}
+	fmt.Fprintln(out)
 	if *keep != "" {
 		data, _ := os.ReadFile(rawPath)
 		os.WriteFile(*keep, data, 0o644)
@@ -122,116 +152,184 @@ func main() {
 	type prog struct {
 		name string
 		run  func() error
+		// subproc marks rows timed through exec (perl): heap deltas in this
+		// process would be noise, so they are skipped.
+		subproc bool
+		// instrument, set on pads rows, reruns the program once with a
+		// telemetry sink attached so the -json report carries the runtime
+		// counters alongside the timings (the extra pass is not timed).
+		instrument func(*telemetry.Stats) error
 	}
-	bench := func(task string, note string, progs []prog) {
-		fmt.Printf("-- %s (%s)\n", task, note)
+	bench := func(task string, note string, taskBytes int64, progs []prog) {
+		fmt.Fprintf(out, "-- %s (%s)\n", task, note)
 		times := make([]float64, len(progs))
-		fmt.Printf("%-10s", "run")
+		secs := make([][]float64, len(progs))
+		allocs := make([]uint64, len(progs))
+		allocBytes := make([]uint64, len(progs))
+		fmt.Fprintf(out, "%-10s", "run")
 		for _, p := range progs {
-			fmt.Printf(" %12s", p.name)
+			fmt.Fprintf(out, " %12s", p.name)
 		}
-		fmt.Println()
+		fmt.Fprintln(out)
+		var ms0, ms1 runtime.MemStats
 		for r := 0; r < *runs; r++ {
-			fmt.Printf("%-10d", r+1)
+			fmt.Fprintf(out, "%-10d", r+1)
 			for i, p := range progs {
+				runtime.ReadMemStats(&ms0)
 				start := time.Now()
 				if err := p.run(); err != nil {
 					cliutil.Fatal(fmt.Errorf("%s: %w", p.name, err))
 				}
 				el := time.Since(start).Seconds()
+				runtime.ReadMemStats(&ms1)
 				times[i] += el
-				fmt.Printf(" %12.2f", el)
+				secs[i] = append(secs[i], el)
+				allocs[i] += ms1.Mallocs - ms0.Mallocs
+				allocBytes[i] += ms1.TotalAlloc - ms0.TotalAlloc
+				fmt.Fprintf(out, " %12.2f", el)
 			}
-			fmt.Println()
+			fmt.Fprintln(out)
 		}
-		fmt.Printf("%-10s", "ratio")
+		fmt.Fprintf(out, "%-10s", "ratio")
 		for i := range progs {
-			fmt.Printf(" %12.2f", times[i]/times[0])
+			fmt.Fprintf(out, " %12.2f", times[i]/times[0])
 		}
-		fmt.Println("   (relative to pads; >1 means pads is faster)")
-		fmt.Println()
+		fmt.Fprintln(out, "   (relative to pads; >1 means pads is faster)")
+		fmt.Fprintln(out)
+		if report == nil {
+			return
+		}
+		for i, p := range progs {
+			row := telemetry.BenchRow{Task: task, Prog: p.name, Secs: secs[i]}
+			if !p.subproc && *runs > 0 {
+				row.AllocsPerRun = allocs[i] / uint64(*runs)
+				row.AllocBytesPerRun = allocBytes[i] / uint64(*runs)
+			}
+			if p.instrument != nil {
+				st := telemetry.NewStats()
+				if err := p.instrument(st); err != nil {
+					cliutil.Fatal(fmt.Errorf("%s (instrumented): %w", p.name, err))
+				}
+				row.Counters = st
+			}
+			telemetry.FinishRow(&row, taskBytes)
+			report.Rows = append(report.Rows, row)
+		}
 	}
 
+	// statSource builds the instrumented Source an instrument pass reads.
+	statSource := func(path string, st *telemetry.Stats) (*os.File, *padsrt.Source) {
+		f := mustOpen(path)
+		return f, padsrt.NewSource(bufio.NewReaderSize(f, 1<<20), padsrt.WithStats(st))
+	}
+
+	cleanInfo, err := os.Stat(cleanPath)
+	if err != nil {
+		cliutil.Fatal(err)
+	}
+	cleanBytes := cleanInfo.Size()
+
 	vetProgs := []prog{
-		{"pads", func() error {
+		{name: "pads", run: func() error {
 			r := mustOpen(rawPath)
 			defer r.Close()
 			_, err := fig10.PadsVet(r, io.Discard, io.Discard)
 			return err
+		}, instrument: func(st *telemetry.Stats) error {
+			f, s := statSource(rawPath, st)
+			defer f.Close()
+			_, err := fig10.PadsVetSource(s, io.Discard, io.Discard)
+			return err
 		}},
 	}
 	if perlPath != "" {
-		vetProgs = append(vetProgs, prog{"perl", func() error {
+		vetProgs = append(vetProgs, prog{name: "perl", subproc: true, run: func() error {
 			return runPerl(perlPath, rawPath, "scripts/perl/vet.pl")
 		}})
 	}
-	vetProgs = append(vetProgs, prog{"go-port", func() error {
+	vetProgs = append(vetProgs, prog{name: "go-port", run: func() error {
 		r := mustOpen(rawPath)
 		defer r.Close()
 		_, err := baseline.SiriusVet(r, io.Discard, io.Discard)
 		return err
 	}})
 	if *workers > 1 {
-		vetProgs = append(vetProgs, prog{fmt.Sprintf("pads-par%d", *workers), func() error {
+		vetProgs = append(vetProgs, prog{name: fmt.Sprintf("pads-par%d", *workers), run: func() error {
 			_, err := fig10.PadsVetParallel(rawData, io.Discard, io.Discard, *workers)
 			return err
 		}})
 	}
-	bench("vetting", "paper: padsvet 1616s vs perl 3272s, 2.03x", vetProgs)
+	bench("vetting", "paper: padsvet 1616s vs perl 3272s, 2.03x", st.Bytes, vetProgs)
 
 	selProgs := []prog{
-		{"pads", func() error {
+		{name: "pads", run: func() error {
 			r := mustOpen(cleanPath)
 			defer r.Close()
 			_, err := fig10.PadsSelect(r, io.Discard, *state)
 			return err
+		}, instrument: func(st *telemetry.Stats) error {
+			f, s := statSource(cleanPath, st)
+			defer f.Close()
+			_, err := fig10.PadsSelectSource(s, io.Discard, *state)
+			return err
 		}},
 	}
 	if perlPath != "" {
-		selProgs = append(selProgs, prog{"perl", func() error {
+		selProgs = append(selProgs, prog{name: "perl", subproc: true, run: func() error {
 			return runPerl(perlPath, cleanPath, "scripts/perl/select.pl", *state)
 		}})
 	}
-	selProgs = append(selProgs, prog{"go-port", func() error {
+	selProgs = append(selProgs, prog{name: "go-port", run: func() error {
 		r := mustOpen(cleanPath)
 		defer r.Close()
 		_, err := baseline.SiriusSelect(r, io.Discard, *state)
 		return err
 	}})
 	if *workers > 1 {
-		selProgs = append(selProgs, prog{fmt.Sprintf("pads-par%d", *workers), func() error {
+		selProgs = append(selProgs, prog{name: fmt.Sprintf("pads-par%d", *workers), run: func() error {
 			_, err := fig10.PadsSelectParallel(cleanData, io.Discard, *state, *workers)
 			return err
 		}})
 	}
-	bench("selection", "paper: padsselect 421s vs perl 520s, 1.23x", selProgs)
+	bench("selection", "paper: padsselect 421s vs perl 520s, 1.23x", cleanBytes, selProgs)
 
 	countProgs := []prog{
-		{"pads", func() error {
+		{name: "pads", run: func() error {
 			r := mustOpen(cleanPath)
 			defer r.Close()
 			_, err := fig10.PadsCount(r)
 			return err
+		}, instrument: func(st *telemetry.Stats) error {
+			f, s := statSource(cleanPath, st)
+			defer f.Close()
+			_, err := fig10.PadsCountSource(s)
+			return err
 		}},
 	}
 	if perlPath != "" {
-		countProgs = append(countProgs, prog{"perl", func() error {
+		countProgs = append(countProgs, prog{name: "perl", subproc: true, run: func() error {
 			return runPerl(perlPath, cleanPath, "scripts/perl/count.pl")
 		}})
 	}
-	countProgs = append(countProgs, prog{"go-port", func() error {
+	countProgs = append(countProgs, prog{name: "go-port", run: func() error {
 		r := mustOpen(cleanPath)
 		defer r.Close()
 		_, err := baseline.CountRecords(r)
 		return err
 	}})
 	if *workers > 1 {
-		countProgs = append(countProgs, prog{fmt.Sprintf("pads-par%d", *workers), func() error {
+		countProgs = append(countProgs, prog{name: fmt.Sprintf("pads-par%d", *workers), run: func() error {
 			_, err := fig10.PadsCountParallel(cleanData, *workers)
 			return err
 		}})
 	}
-	bench("record count", "paper: PADS 81s vs perl 124s, 1.53x", countProgs)
+	bench("record count", "paper: PADS 81s vs perl 124s, 1.53x", cleanBytes, countProgs)
+
+	if report != nil {
+		if err := report.WriteJSON(os.Stdout); err != nil {
+			cliutil.Fatal(err)
+		}
+	}
 }
 
 func mustOpen(path string) *os.File {

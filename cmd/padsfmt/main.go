@@ -27,6 +27,7 @@ func main() {
 	ebcdic := flag.Bool("ebcdic", false, "treat the ambient coding as EBCDIC")
 	le := flag.Bool("le", false, "little-endian binary integers")
 	skipErrs := flag.Bool("skip-errors", false, "omit records with parse errors")
+	stats := cliutil.StatsFlag()
 	flag.Parse()
 
 	if *descPath == "" {
@@ -38,6 +39,11 @@ func main() {
 	if err != nil {
 		cliutil.Fatal(err)
 	}
+	tel, err := cliutil.OpenTelemetry(*stats, "", 0)
+	if err != nil {
+		cliutil.Fatal(err)
+	}
+	tel.Observe(desc)
 	in, err := cliutil.OpenData(flag.Arg(0))
 	if err != nil {
 		cliutil.Fatal(err)
@@ -47,7 +53,7 @@ func main() {
 	f := fmtconv.New(strings.Split(*delims, ",")...)
 	f.DateFormat = *dateFmt
 
-	s := padsrt.NewSource(bufio.NewReaderSize(in, 1<<20), opts...)
+	s := padsrt.NewSource(bufio.NewReaderSize(in, 1<<20), tel.SourceOptions(opts)...)
 	rr, err := desc.Records(s, nil)
 	if err != nil {
 		cliutil.Fatal(err)
@@ -62,6 +68,9 @@ func main() {
 		f.WriteRecord(out, rec)
 	}
 	if err := rr.Err(); err != nil {
+		cliutil.Fatal(err)
+	}
+	if err := tel.Close(); err != nil {
 		cliutil.Fatal(err)
 	}
 }

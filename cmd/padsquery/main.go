@@ -29,6 +29,7 @@ func main() {
 	ebcdic := flag.Bool("ebcdic", false, "treat the ambient coding as EBCDIC")
 	le := flag.Bool("le", false, "little-endian binary integers")
 	workers := flag.Int("workers", 1, "parse worker goroutines: 1 parses sequentially, 0 uses all CPUs (docs/PARALLEL.md)")
+	stats := cliutil.StatsFlag()
 	flag.Parse()
 
 	if *descPath == "" || *q == "" {
@@ -44,6 +45,11 @@ func main() {
 	if err != nil {
 		cliutil.Fatal(err)
 	}
+	tel, err := cliutil.OpenTelemetry(*stats, "", 0)
+	if err != nil {
+		cliutil.Fatal(err)
+	}
+	tel.Observe(desc)
 	in, err := cliutil.OpenData(flag.Arg(0))
 	if err != nil {
 		cliutil.Fatal(err)
@@ -60,12 +66,15 @@ func main() {
 		// header+records shaped fall back to the sequential parse.
 		v, err = desc.ParseAllParallel(data, opts, *workers)
 		if err != nil {
-			v, err = desc.ParseAll(padsrt.NewBytesSource(data, opts...))
+			v, err = desc.ParseAll(padsrt.NewBytesSource(data, tel.SourceOptions(opts)...))
 		}
 	} else {
-		v, err = desc.ParseAll(padsrt.NewBytesSource(data, opts...))
+		v, err = desc.ParseAll(padsrt.NewBytesSource(data, tel.SourceOptions(opts)...))
 	}
 	if err != nil {
+		cliutil.Fatal(err)
+	}
+	if err := tel.Close(); err != nil {
 		cliutil.Fatal(err)
 	}
 	nodes, agg, isAgg := cq.Eval(desc.QueryRoot(v))

@@ -27,6 +27,7 @@ import (
 	"pads/internal/parallel"
 	"pads/internal/query"
 	"pads/internal/sema"
+	"pads/internal/telemetry"
 	"pads/internal/value"
 	"pads/internal/xmlgen"
 )
@@ -85,6 +86,18 @@ func CompileFile(path string) (*Description, error) {
 		return nil, err
 	}
 	return Compile(string(src), path)
+}
+
+// Observe attaches telemetry to every parse the description runs: st (when
+// non-nil) tallies interpreter counters — per-field-path errors and union
+// branch histograms — and tr (when non-nil) receives structured trace
+// events. Attach the same st to the input Source (padsrt.WithStats) to also
+// collect its buffer/record/speculation counters; parallel entry points
+// plumb st through internal/parallel so per-worker rows land in st.Workers.
+// Pass nils to detach. Not safe to call concurrently with a running parse.
+func (d *Description) Observe(st *telemetry.Stats, tr *telemetry.Tracer) {
+	d.Interp.Stats = st
+	d.Interp.Tracer = tr
 }
 
 // SourceType names the Psource type describing the whole data source.
@@ -211,6 +224,9 @@ func (d *Description) AccumulateReader(r io.Reader, opts []padsrt.SourceOption, 
 // sequential run: the records region starts where the header ended.
 func (d *Description) openShards(data []byte, opts []padsrt.SourceOption, workers int) (*interp.RecordReader, parallel.Options, int, error) {
 	s := padsrt.NewBorrowedSource(data, opts...)
+	// The header parses sequentially, before any worker starts, so its
+	// source counters can go straight to the observed Stats.
+	s.SetStats(d.Interp.Stats)
 	rr, err := d.Records(s, nil)
 	if err != nil {
 		return nil, parallel.Options{}, 0, err
@@ -222,6 +238,7 @@ func (d *Description) openShards(data []byte, opts []padsrt.SourceOption, worker
 		Source:  opts,
 		Off:     int64(base),
 		Records: s.RecordNum(),
+		Stats:   d.Interp.Stats,
 	}
 	return rr, popts, base, nil
 }

@@ -37,7 +37,13 @@ func newSource(r io.Reader) *padsrt.Source {
 // timestamp sort included), writing clean records to clean and erroneous
 // ones to errOut; either writer may be nil to discard.
 func PadsVet(r io.Reader, clean, errOut io.Writer) (VetStats, error) {
-	s := newSource(r)
+	return PadsVetSource(newSource(r), clean, errOut)
+}
+
+// PadsVetSource is PadsVet over a caller-configured Source, so callers can
+// attach telemetry (padsrt.WithStats) — padsbench uses it to report the
+// runtime counters of an instrumented vetting pass.
+func PadsVetSource(s *padsrt.Source, clean, errOut io.Writer) (VetStats, error) {
 	var st VetStats
 
 	var hdr sirius.Summary_header_t
@@ -84,7 +90,12 @@ var selectMask = func() *sirius.Entry_tMask {
 // PadsSelect prints the order numbers of records that pass through state,
 // parsing with checking disabled.
 func PadsSelect(r io.Reader, w io.Writer, state string) (SelectStats, error) {
-	s := newSource(r)
+	return PadsSelectSource(newSource(r), w, state)
+}
+
+// PadsSelectSource is PadsSelect over a caller-configured Source (see
+// PadsVetSource).
+func PadsSelectSource(s *padsrt.Source, w io.Writer, state string) (SelectStats, error) {
 	var st SelectStats
 
 	var hdr sirius.Summary_header_t
@@ -258,7 +269,12 @@ func PadsCountParallel(data []byte, workers int) (int, error) {
 // PadsCount counts records through the PADS record discipline (the trivial
 // 81-second program of section 7).
 func PadsCount(r io.Reader) (int, error) {
-	s := newSource(r)
+	return PadsCountSource(newSource(r))
+}
+
+// PadsCountSource is PadsCount over a caller-configured Source (see
+// PadsVetSource).
+func PadsCountSource(s *padsrt.Source) (int, error) {
 	n := 0
 	for {
 		ok, err := s.BeginRecord()

@@ -8,18 +8,60 @@ package interp
 
 import (
 	"fmt"
+	"strings"
 
 	"pads/internal/dsl"
 	"pads/internal/expr"
 	"pads/internal/padsrt"
 	"pads/internal/sema"
+	"pads/internal/telemetry"
 	"pads/internal/value"
 )
 
 // Interp interprets one checked description.
+//
+// Stats and Tracer, when non-nil, observe the parse: Stats tallies errors by
+// dotted field path and histograms union branch selection; Tracer emits one
+// structured event per parsing decision (docs/OBSERVABILITY.md). Both default
+// to nil, which costs one branch per decision and nothing else. An Interp is
+// single-goroutine; sharded parses give each worker its own (see
+// RecordReader.Shard, which routes the shard's counters to its chunk
+// source's Stats).
 type Interp struct {
-	Desc *sema.Desc
-	Ev   *expr.Evaluator
+	Desc   *sema.Desc
+	Ev     *expr.Evaluator
+	Stats  *telemetry.Stats
+	Tracer *telemetry.Tracer
+
+	path []string // dotted field path stack, maintained only while observing
+}
+
+// observing reports whether any telemetry consumer is attached.
+func (in *Interp) observing() bool { return in.Stats != nil || in.Tracer != nil }
+
+func (in *Interp) pathString() string { return strings.Join(in.path, ".") }
+
+// trace builds and emits an event only when a tracer is attached, so the
+// disabled path never constructs an Event.
+func (in *Interp) trace(ev, name string, s *padsrt.Source) {
+	if in.Tracer == nil {
+		return
+	}
+	p := s.Pos()
+	in.Tracer.Emit(telemetry.Event{Ev: ev, Name: name, Off: p.Byte, Rec: p.Record})
+}
+
+// traceSpan emits an event covering [begin, here), with an optional error.
+func (in *Interp) traceSpan(ev, name, branch string, begin padsrt.Pos, s *padsrt.Source, code padsrt.ErrCode) {
+	if in.Tracer == nil {
+		return
+	}
+	p := s.Pos()
+	e := telemetry.Event{Ev: ev, Name: name, Branch: branch, Off: begin.Byte, End: p.Byte, Rec: p.Record}
+	if code != padsrt.ErrNone {
+		e.Err = code.String()
+	}
+	in.Tracer.Emit(e)
 }
 
 // New builds an interpreter for the description.
@@ -79,6 +121,8 @@ func (in *Interp) parseDecl(d dsl.Decl, s *padsrt.Source, mask *padsrt.MaskNode,
 			v.PD().SetError(padsrt.ErrAtEOF, padsrt.Loc{Begin: s.Pos(), End: s.Pos()})
 			return v
 		}
+		recBegin := s.Pos()
+		in.trace(telemetry.EvRecordBegin, d.DeclName(), s)
 		v := in.parseDeclBody(d, s, mask, args)
 		pd := v.PD()
 		if pd.Nerr > 0 && !s.AtEOR() {
@@ -87,10 +131,11 @@ func (in *Interp) parseDecl(d dsl.Decl, s *padsrt.Source, mask *padsrt.MaskNode,
 			if n := s.SkipToEOR(); n > 0 {
 				pd.State = padsrt.Panicking
 				pd.Nerr++
+				in.traceSpan(telemetry.EvError, d.DeclName(), "", begin, s, padsrt.ErrPanicSkipped)
 			}
-			_ = begin
 		}
 		s.EndRecord(pd)
+		in.traceSpan(telemetry.EvRecordEnd, d.DeclName(), "", recBegin, s, pd.ErrCode)
 		return v
 	}
 	return in.parseDeclBody(d, s, mask, args)
@@ -193,11 +238,20 @@ func (in *Interp) parseStruct(d *dsl.StructDecl, s *padsrt.Source, mask *padsrt.
 				if pd.State == padsrt.Normal {
 					pd.State = padsrt.Partial
 				}
+				in.traceSpan(telemetry.EvError, d.Name, "", begin, s, code)
 			}
 			continue
 		}
 		f := it.Field
 		fmask := mask.Field(f.Name)
+		var fieldPath string
+		var fieldBegin padsrt.Pos
+		if in.observing() {
+			in.path = append(in.path, f.Name)
+			fieldPath = in.pathString()
+			fieldBegin = s.Pos()
+			in.trace(telemetry.EvFieldEnter, fieldPath, s)
+		}
 		fv := in.parseRef(f.Type, s, fmask, env)
 		if f.Constraint != nil && fmask.BaseMask().DoCheck() && fv.PD().Nerr == 0 {
 			fe := expr.NewEnv(env)
@@ -206,6 +260,17 @@ func (in *Interp) parseStruct(d *dsl.StructDecl, s *padsrt.Source, mask *padsrt.
 			if !ok {
 				fv.PD().SetError(padsrt.ErrConstraint, padsrt.Loc{Begin: s.Pos(), End: s.Pos()})
 			}
+		}
+		if in.observing() {
+			if fpd := fv.PD(); fpd.Nerr > 0 {
+				if in.Stats != nil {
+					in.Stats.FieldError(fieldPath)
+				}
+				in.traceSpan(telemetry.EvFieldExit, fieldPath, "", fieldBegin, s, fpd.ErrCode)
+			} else {
+				in.traceSpan(telemetry.EvFieldExit, fieldPath, "", fieldBegin, s, padsrt.ErrNone)
+			}
+			in.path = in.path[:len(in.path)-1]
 		}
 		pd.AddChildErrors(fv.PD(), padsrt.ErrStructField)
 		st.Names = append(st.Names, f.Name)
@@ -257,6 +322,10 @@ func (in *Interp) parseUnion(d *dsl.UnionDecl, s *padsrt.Source, mask *padsrt.Ma
 		}
 		if chosen == nil {
 			pd.SetError(padsrt.ErrUnionTag, padsrt.Loc{Begin: begin, End: begin})
+			if in.Stats != nil {
+				in.Stats.UnionChoice(d.Name, noBranch)
+			}
+			in.traceSpan(telemetry.EvError, d.Name, "", begin, s, padsrt.ErrUnionTag)
 			return un
 		}
 		f := &chosen.Field
@@ -264,25 +333,48 @@ func (in *Interp) parseUnion(d *dsl.UnionDecl, s *padsrt.Source, mask *padsrt.Ma
 		un.Tag = f.Name
 		un.Val = bv
 		pd.AddChildErrors(bv.PD(), padsrt.ErrStructField)
+		if in.Stats != nil {
+			in.Stats.UnionChoice(d.Name, f.Name)
+		}
+		in.traceSpan(telemetry.EvBranchSelect, d.Name, f.Name, begin, s, bv.PD().ErrCode)
 		return un
 	}
 
 	for i := range d.Branches {
 		f := &d.Branches[i]
 		s.Checkpoint()
+		if in.Tracer != nil {
+			in.Tracer.Emit(telemetry.Event{
+				Ev: telemetry.EvBranchAttempt, Name: d.Name, Branch: f.Name,
+				Off: begin.Byte, Rec: begin.Record,
+			})
+		}
 		bv := in.parseBranch(d, f, s, mask, env)
 		if bv.PD().Nerr == 0 {
 			s.Commit()
 			un.Tag = f.Name
 			un.TagIdx = i
 			un.Val = bv
+			if in.Stats != nil {
+				in.Stats.UnionChoice(d.Name, f.Name)
+			}
+			in.traceSpan(telemetry.EvBranchSelect, d.Name, f.Name, begin, s, padsrt.ErrNone)
 			return un
 		}
+		in.traceSpan(telemetry.EvBranchBacktrack, d.Name, f.Name, begin, s, bv.PD().ErrCode)
 		s.Restore()
 	}
 	pd.SetError(padsrt.ErrUnionMatch, padsrt.Loc{Begin: begin, End: s.Pos()})
+	if in.Stats != nil {
+		in.Stats.UnionChoice(d.Name, noBranch)
+	}
+	in.traceSpan(telemetry.EvError, d.Name, "", begin, s, padsrt.ErrUnionMatch)
 	return un
 }
+
+// noBranch is the histogram key recorded when no union branch (or switch
+// case) matched.
+const noBranch = "<none>"
 
 func (in *Interp) parseBranch(d *dsl.UnionDecl, f *dsl.Field, s *padsrt.Source, mask *padsrt.MaskNode, env *expr.Env) value.Value {
 	fmask := mask.Field(f.Name)

@@ -110,9 +110,17 @@ func (rr *RecordReader) ReadWith(mask *padsrt.MaskNode) value.Value {
 // sequentially, then gives each worker a Shard over its chunk's source.
 // The shard gets its own evaluator (expression evaluation carries call-depth
 // state), so shards of one reader may run concurrently.
+//
+// Telemetry: the shard's interpreter counters route to the chunk source's
+// private Stats (so concurrent shards never share a counter), while the
+// parent's Tracer — which is concurrency-safe — is shared, so a traced
+// parallel parse emits every worker's events into one stream.
 func (rr *RecordReader) Shard(s *padsrt.Source) *RecordReader {
+	in := New(rr.in.Desc)
+	in.Stats = s.Stats()
+	in.Tracer = rr.in.Tracer
 	return &RecordReader{
-		in:      New(rr.in.Desc),
+		in:      in,
 		s:       s,
 		mask:    rr.mask,
 		recDecl: rr.recDecl,

@@ -1,0 +1,142 @@
+package interp
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pads/internal/padsrt"
+	"pads/internal/telemetry"
+	"pads/internal/value"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden trace files")
+
+// traceSrc is a deliberately small Pstruct/Punion description whose parse
+// exercises every trace event kind: field enter/exit, union branch
+// attempt/backtrack/select, record boundaries, and errors with loci.
+const traceSrc = `
+Punion num_t {
+  Pip ip;
+  Puint32 n;
+};
+Precord Pstruct r_t {
+  num_t v;
+  ' ';
+  Puint32 k;
+};
+Psource Parray rs_t { r_t[]; };
+`
+
+// traceData drives three distinct union outcomes: record 1 selects the ip
+// branch on the first attempt, record 2 backtracks off ip onto n, and
+// record 3 matches no branch at all.
+const traceData = "127.0.0.1 7\n42 9\nxyz 1\n"
+
+// TestTraceGolden parses the three-record input with a streaming Tracer
+// attached and compares the JSONL event stream — kinds, names, branches,
+// byte offsets, record numbers, error codes — against the committed golden
+// file. Regenerate with: go test ./internal/interp -run TestTraceGolden -update
+func TestTraceGolden(t *testing.T) {
+	in := compile(t, traceSrc)
+	var buf bytes.Buffer
+	in.Tracer = telemetry.NewTracer(&buf)
+	s := padsrt.NewBytesSource([]byte(traceData))
+	if _, err := in.ParseSource(s); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Tracer.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("..", "..", "testdata", "trace.golden.jsonl")
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("trace diverges from golden file:\n--- got\n%s--- want\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestTraceStats checks the aggregate observers over the same parse: the
+// union branch-selection histogram and the per-field-path error tallies must
+// reflect exactly the three outcomes the input script stages.
+func TestTraceStats(t *testing.T) {
+	in := compile(t, traceSrc)
+	in.Stats = telemetry.NewStats()
+	s := padsrt.NewBytesSource([]byte(traceData))
+	v, err := in.ParseSource(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr := v.(*value.Array)
+	if len(arr.Elems) != 3 {
+		t.Fatalf("records = %d, want 3", len(arr.Elems))
+	}
+
+	wantChoices := map[string]uint64{
+		"num_t.ip":     1,
+		"num_t.n":      1,
+		"num_t.<none>": 1,
+	}
+	for k, want := range wantChoices {
+		if got := in.Stats.UnionChoices[k]; got != want {
+			t.Errorf("UnionChoices[%q] = %d, want %d", k, got, want)
+		}
+	}
+	if len(in.Stats.UnionChoices) != len(wantChoices) {
+		t.Errorf("UnionChoices = %v, want exactly %v", in.Stats.UnionChoices, wantChoices)
+	}
+	// Only record 3 errs, and the first error is the unmatched union under
+	// field v.
+	if got := in.Stats.FieldErrors["v"]; got != 1 {
+		t.Errorf(`FieldErrors["v"] = %d, want 1`, got)
+	}
+}
+
+// TestTraceRingBounded runs the same parse through a bounded ring tracer and
+// checks that only the newest events survive, in order — the mode that makes
+// tracing safe on inputs too large to stream to disk.
+func TestTraceRingBounded(t *testing.T) {
+	in := compile(t, traceSrc)
+	full := compile(t, traceSrc)
+
+	var stream bytes.Buffer
+	full.Tracer = telemetry.NewTracer(&stream)
+	if _, err := full.ParseSource(padsrt.NewBytesSource([]byte(traceData))); err != nil {
+		t.Fatal(err)
+	}
+	full.Tracer.Flush()
+	allLines := bytes.Split(bytes.TrimSuffix(stream.Bytes(), []byte("\n")), []byte("\n"))
+
+	const keep = 5
+	ring := telemetry.NewRingTracer(keep)
+	in.Tracer = ring
+	if _, err := in.ParseSource(padsrt.NewBytesSource([]byte(traceData))); err != nil {
+		t.Fatal(err)
+	}
+	if got := ring.Emitted(); got != uint64(len(allLines)) {
+		t.Fatalf("ring Emitted() = %d, want %d (every event counted)", got, len(allLines))
+	}
+	var tail bytes.Buffer
+	if err := ring.WriteJSONL(&tail); err != nil {
+		t.Fatal(err)
+	}
+	tailLines := bytes.Split(bytes.TrimSuffix(tail.Bytes(), []byte("\n")), []byte("\n"))
+	if len(tailLines) != keep {
+		t.Fatalf("ring retained %d events, want %d", len(tailLines), keep)
+	}
+	for i, line := range tailLines {
+		if want := allLines[len(allLines)-keep+i]; !bytes.Equal(line, want) {
+			t.Errorf("ring tail[%d] = %s, want %s", i, line, want)
+		}
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"io"
 	"strings"
 	"testing"
+
+	"pads/internal/telemetry"
 )
 
 // ---- Checkpointed compaction regression (union backtracking over records
@@ -116,6 +118,124 @@ func TestBorrowedSourceSetBase(t *testing.T) {
 	// The borrowed buffer must never be shifted by compaction.
 	if !bytes.Equal(data, []byte("aaa\nbbb\nccc\n")) {
 		t.Fatal("borrowed buffer was modified")
+	}
+}
+
+// ---- Telemetry counter accuracy under speculation (docs/OBSERVABILITY.md) ----
+
+// TestStatsCheckpointCounters replays the checkpointed-compaction scenario
+// above with a telemetry sink attached and checks the speculation counters
+// against the known script: nested union-style checkpoints over records
+// larger than the source buffer, where compaction runs between records but
+// is pinned during speculation. Every Checkpoint must be balanced by exactly
+// one Commit or Restore, and the depth watermark must match the deepest
+// nesting actually reached.
+func TestStatsCheckpointCounters(t *testing.T) {
+	const recSize = 96 * 1024
+	var input bytes.Buffer
+	for r := 0; r < 3; r++ {
+		for i := 0; i < recSize; i++ {
+			input.WriteByte(byte('a' + (r+i)%26))
+		}
+		input.WriteByte('\n')
+	}
+
+	st := telemetry.NewStats()
+	s := NewSource(&oneChunkReader{data: input.Bytes(), chunk: 8192}, WithStats(st))
+	for r := 0; r < 3; r++ {
+		mustBegin(t, s)
+		// Two doomed nested branches, then a committed winner.
+		s.Checkpoint()
+		s.Skip(recSize / 2)
+		s.Checkpoint()
+		s.Skip(recSize / 4)
+		s.Restore()
+		s.Restore()
+		s.Checkpoint()
+		s.Skip(recSize / 2)
+		s.Commit()
+		s.SkipToEOR()
+		s.EndRecord(nil)
+	}
+	if ok, _ := s.BeginRecord(); ok {
+		t.Fatal("expected end of input after three records")
+	}
+
+	src := &st.Source
+	if got, want := src.Checkpoints, uint64(9); got != want {
+		t.Errorf("Checkpoints = %d, want %d", got, want)
+	}
+	if got, want := src.Commits, uint64(3); got != want {
+		t.Errorf("Commits = %d, want %d", got, want)
+	}
+	if got, want := src.Restores, uint64(6); got != want {
+		t.Errorf("Restores = %d, want %d", got, want)
+	}
+	if src.Checkpoints != src.Commits+src.Restores {
+		t.Errorf("Checkpoints (%d) != Commits (%d) + Restores (%d): unbalanced speculation",
+			src.Checkpoints, src.Commits, src.Restores)
+	}
+	if got, want := src.MaxSpecDepth, uint64(2); got != want {
+		t.Errorf("MaxSpecDepth = %d, want %d", got, want)
+	}
+	if got, want := src.RecordsBegun, uint64(3); got != want {
+		t.Errorf("RecordsBegun = %d, want %d", got, want)
+	}
+	if got, want := src.RecordsEnded, uint64(3); got != want {
+		t.Errorf("RecordsEnded = %d, want %d", got, want)
+	}
+	if got, want := src.BytesRead, uint64(input.Len()); got != want {
+		t.Errorf("BytesRead = %d, want %d (the whole input)", got, want)
+	}
+	if src.Fills == 0 {
+		t.Error("Fills = 0, want > 0 (streamed in 8 KiB chunks)")
+	}
+	// Records are larger than the compaction threshold, so the window must
+	// have compacted between records — and the counters must have seen it.
+	if src.Compacts == 0 {
+		t.Error("Compacts = 0, want > 0 (records exceed the compact threshold)")
+	}
+	if src.Compacts > 0 && src.CompactBytes == 0 {
+		t.Error("CompactBytes = 0 with Compacts > 0")
+	}
+}
+
+// TestDisabledTelemetryNoAllocs is the zero-overhead-when-disabled guarantee
+// in its strictest form: with no Stats attached (the default), a steady-state
+// record loop over the hot paths must not allocate at all. A counter hook
+// that boxed, deferred, or built an event on the disabled path would show up
+// here deterministically, without benchmark noise.
+func TestDisabledTelemetryNoAllocs(t *testing.T) {
+	var buf strings.Builder
+	for i := 0; i < 512; i++ {
+		fmt.Fprintf(&buf, "STATE_%02d|rest\n", i%16)
+	}
+	data := []byte(buf.String())
+
+	parse := func() {
+		s := NewBorrowedSource(data)
+		for {
+			ok, err := s.BeginRecord()
+			if err != nil || !ok {
+				break
+			}
+			s.Checkpoint()
+			if _, code := ReadStringTerm(s, '|'); code != ErrNone {
+				s.Restore()
+			} else {
+				s.Commit()
+			}
+			s.SkipToEOR()
+			s.EndRecord(nil)
+		}
+	}
+	parse() // warm the intern cache
+	// Each run constructs one Source (a fixed number of allocations,
+	// independent of input size); the 512 records themselves must contribute
+	// nothing. A hook that allocated even once per record would push this
+	// past 512.
+	if allocs := testing.AllocsPerRun(10, parse); allocs > 32 {
+		t.Errorf("disabled-telemetry parse loop allocates %.1f per run, want <= 32 (no per-record cost)", allocs)
 	}
 }
 

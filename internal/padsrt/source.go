@@ -3,6 +3,8 @@ package padsrt
 import (
 	"fmt"
 	"io"
+
+	"pads/internal/telemetry"
 )
 
 // Source is a streaming parse cursor over an io.Reader. It maintains a
@@ -37,6 +39,12 @@ type Source struct {
 
 	readBuf []byte // scratch for Read calls
 
+	// tele, when non-nil, receives runtime counters (fills, compactions,
+	// intern hits, speculation churn, records). stats caches &tele.Source so
+	// the hot paths pay one nil check and a direct field increment.
+	tele  *telemetry.Stats
+	stats *telemetry.SourceStats
+
 	// intern is a direct-mapped cache of short strings produced by the
 	// string base types: ad hoc fields draw from small vocabularies (the
 	// Sirius feed has ~420 distinct states across millions of records),
@@ -69,7 +77,13 @@ func (s *Source) internString(w []byte) string {
 	}
 	idx := h % internSlots
 	if v := s.intern[idx]; v == string(w) { // comparison does not allocate
+		if s.stats != nil {
+			s.stats.InternHits++
+		}
 		return v
+	}
+	if s.stats != nil {
+		s.stats.InternMisses++
 	}
 	v := string(w)
 	s.intern[idx] = v
@@ -97,6 +111,12 @@ func WithCoding(c Coding) SourceOption { return func(s *Source) { s.coding = c }
 // WithByteOrder sets the byte order for Pb_* types (default: big-endian,
 // i.e. network order).
 func WithByteOrder(o ByteOrder) SourceOption { return func(s *Source) { s.order = o } }
+
+// WithStats attaches a telemetry sink: the Source records buffer, record,
+// intern-cache, and speculation counters into st.Source as it runs. The
+// default (nil) records nothing and costs nothing beyond a predictable
+// branch per event (docs/OBSERVABILITY.md).
+func WithStats(st *telemetry.Stats) SourceOption { return func(s *Source) { s.SetStats(st) } }
 
 // NewSource wraps r in a parse cursor. By default records are
 // newline-terminated, the ambient coding is ASCII, and binary integers are
@@ -149,6 +169,23 @@ func (s *Source) SetBase(byteOff int64, records int) {
 	s.recNum = records
 }
 
+// SetStats attaches (or, with nil, detaches) a telemetry sink mid-stream.
+// internal/parallel uses it to give every chunk source a private Stats, so
+// per-worker counters never race.
+func (s *Source) SetStats(st *telemetry.Stats) {
+	s.tele = st
+	if st != nil {
+		s.stats = &st.Source
+	} else {
+		s.stats = nil
+	}
+}
+
+// Stats returns the attached telemetry sink, or nil. Shard readers
+// (internal/interp) use it to route interpreter-level counters to the same
+// per-worker Stats as the source counters.
+func (s *Source) Stats() *telemetry.Stats { return s.tele }
+
 // Coding returns the ambient character coding.
 func (s *Source) Coding() Coding { return s.coding }
 
@@ -194,6 +231,10 @@ func (s *Source) fill() {
 	if m > 0 {
 		s.buf = append(s.buf, s.readBuf[:m]...)
 	}
+	if s.stats != nil {
+		s.stats.Fills++
+		s.stats.BytesRead += uint64(m)
+	}
 	if err == io.EOF {
 		s.eof = true
 	} else if err != nil {
@@ -217,6 +258,10 @@ func (s *Source) compact() {
 		return
 	}
 	n := copy(s.buf, s.buf[s.pos:])
+	if s.stats != nil {
+		s.stats.Compacts++
+		s.stats.CompactBytes += uint64(n)
+	}
 	s.buf = s.buf[:n]
 	s.off += int64(s.pos)
 	s.pos = 0
@@ -275,6 +320,9 @@ func (s *Source) BeginRecord() (ok bool, err error) {
 	s.recTrail = trailer
 	s.recNum++
 	s.recDepth = 1
+	if s.stats != nil {
+		s.stats.RecordsBegun++
+	}
 	return true, nil
 }
 
@@ -305,6 +353,9 @@ func (s *Source) EndRecord(pd *PD) {
 		}
 	}
 	s.recDepth = 0
+	if s.stats != nil {
+		s.stats.RecordsEnded++
+	}
 	s.compact()
 }
 
@@ -401,6 +452,7 @@ func (s *Source) SkipToEOR() int {
 			n = 0
 		}
 		s.pos = s.recEnd
+		s.countResync(n)
 		return n
 	}
 	// Unbounded record: consume everything.
@@ -409,12 +461,22 @@ func (s *Source) SkipToEOR() int {
 		w, eofHit, _ := s.ensure(1)
 		if len(w) == 0 {
 			if eofHit {
+				s.countResync(n)
 				return n
 			}
 			continue
 		}
 		n += len(w)
 		s.pos += len(w)
+	}
+}
+
+// countResync tallies a panic-mode skip of n bytes (only skips that actually
+// discarded data count).
+func (s *Source) countResync(n int) {
+	if s.stats != nil && n > 0 {
+		s.stats.EORResyncs++
+		s.stats.EORResyncBytes += uint64(n)
 	}
 }
 
@@ -443,6 +505,12 @@ func (s *Source) Checkpoint() {
 		pos: s.pos, recDepth: s.recDepth, recBody: s.recBody,
 		recEnd: s.recEnd, recTrail: s.recTrail, recNum: s.recNum,
 	})
+	if s.stats != nil {
+		s.stats.Checkpoints++
+		if d := uint64(len(s.cps)); d > s.stats.MaxSpecDepth {
+			s.stats.MaxSpecDepth = d
+		}
+	}
 }
 
 // Commit pops the most recent checkpoint, keeping all input consumed since.
@@ -451,12 +519,18 @@ func (s *Source) Commit() {
 		panic("padsrt: Commit without Checkpoint")
 	}
 	s.cps = s.cps[:len(s.cps)-1]
+	if s.stats != nil {
+		s.stats.Commits++
+	}
 }
 
 // Restore pops the most recent checkpoint and rewinds to it.
 func (s *Source) Restore() {
 	if len(s.cps) == 0 {
 		panic("padsrt: Restore without Checkpoint")
+	}
+	if s.stats != nil {
+		s.stats.Restores++
 	}
 	cp := s.cps[len(s.cps)-1]
 	s.cps = s.cps[:len(s.cps)-1]

@@ -17,8 +17,10 @@ package parallel
 
 import (
 	"runtime"
+	"time"
 
 	"pads/internal/padsrt"
+	"pads/internal/telemetry"
 )
 
 // Options configures a parallel run.
@@ -43,6 +45,14 @@ type Options struct {
 	// MinChunk is the smallest worthwhile chunk in bytes (default 64 KiB):
 	// inputs smaller than Workers*MinChunk get fewer chunks.
 	MinChunk int
+	// Stats, when non-nil, receives the run's telemetry: every chunk source
+	// gets a private telemetry.Stats (chunk sources never share one — a
+	// WithStats option in Source is overridden, so counters cannot race),
+	// and as each chunk merges, its counters fold into Stats along with a
+	// per-worker utilization row (records, bytes, wall time) that makes
+	// shard skew visible. Chunks after a failed one are not folded, matching
+	// the merge semantics.
+	Stats *telemetry.Stats
 }
 
 func (o Options) workers() int {
@@ -72,18 +82,66 @@ func Run[R any](data []byte, opts Options, work func(src *padsrt.Source, c Chunk
 	}
 	chunks := Shard(data, opts.Disc, nchunks)
 
+	// Per-chunk telemetry slots: each is written by exactly one worker and
+	// read by the coordinator after that worker's result arrives (the result
+	// channel provides the happens-before edge), so no locking is needed.
+	var chunkStats []*telemetry.Stats
+	var chunkWall []time.Duration
+	if opts.Stats != nil {
+		chunkStats = make([]*telemetry.Stats, len(chunks))
+		chunkWall = make([]time.Duration, len(chunks))
+	}
+
 	newSource := func(c Chunk) *padsrt.Source {
 		src := padsrt.NewBorrowedSource(c.Data, opts.Source...)
 		src.SetBase(opts.Off+c.Off, opts.Records+c.RecBase)
+		if opts.Stats != nil {
+			st := telemetry.NewStats()
+			chunkStats[c.Index] = st
+			src.SetStats(st)
+		} else {
+			// Chunk sources must never share one Stats across goroutines;
+			// drop any sink a caller-supplied Source option attached.
+			src.SetStats(nil)
+		}
 		return src
+	}
+
+	doWork := func(c Chunk) (R, error) {
+		src := newSource(c)
+		if opts.Stats == nil {
+			return work(src, c)
+		}
+		start := time.Now()
+		r, err := work(src, c)
+		chunkWall[c.Index] = time.Since(start)
+		return r, err
+	}
+
+	// mergeStats folds one merged chunk's counters into opts.Stats and adds
+	// its per-worker utilization row; it runs on the calling goroutine in
+	// chunk order, like merge itself.
+	mergeStats := func(c Chunk) {
+		if opts.Stats == nil {
+			return
+		}
+		st := chunkStats[c.Index]
+		opts.Stats.Merge(st)
+		opts.Stats.Workers = append(opts.Stats.Workers, telemetry.WorkerStat{
+			Worker:  c.Index,
+			Records: st.Source.RecordsBegun,
+			Bytes:   uint64(len(c.Data)),
+			WallNS:  chunkWall[c.Index].Nanoseconds(),
+		})
 	}
 
 	if workers == 1 || len(chunks) == 1 {
 		for _, c := range chunks {
-			r, err := work(newSource(c), c)
+			r, err := doWork(c)
 			if err != nil {
 				return err
 			}
+			mergeStats(c)
 			if err := merge(c, r); err != nil {
 				return err
 			}
@@ -105,7 +163,7 @@ func Run[R any](data []byte, opts Options, work func(src *padsrt.Source, c Chunk
 			sem <- struct{}{}
 			go func(c Chunk) {
 				defer func() { <-sem }()
-				r, err := work(newSource(c), c)
+				r, err := doWork(c)
 				done[c.Index] <- result{r: r, err: err}
 			}(chunks[i])
 		}
@@ -121,6 +179,7 @@ func Run[R any](data []byte, opts Options, work func(src *padsrt.Source, c Chunk
 			firstErr = res.err
 			continue
 		}
+		mergeStats(chunks[i])
 		if err := merge(chunks[i], res.r); err != nil {
 			firstErr = err
 		}

@@ -1,0 +1,82 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// BenchSchema identifies the padsbench -json report format. Bump it when a
+// field changes meaning, so trajectory tooling reading BENCH_*.json files can
+// tell generations apart.
+const BenchSchema = "pads-bench/v1"
+
+// BenchRow is one (task, program) timing row of a benchmark report.
+type BenchRow struct {
+	Task        string    `json:"task"` // vetting, selection, count
+	Prog        string    `json:"prog"` // pads, perl, go-port, pads-parN
+	Runs        int       `json:"runs"`
+	Secs        []float64 `json:"secs"` // per-run wall seconds
+	MeanSecs    float64   `json:"mean_secs"`
+	BytesPerSec float64   `json:"bytes_per_sec"`
+	// AllocsPerRun and AllocBytesPerRun are heap-allocation deltas measured
+	// around the in-process runs (0 for subprocess rows like perl).
+	AllocsPerRun     uint64 `json:"allocs_per_run,omitempty"`
+	AllocBytesPerRun uint64 `json:"alloc_bytes_per_run,omitempty"`
+	// Counters holds the runtime telemetry of one instrumented pass of the
+	// program (pads rows only): the -stats counters in machine-readable form.
+	Counters *Stats `json:"counters,omitempty"`
+}
+
+// BenchReport is the machine-readable output of padsbench -json, and the
+// row format of the committed BENCH_*.json trajectory files written by
+// scripts/bench.sh.
+type BenchReport struct {
+	Schema  string     `json:"schema"` // always BenchSchema
+	Date    string     `json:"date"`   // YYYY-MM-DD of the run
+	Go      string     `json:"go"`     // runtime.Version()
+	Records int        `json:"records"`
+	Bytes   int64      `json:"bytes"`
+	Workers int        `json:"workers,omitempty"` // parallel rows present when > 1
+	Rows    []BenchRow `json:"rows"`
+}
+
+// FinishRow fills the derived fields of a row from its raw samples.
+func FinishRow(r *BenchRow, bytes int64) {
+	r.Runs = len(r.Secs)
+	var total float64
+	for _, s := range r.Secs {
+		total += s
+	}
+	if r.Runs > 0 {
+		r.MeanSecs = total / float64(r.Runs)
+	}
+	if r.MeanSecs > 0 {
+		r.BytesPerSec = float64(bytes) / r.MeanSecs
+	}
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r *BenchReport) WriteJSON(w io.Writer) error {
+	if r.Schema == "" {
+		r.Schema = BenchSchema
+	}
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "%s\n", b)
+	return err
+}
+
+// ReadBenchReport parses a report and validates its schema tag.
+func ReadBenchReport(data []byte) (*BenchReport, error) {
+	var r BenchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, err
+	}
+	if r.Schema != BenchSchema {
+		return nil, fmt.Errorf("telemetry: bench report schema %q, want %q", r.Schema, BenchSchema)
+	}
+	return &r, nil
+}

@@ -1,0 +1,180 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestStatsMerge(t *testing.T) {
+	a := NewStats()
+	a.Source.BytesRead = 100
+	a.Source.Checkpoints = 3
+	a.Source.MaxSpecDepth = 2
+	a.FieldError("header.order_num")
+	a.UnionChoice("auth_id_t", "id")
+	a.Workers = append(a.Workers, WorkerStat{Worker: 0, Records: 10, Bytes: 100, WallNS: 5})
+
+	b := NewStats()
+	b.Source.BytesRead = 50
+	b.Source.Checkpoints = 1
+	b.Source.MaxSpecDepth = 5
+	b.FieldError("header.order_num")
+	b.FieldError("events")
+	b.UnionChoice("auth_id_t", "id")
+	b.UnionChoice("auth_id_t", "<none>")
+	b.Workers = append(b.Workers, WorkerStat{Worker: 1, Records: 7, Bytes: 50, WallNS: 3})
+
+	a.Merge(b)
+	a.Merge(nil) // nil merge is a no-op
+
+	if a.Source.BytesRead != 150 || a.Source.Checkpoints != 4 {
+		t.Errorf("merged source counters = %+v", a.Source)
+	}
+	if a.Source.MaxSpecDepth != 5 {
+		t.Errorf("MaxSpecDepth = %d, want max(2,5)=5", a.Source.MaxSpecDepth)
+	}
+	if a.FieldErrors["header.order_num"] != 2 || a.FieldErrors["events"] != 1 {
+		t.Errorf("FieldErrors = %v", a.FieldErrors)
+	}
+	if a.UnionChoices["auth_id_t.id"] != 2 || a.UnionChoices["auth_id_t.<none>"] != 1 {
+		t.Errorf("UnionChoices = %v", a.UnionChoices)
+	}
+	if len(a.Workers) != 2 || a.Workers[1].Worker != 1 {
+		t.Errorf("Workers = %v", a.Workers)
+	}
+}
+
+func TestStatsWriteText(t *testing.T) {
+	s := NewStats()
+	s.Source.RecordsBegun = 4
+	s.Source.RecordsEnded = 4
+	s.Source.InternHits = 9
+	s.Source.InternMisses = 1
+	s.Source.EORResyncs = 2
+	s.Source.EORResyncBytes = 17
+	s.FieldError("length")
+	s.UnionChoice("u", "a")
+	s.Workers = append(s.Workers, WorkerStat{Worker: 0, Records: 4, Bytes: 40, WallNS: 1e6})
+
+	var buf bytes.Buffer
+	s.WriteText(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"begun 4, ended 4",
+		"90.0% hit rate",
+		"2 skips discarded 17 bytes",
+		"length",
+		"u.a",
+		"worker 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("WriteText missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRingTracerBounded(t *testing.T) {
+	tr := NewRingTracer(3)
+	for i := 0; i < 7; i++ {
+		tr.Emit(Event{Ev: EvFieldEnter, Off: int64(i)})
+	}
+	if got := tr.Emitted(); got != 7 {
+		t.Errorf("Emitted = %d, want 7", got)
+	}
+	events := tr.Events()
+	if len(events) != 3 {
+		t.Fatalf("ring retained %d events, want 3", len(events))
+	}
+	for i, e := range events {
+		if want := int64(4 + i); e.Off != want {
+			t.Errorf("event %d off = %d, want %d (oldest-first tail)", i, e.Off, want)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("WriteJSONL wrote %d lines, want 3", len(lines))
+	}
+	var e Event
+	if err := json.Unmarshal([]byte(lines[0]), &e); err != nil || e.Off != 4 {
+		t.Errorf("first JSONL line = %q (err %v)", lines[0], err)
+	}
+}
+
+func TestStreamTracerJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	tr.Emit(Event{Ev: EvRecordBegin, Name: "entry_t", Off: 0, Rec: 1})
+	tr.Emit(Event{Ev: EvError, Name: "entry_t", Off: 5, Rec: 1, Err: "invalid integer"})
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("streamed %d lines, want 2", len(lines))
+	}
+	var e Event
+	if err := json.Unmarshal([]byte(lines[1]), &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Ev != EvError || e.Err != "invalid integer" {
+		t.Errorf("decoded event = %+v", e)
+	}
+	if tr.Events() != nil {
+		t.Error("streaming tracer should retain nothing")
+	}
+}
+
+func TestNilTracerSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Emit(Event{Ev: EvError}) // must not panic
+	if tr.Emitted() != 0 || tr.Events() != nil || tr.Flush() != nil {
+		t.Error("nil tracer is not inert")
+	}
+}
+
+func TestBenchReportRoundTrip(t *testing.T) {
+	r := &BenchReport{
+		Date:    "2026-08-06",
+		Go:      "go1.x",
+		Records: 2000,
+		Bytes:   123456,
+	}
+	row := BenchRow{Task: "vetting", Prog: "pads", Secs: []float64{0.5, 0.3}}
+	FinishRow(&row, r.Bytes)
+	if row.Runs != 2 || row.MeanSecs != 0.4 {
+		t.Fatalf("FinishRow: %+v", row)
+	}
+	if row.BytesPerSec < 300000 || row.BytesPerSec > 310000 {
+		t.Fatalf("BytesPerSec = %f", row.BytesPerSec)
+	}
+	st := NewStats()
+	st.Source.RecordsBegun = 2000
+	row.Counters = st
+	r.Rows = append(r.Rows, row)
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBenchReport(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != BenchSchema || len(back.Rows) != 1 {
+		t.Fatalf("round-trip report: %+v", back)
+	}
+	if back.Rows[0].Counters == nil || back.Rows[0].Counters.Source.RecordsBegun != 2000 {
+		t.Errorf("counters lost in round trip: %+v", back.Rows[0].Counters)
+	}
+
+	if _, err := ReadBenchReport([]byte(`{"schema":"other/v9"}`)); err == nil {
+		t.Error("foreign schema accepted")
+	}
+}

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Benchmark trajectory: run the Figure 10 reproduction with -json and write
+# a dated BENCH_<date>.json (pads-bench/v1, internal/telemetry.BenchReport)
+# at the repo root. Committing these files over time gives the project a
+# machine-readable performance history — wall time, bytes/sec, allocations,
+# and the runtime parse counters of docs/OBSERVABILITY.md per row.
+#
+# Usage: scripts/bench.sh [extra padsbench flags]
+#   scripts/bench.sh                    # default corpus (2M records)
+#   scripts/bench.sh -n 100000 -runs 5  # smaller, more runs
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="BENCH_$(date +%Y-%m-%d).json"
+go run ./cmd/padsbench -json "$@" >"$out"
+echo "wrote $out"

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# CI gate: vet, the full test suite under the race detector (the concurrency
+# gate of docs/PARALLEL.md — scripts/race.sh remains as the standalone
+# entry), and a telemetry smoke test that drives the observability surface
+# of docs/OBSERVABILITY.md end to end through the real binaries.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+go vet ./...
+go test -race ./...
+
+# Telemetry smoke test: every -stats / -trace / -json flag must run clean on
+# a real corpus and produce the shape its consumers expect.
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+go build -o "$tmp" ./cmd/...
+
+"$tmp/padsbench" -n 200 -runs 1 -noperl -json >"$tmp/bench.json" 2>/dev/null
+grep -q '"schema": "pads-bench/v1"' "$tmp/bench.json"
+grep -q '"counters"' "$tmp/bench.json"
+
+"$tmp/padsbench" -n 200 -runs 1 -noperl -keep "$tmp/sirius.data" >/dev/null
+
+"$tmp/padsacc" -desc testdata/sirius.pads -stats \
+    -trace "$tmp/trace.jsonl" -trace-last 50 \
+    "$tmp/sirius.data" >/dev/null 2>"$tmp/stats.txt"
+grep -q 'parse telemetry' "$tmp/stats.txt"
+grep -q 'speculation' "$tmp/stats.txt"
+grep -q 'intern' "$tmp/stats.txt"
+test "$(wc -l <"$tmp/trace.jsonl")" -eq 50
+grep -q '"ev":"record_end"' "$tmp/trace.jsonl"
+
+"$tmp/padsacc" -desc testdata/sirius.pads -stats -workers 4 \
+    "$tmp/sirius.data" >/dev/null 2>"$tmp/stats-par.txt"
+grep -q 'workers' "$tmp/stats-par.txt"
+
+"$tmp/padsquery" -desc testdata/sirius.pads -q 'count(/es/elt)' -stats \
+    "$tmp/sirius.data" >/dev/null 2>"$tmp/stats-query.txt"
+grep -q 'parse telemetry' "$tmp/stats-query.txt"
+
+"$tmp/padsfmt" -desc testdata/sirius.pads -stats \
+    "$tmp/sirius.data" >/dev/null 2>"$tmp/stats-fmt.txt"
+grep -q 'parse telemetry' "$tmp/stats-fmt.txt"
+
+echo "ci: OK"

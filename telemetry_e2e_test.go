@@ -1,0 +1,151 @@
+package pads_test
+
+// End-to-end telemetry and error-locus tests: the loci recorded in parse
+// descriptors (and surfaced by -stats / -trace) must be identical whether a
+// source parses sequentially or record-sharded across workers — the parallel
+// engine rebases each chunk's borrowed source with SetBase, so absolute byte
+// offsets and 1-based record numbers in diagnostics must never betray the
+// sharding (docs/PARALLEL.md, docs/OBSERVABILITY.md).
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"pads/internal/accum"
+	"pads/internal/core"
+	"pads/internal/padsrt"
+	"pads/internal/telemetry"
+	"pads/internal/value"
+)
+
+// collectLoci walks a parsed value tree and renders every erroneous node's
+// diagnostic coordinates — type name, error count, first-error code, and the
+// first error's span with absolute byte offsets and record numbers.
+func collectLoci(v value.Value, out *[]string) {
+	pd := v.PD()
+	if pd.Nerr > 0 {
+		*out = append(*out, fmt.Sprintf("%s nerr=%d %v @%s", v.TypeName(), pd.Nerr, pd.ErrCode, pd.Loc))
+	}
+	switch x := v.(type) {
+	case *value.Struct:
+		for _, f := range x.Fields {
+			collectLoci(f, out)
+		}
+	case *value.Union:
+		if x.Val != nil {
+			collectLoci(x.Val, out)
+		}
+	case *value.Array:
+		for _, e := range x.Elems {
+			collectLoci(e, out)
+		}
+	case *value.Opt:
+		if x.Val != nil {
+			collectLoci(x.Val, out)
+		}
+	}
+}
+
+// TestParallelErrorLoci parses the raw Sirius corpus — which carries the
+// documented error population — sequentially and record-sharded, then
+// compares every erroneous node's locus. A chunk source whose SetBase
+// rebasing drifted (byte offset or record number) would shift every locus in
+// its shard.
+func TestParallelErrorLoci(t *testing.T) {
+	benchCorpus(nil)
+	desc, err := core.CompileFile("testdata/sirius.pads")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqVal, err := desc.ParseAll(padsrt.NewBytesSource(siriusData))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []string
+	collectLoci(seqVal, &want)
+	if len(want) == 0 {
+		t.Fatal("corpus produced no erroneous loci; the test would prove nothing")
+	}
+
+	for _, workers := range []int{1, 4} {
+		parVal, err := desc.ParseAllParallel(siriusData, nil, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		var got []string
+		collectLoci(parVal, &got)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d erroneous loci, want %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: locus %d diverges from sequential:\n  got  %s\n  want %s",
+					workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestParallelTelemetryStats attaches a Stats sink to sequential and
+// parallel accumulator runs over the same corpus and checks that the
+// interpreter-level tallies — per-field-path error counts and union
+// branch-selection histograms — are identical, and that the parallel run's
+// per-worker rows account for every record exactly once.
+func TestParallelTelemetryStats(t *testing.T) {
+	benchCorpus(nil)
+	desc, err := core.CompileFile("testdata/sirius.pads")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := accum.DefaultConfig()
+
+	seq := telemetry.NewStats()
+	desc.Observe(seq, nil)
+	_, n, err := desc.AccumulateReader(bytes.NewReader(siriusData), nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.FieldErrors) == 0 {
+		t.Fatal("sequential run tallied no field errors; the corpus should have them")
+	}
+
+	par := telemetry.NewStats()
+	desc.Observe(par, nil)
+	_, pn, err := desc.AccumulateParallel(siriusData, nil, cfg, 4)
+	desc.Observe(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pn != n {
+		t.Fatalf("parallel parsed %d records, want %d", pn, n)
+	}
+
+	if !reflect.DeepEqual(par.FieldErrors, seq.FieldErrors) {
+		t.Errorf("parallel FieldErrors = %v, want %v", par.FieldErrors, seq.FieldErrors)
+	}
+	if !reflect.DeepEqual(par.UnionChoices, seq.UnionChoices) {
+		t.Errorf("parallel UnionChoices = %v, want %v", par.UnionChoices, seq.UnionChoices)
+	}
+
+	if len(par.Workers) == 0 {
+		t.Fatal("parallel run recorded no worker rows")
+	}
+	var recs, chunkBytes uint64
+	for _, w := range par.Workers {
+		recs += w.Records
+		chunkBytes += w.Bytes
+	}
+	if recs != uint64(n) {
+		t.Errorf("worker rows account for %d records, want %d", recs, n)
+	}
+	if chunkBytes == 0 || chunkBytes > uint64(len(siriusData)) {
+		t.Errorf("worker rows account for %d bytes, want within (0, %d]", chunkBytes, len(siriusData))
+	}
+	// The folded source counters must cover every record the workers parsed
+	// (the header record adds one more on the sequential prefix).
+	if par.Source.RecordsBegun < uint64(n) {
+		t.Errorf("folded RecordsBegun = %d, want >= %d", par.Source.RecordsBegun, n)
+	}
+}
