@@ -1,0 +1,132 @@
+package pads_test
+
+// End-to-end exercise of the fault-tolerance surface of the command-line
+// tools (docs/ROBUSTNESS.md): error budgets exit with status 3, quarantine
+// files carry one JSON object per errored record and are identical at any
+// worker count, and a sticky input error reaches stderr with a non-zero
+// exit from every tool.
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runExit runs a tool expecting failure; it returns the exit code and
+// stderr. Exit code 0 fails the test.
+func runExit(t *testing.T, bin, tool string, args ...string) (int, string) {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(bin, tool), args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	if err == nil {
+		t.Fatalf("%s %v: expected failure, exited 0", tool, args)
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("%s %v: %v", tool, args, err)
+	}
+	return ee.ExitCode(), stderr.String()
+}
+
+func TestCLIRobustness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped with -short")
+	}
+	bin := buildTools(t)
+	work := t.TempDir()
+
+	// A corpus with a known error population: generated CLF (which carries
+	// its own documented defects — records whose length field is "-") plus
+	// injected garbage lines.
+	clean := run(t, bin, "padsgen", nil, "-corpus", "clf", "-n", "40", "-seed", "3")
+	lines := strings.SplitAfter(strings.TrimSuffix(clean, "\n"), "\n")
+	var mixed strings.Builder
+	bad := 0
+	for i, l := range lines {
+		mixed.WriteString(l)
+		if strings.HasSuffix(strings.TrimSuffix(l, "\n"), " -") {
+			bad++ // generator defect: unparseable length
+		}
+		if i%8 == 3 {
+			mixed.WriteString("!! not a log line !!\n")
+			bad++
+		}
+	}
+	dataPath := filepath.Join(work, "mixed.log")
+	if err := os.WriteFile(dataPath, []byte(mixed.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Error budgets: -fail-fast and -max-errors exit with status 3 and say
+	// why on stderr.
+	code, stderr := runExit(t, bin, "padsacc",
+		"-desc", "testdata/clf.pads", "-fail-fast", dataPath)
+	if code != 3 || !strings.Contains(stderr, "error budget") {
+		t.Fatalf("padsacc -fail-fast: exit %d, stderr %q", code, stderr)
+	}
+	code, stderr = runExit(t, bin, "padsquery",
+		"-desc", "testdata/clf.pads", "-q", "count(/elt)", "-max-errors", "2", dataPath)
+	if code != 3 || !strings.Contains(stderr, "error budget") {
+		t.Fatalf("padsquery -max-errors: exit %d, stderr %q", code, stderr)
+	}
+
+	// Quarantine: within budget the scan completes (exit 0) and every
+	// errored record lands in the dead-letter file as one JSON object.
+	qPath := filepath.Join(work, "q1.jsonl")
+	run(t, bin, "padsacc", nil,
+		"-desc", "testdata/clf.pads", "-quarantine", qPath, dataPath)
+	qBytes, err := os.ReadFile(qPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qLines := strings.Split(strings.TrimSuffix(string(qBytes), "\n"), "\n")
+	if len(qLines) != bad {
+		t.Fatalf("quarantined %d records, want %d", len(qLines), bad)
+	}
+	for _, l := range qLines {
+		var e struct {
+			Record int    `json:"record"`
+			Err    string `json:"err"`
+		}
+		if err := json.Unmarshal([]byte(l), &e); err != nil {
+			t.Fatalf("quarantine line not JSON: %q: %v", l, err)
+		}
+		if e.Record == 0 || e.Err == "" {
+			t.Fatalf("quarantine entry missing record/err: %q", l)
+		}
+	}
+
+	// Determinism: the dead-letter stream is byte-identical at any worker
+	// count.
+	q4Path := filepath.Join(work, "q4.jsonl")
+	run(t, bin, "padsacc", nil,
+		"-desc", "testdata/clf.pads", "-workers", "4", "-quarantine", q4Path, dataPath)
+	q4Bytes, err := os.ReadFile(q4Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(qBytes, q4Bytes) {
+		t.Fatalf("quarantine differs between -workers 1 and 4:\n%s\nvs\n%s", qBytes, q4Bytes)
+	}
+
+	// Sticky input errors: reading a directory as data fails partway; every
+	// tool must report the error on stderr and exit non-zero rather than
+	// print results built on a short read.
+	for _, tc := range [][]string{
+		{"padsacc", "-desc", "testdata/clf.pads", work},
+		{"padsfmt", "-desc", "testdata/clf.pads", work},
+		{"padsxml", "-desc", "testdata/clf.pads", work},
+		{"padsquery", "-desc", "testdata/clf.pads", "-q", "count(/elt)", work},
+	} {
+		code, stderr := runExit(t, bin, tc[0], tc[1:]...)
+		if code == 0 || stderr == "" {
+			t.Errorf("%s on unreadable input: exit %d, stderr %q", tc[0], code, stderr)
+		}
+	}
+}

@@ -32,6 +32,7 @@ func main() {
 	workers := flag.Int("workers", 1, "parse worker goroutines: 1 streams sequentially, 0 uses all CPUs (docs/PARALLEL.md)")
 	stats := cliutil.StatsFlag()
 	traceFlags := cliutil.NewTraceFlags()
+	robustFlags := cliutil.NewRobustFlags()
 	flag.Parse()
 
 	if *descPath == "" {
@@ -43,16 +44,36 @@ func main() {
 	if err != nil {
 		cliutil.Fatal(err)
 	}
+	opts = robustFlags.SourceOptions(opts)
 	tel, err := cliutil.OpenTelemetry(*stats, traceFlags.Path, traceFlags.Last)
 	if err != nil {
 		cliutil.Fatal(err)
 	}
 	tel.Observe(desc)
+	rob, err := robustFlags.Open(tel.Stats)
+	if err != nil {
+		cliutil.Fatal(err)
+	}
+	rob.Apply(desc)
 	in, err := cliutil.OpenData(flag.Arg(0))
 	if err != nil {
 		cliutil.Fatal(err)
 	}
 	defer in.Close()
+
+	// finish closes the quarantine and telemetry before any exit, so the
+	// -stats block and the dead-letter file are complete even on failure.
+	finish := func(fatal error) {
+		if err := rob.Close(); err != nil && fatal == nil {
+			fatal = err
+		}
+		if err := tel.Close(); err != nil && fatal == nil {
+			fatal = err
+		}
+		if fatal != nil {
+			cliutil.Fatal(fatal)
+		}
+	}
 
 	cfg := accum.Config{MaxTracked: *track, TopN: *top}
 	var acc *accum.Accum
@@ -63,30 +84,29 @@ func main() {
 		// identical to a sequential run (docs/PARALLEL.md).
 		data, err := io.ReadAll(bufio.NewReaderSize(in, 1<<20))
 		if err != nil {
-			cliutil.Fatal(err)
+			finish(err)
 		}
 		acc, n, err = desc.AccumulateParallel(data, opts, cfg, *workers)
 		if err != nil {
-			cliutil.Fatal(err)
+			finish(err)
 		}
 	} else {
 		s := padsrt.NewSource(bufio.NewReaderSize(in, 1<<20), tel.SourceOptions(opts)...)
 		rr, err := desc.Records(s, nil)
 		if err != nil {
-			cliutil.Fatal(err)
+			finish(err)
 		}
+		rr.SetPolicy(rob.Policy)
 		acc = accum.New(cfg)
 		for rr.More() {
 			acc.Add(rr.Read())
 			n++
 		}
 		if err := rr.Err(); err != nil {
-			cliutil.Fatal(err)
+			finish(err)
 		}
 	}
-	if err := tel.Close(); err != nil {
-		cliutil.Fatal(err)
-	}
+	finish(nil)
 
 	out := bufio.NewWriter(os.Stdout)
 	defer out.Flush()

@@ -28,6 +28,7 @@ func main() {
 	le := flag.Bool("le", false, "little-endian binary integers")
 	skipErrs := flag.Bool("skip-errors", false, "omit records with parse errors")
 	stats := cliutil.StatsFlag()
+	robustFlags := cliutil.NewRobustFlags()
 	flag.Parse()
 
 	if *descPath == "" {
@@ -39,11 +40,16 @@ func main() {
 	if err != nil {
 		cliutil.Fatal(err)
 	}
+	opts = robustFlags.SourceOptions(opts)
 	tel, err := cliutil.OpenTelemetry(*stats, "", 0)
 	if err != nil {
 		cliutil.Fatal(err)
 	}
 	tel.Observe(desc)
+	rob, err := robustFlags.Open(tel.Stats)
+	if err != nil {
+		cliutil.Fatal(err)
+	}
 	in, err := cliutil.OpenData(flag.Arg(0))
 	if err != nil {
 		cliutil.Fatal(err)
@@ -58,8 +64,8 @@ func main() {
 	if err != nil {
 		cliutil.Fatal(err)
 	}
+	rr.SetPolicy(rob.Policy)
 	out := bufio.NewWriterSize(os.Stdout, 1<<20)
-	defer out.Flush()
 	for rr.More() {
 		rec := rr.Read()
 		if *skipErrs && rec.PD().Nerr > 0 {
@@ -67,10 +73,17 @@ func main() {
 		}
 		f.WriteRecord(out, rec)
 	}
-	if err := rr.Err(); err != nil {
-		cliutil.Fatal(err)
+	scanErr := rr.Err()
+	if err := out.Flush(); err != nil && scanErr == nil {
+		scanErr = err
 	}
-	if err := tel.Close(); err != nil {
-		cliutil.Fatal(err)
+	if err := rob.Close(); err != nil && scanErr == nil {
+		scanErr = err
+	}
+	if err := tel.Close(); err != nil && scanErr == nil {
+		scanErr = err
+	}
+	if scanErr != nil {
+		cliutil.Fatal(scanErr)
 	}
 }

@@ -10,12 +10,14 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
 	"pads/internal/cliutil"
+	"pads/internal/interp"
 	"pads/internal/padsrt"
 	"pads/internal/query"
 	"pads/internal/value"
@@ -30,6 +32,7 @@ func main() {
 	le := flag.Bool("le", false, "little-endian binary integers")
 	workers := flag.Int("workers", 1, "parse worker goroutines: 1 parses sequentially, 0 uses all CPUs (docs/PARALLEL.md)")
 	stats := cliutil.StatsFlag()
+	robustFlags := cliutil.NewRobustFlags()
 	flag.Parse()
 
 	if *descPath == "" || *q == "" {
@@ -45,38 +48,57 @@ func main() {
 	if err != nil {
 		cliutil.Fatal(err)
 	}
+	opts = robustFlags.SourceOptions(opts)
 	tel, err := cliutil.OpenTelemetry(*stats, "", 0)
 	if err != nil {
 		cliutil.Fatal(err)
 	}
 	tel.Observe(desc)
+	rob, err := robustFlags.Open(tel.Stats)
+	if err != nil {
+		cliutil.Fatal(err)
+	}
+	rob.Apply(desc)
 	in, err := cliutil.OpenData(flag.Arg(0))
 	if err != nil {
 		cliutil.Fatal(err)
 	}
 	defer in.Close()
+
+	finish := func(fatal error) {
+		if err := rob.Close(); err != nil && fatal == nil {
+			fatal = err
+		}
+		if err := tel.Close(); err != nil && fatal == nil {
+			fatal = err
+		}
+		if fatal != nil {
+			cliutil.Fatal(fatal)
+		}
+	}
+
 	data, err := io.ReadAll(bufio.NewReaderSize(in, 1<<20))
 	if err != nil {
-		cliutil.Fatal(err)
+		finish(err)
 	}
 
 	var v value.Value
 	if *workers != 1 {
 		// Record-sharded parallel parse; sources that are not
-		// header+records shaped fall back to the sequential parse.
+		// header+records shaped fall back to the sequential parse. A
+		// tripped error budget is final — re-parsing would trip it again.
 		v, err = desc.ParseAllParallel(data, opts, *workers)
-		if err != nil {
-			v, err = desc.ParseAll(padsrt.NewBytesSource(data, tel.SourceOptions(opts)...))
+		var be *interp.BudgetError
+		if err != nil && !errors.As(err, &be) {
+			v, err = desc.ParseAllPolicy(padsrt.NewBytesSource(data, tel.SourceOptions(opts)...))
 		}
 	} else {
-		v, err = desc.ParseAll(padsrt.NewBytesSource(data, tel.SourceOptions(opts)...))
+		v, err = desc.ParseAllPolicy(padsrt.NewBytesSource(data, tel.SourceOptions(opts)...))
 	}
 	if err != nil {
-		cliutil.Fatal(err)
+		finish(err)
 	}
-	if err := tel.Close(); err != nil {
-		cliutil.Fatal(err)
-	}
+	finish(nil)
 	nodes, agg, isAgg := cq.Eval(desc.QueryRoot(v))
 	out := bufio.NewWriter(os.Stdout)
 	defer out.Flush()

@@ -27,6 +27,7 @@ func main() {
 	disc := flag.String("disc", "newline", "record discipline: newline, none, fixed:N, lenprefix[:N]")
 	ebcdic := flag.Bool("ebcdic", false, "treat the ambient coding as EBCDIC")
 	le := flag.Bool("le", false, "little-endian binary integers")
+	robustFlags := cliutil.NewRobustFlags()
 	flag.Parse()
 
 	if *descPath == "" {
@@ -42,6 +43,11 @@ func main() {
 	if err != nil {
 		cliutil.Fatal(err)
 	}
+	opts = robustFlags.SourceOptions(opts)
+	rob, err := robustFlags.Open(nil)
+	if err != nil {
+		cliutil.Fatal(err)
+	}
 	in, err := cliutil.OpenData(flag.Arg(0))
 	if err != nil {
 		cliutil.Fatal(err)
@@ -53,8 +59,8 @@ func main() {
 	if err != nil {
 		cliutil.Fatal(err)
 	}
+	rr.SetPolicy(rob.Policy)
 	out := bufio.NewWriterSize(os.Stdout, 1<<20)
-	defer out.Flush()
 	fmt.Fprintf(out, "<%s>\n", *rootTag)
 	if h := rr.Header(); h != nil {
 		xmlgen.WriteXML(out, h, "header", 1)
@@ -63,7 +69,14 @@ func main() {
 		xmlgen.WriteXML(out, rr.Read(), rr.RecordTypeName(), 1)
 	}
 	fmt.Fprintf(out, "</%s>\n", *rootTag)
-	if err := rr.Err(); err != nil {
-		cliutil.Fatal(err)
+	scanErr := rr.Err()
+	if err := out.Flush(); err != nil && scanErr == nil {
+		scanErr = err
+	}
+	if err := rob.Close(); err != nil && scanErr == nil {
+		scanErr = err
+	}
+	if scanErr != nil {
+		cliutil.Fatal(scanErr)
 	}
 }

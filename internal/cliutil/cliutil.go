@@ -4,6 +4,7 @@
 package cliutil
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -11,6 +12,7 @@ import (
 	"strings"
 
 	"pads/internal/core"
+	"pads/internal/interp"
 	"pads/internal/padsrt"
 )
 
@@ -75,8 +77,14 @@ func OpenData(path string) (io.ReadCloser, error) {
 	return os.Open(path)
 }
 
-// Fatal prints an error and exits.
+// Fatal prints an error and exits. An exhausted error budget exits with
+// status 3 so pipelines can tell "data over budget" from hard failures
+// (status 1).
 func Fatal(err error) {
 	fmt.Fprintln(os.Stderr, err)
+	var be *interp.BudgetError
+	if errors.As(err, &be) {
+		os.Exit(3)
+	}
 	os.Exit(1)
 }

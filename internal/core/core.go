@@ -40,6 +40,16 @@ type Description struct {
 	Program *dsl.Program
 	Desc    *sema.Desc
 	Interp  *interp.Interp
+
+	// Policy, when non-nil, applies an error budget and dead-letter sink to
+	// every record scan the description runs (AccumulateReader and the
+	// parallel entry points); see docs/ROBUSTNESS.md. Parallel scans give
+	// each chunk a private interp.Batch and flush into Policy.Sink in chunk
+	// order, so the quarantine file is deterministic at any worker count;
+	// budget thresholds are then enforced on the merged counts at chunk
+	// boundaries (a sequential scan checks per record). Not safe to change
+	// while a parse is running.
+	Policy *interp.Policy
 }
 
 // CompileError aggregates front-end diagnostics.
@@ -181,6 +191,7 @@ func (d *Description) StreamQuery(s *padsrt.Source, mask *padsrt.MaskNode, q str
 	if err != nil {
 		return 0, err
 	}
+	rr.SetPolicy(d.Policy)
 	shape, _ := d.Shape()
 	for rr.More() {
 		rec := rr.Read()
@@ -206,6 +217,7 @@ func (d *Description) AccumulateReader(r io.Reader, opts []padsrt.SourceOption, 
 	if err != nil {
 		return nil, 0, err
 	}
+	rr.SetPolicy(d.Policy)
 	acc := accum.New(cfg)
 	n := 0
 	for rr.More() {
@@ -256,19 +268,24 @@ func (d *Description) AccumulateParallel(data []byte, opts []padsrt.SourceOption
 		return nil, 0, err
 	}
 	type shard struct {
-		acc *accum.Accum
-		n   int
+		acc     *accum.Accum
+		n       int
+		errored int
+		batch   *interp.Batch
 	}
+	pol := d.Policy
 	acc := accum.New(cfg)
-	total := 0
+	total, errored := 0, 0
 	err = parallel.Run(data[base:], popts,
 		func(src *padsrt.Source, c parallel.Chunk) (shard, error) {
 			sh := shard{acc: accum.New(cfg)}
 			r := rr.Shard(src)
+			sh.batch = shardPolicy(r, pol)
 			for r.More() {
 				sh.acc.Add(r.Read())
 				sh.n++
 			}
+			_, sh.errored = r.Counts()
 			err := r.Err()
 			if errors.Is(err, io.EOF) {
 				err = nil
@@ -278,7 +295,11 @@ func (d *Description) AccumulateParallel(data []byte, opts []padsrt.SourceOption
 		func(c parallel.Chunk, sh shard) error {
 			acc.Merge(sh.acc)
 			total += sh.n
-			return nil
+			errored += sh.errored
+			if sh.batch != nil {
+				sh.batch.FlushTo(pol.Sink)
+			}
+			return pol.Check(total, errored)
 		})
 	if err != nil {
 		return nil, total, err
@@ -296,25 +317,75 @@ func (d *Description) ParseAllParallel(data []byte, opts []padsrt.SourceOption, 
 	if err != nil {
 		return nil, err
 	}
+	type shard struct {
+		out     []value.Value
+		errored int
+		batch   *interp.Batch
+	}
+	pol := d.Policy
 	var recs []value.Value
+	errored := 0
 	err = parallel.Run(data[base:], popts,
-		func(src *padsrt.Source, c parallel.Chunk) ([]value.Value, error) {
+		func(src *padsrt.Source, c parallel.Chunk) (shard, error) {
+			var sh shard
 			r := rr.Shard(src)
-			var out []value.Value
+			sh.batch = shardPolicy(r, pol)
 			for r.More() {
-				out = append(out, r.Read())
+				sh.out = append(sh.out, r.Read())
 			}
+			_, sh.errored = r.Counts()
 			err := r.Err()
 			if errors.Is(err, io.EOF) {
 				err = nil
 			}
-			return out, err
+			return sh, err
 		},
-		func(c parallel.Chunk, out []value.Value) error {
-			recs = append(recs, out...)
-			return nil
+		func(c parallel.Chunk, sh shard) error {
+			recs = append(recs, sh.out...)
+			errored += sh.errored
+			if sh.batch != nil {
+				sh.batch.FlushTo(pol.Sink)
+			}
+			return pol.Check(len(recs), errored)
 		})
 	if err != nil {
+		return nil, err
+	}
+	return d.Interp.AssembleSource(rr.Header(), recs)
+}
+
+// shardPolicy equips one chunk's reader with the dead-letter half of pol:
+// entries buffer in a private Batch (flushed by the merge in chunk order, so
+// the quarantine stream is deterministic at any worker count). Budget
+// thresholds are deliberately NOT given to the shard — workers only see
+// local counts, so the merge enforces them on the folded totals instead.
+func shardPolicy(r *interp.RecordReader, pol *interp.Policy) *interp.Batch {
+	if pol == nil || pol.Sink == nil {
+		return nil
+	}
+	b := &interp.Batch{}
+	r.SetPolicy(&interp.Policy{Sink: b})
+	return b
+}
+
+// ParseAllPolicy is ParseAll with the description's Policy applied. Budgets
+// and quarantine need record framing, so a header+records shaped source
+// parses record-at-a-time (yielding the same Psource value); sources with
+// other shapes — or no active policy — fall through to ParseAll.
+func (d *Description) ParseAllPolicy(s *padsrt.Source) (value.Value, error) {
+	if !d.Policy.Active() {
+		return d.ParseAll(s)
+	}
+	rr, err := d.Records(s, nil)
+	if err != nil {
+		return d.ParseAll(s)
+	}
+	rr.SetPolicy(d.Policy)
+	var recs []value.Value
+	for rr.More() {
+		recs = append(recs, rr.Read())
+	}
+	if err := rr.Err(); err != nil && !errors.Is(err, io.EOF) {
 		return nil, err
 	}
 	return d.Interp.AssembleSource(rr.Header(), recs)

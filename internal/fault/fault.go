@@ -1,0 +1,225 @@
+// Package fault is the fault-injection harness for the runtime's
+// robustness suite: a deterministic, seed-driven io.Reader wrapper that
+// simulates the systems failures ad hoc data pipelines actually see —
+// short reads, transient (retryable) errors, byte corruption, truncation,
+// and hard mid-stream failures.
+//
+// The paper's thesis (sections 4-5) is that parsing never dies on bad
+// data: every error lands in a parse descriptor and panic-mode resync
+// recovers at the next record. This package exists to extend that promise
+// from semantic errors to systems errors, and to make the extension
+// testable: every fault sequence is a pure function of the seed, so a
+// failing run replays exactly.
+//
+// Nothing in the runtime imports this package; padsrt recognizes
+// transient errors structurally (any error whose chain implements
+// Temporary() bool), so production readers with their own transient
+// errors (net.OpError, syscall.EAGAIN wrappers) retry the same way.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// TransientError is a retryable read failure, the injected stand-in for
+// EAGAIN-class errors. It implements Temporary() bool, the structural
+// signal padsrt's retry loop (and net.Error consumers generally) look for.
+type TransientError struct {
+	Off int64 // stream offset at which the fault fired
+}
+
+// Error implements error.
+func (e *TransientError) Error() string {
+	return fmt.Sprintf("fault: injected transient read error at offset %d", e.Off)
+}
+
+// Temporary marks the error as retryable.
+func (e *TransientError) Temporary() bool { return true }
+
+// ErrInjected is the permanent failure delivered at Config.FailAt when no
+// FailErr is supplied.
+var ErrInjected = errors.New("fault: injected permanent read failure")
+
+// Config selects which faults a Reader injects. The zero value injects
+// nothing: a zero-config Reader is a transparent wrapper.
+type Config struct {
+	// Seed drives every probabilistic decision. Equal seeds and equal
+	// underlying read sequences produce byte-identical fault sequences.
+	Seed uint64
+
+	// ShortReadProb is the per-call probability that a Read delivers
+	// fewer bytes than requested (at least 1), exercising window refill
+	// paths that full-buffer reads never reach.
+	ShortReadProb float64
+
+	// TransientProb is the per-call probability that a Read fails with a
+	// *TransientError before delivering any data.
+	TransientProb float64
+
+	// MaxTransientRun caps consecutive transient failures so a
+	// retry-enabled consumer always makes progress (default 3).
+	MaxTransientRun int
+
+	// CorruptProb is the per-byte probability that a delivered byte is
+	// XOR-flipped, modeling line noise and torn writes.
+	CorruptProb float64
+
+	// TruncateAt, when > 0, ends the stream with a clean io.EOF after
+	// that many bytes, modeling a truncated file or a dropped connection
+	// the kernel reports as EOF.
+	TruncateAt int64
+
+	// FailAt, when > 0, delivers FailErr (default ErrInjected) once that
+	// many bytes have been read: a hard, non-retryable mid-stream fault.
+	FailAt  int64
+	FailErr error
+}
+
+// Reader wraps an io.Reader, injecting the configured faults
+// deterministically. Reader is not safe for concurrent use, matching the
+// io.Reader contract.
+type Reader struct {
+	r    io.Reader
+	cfg  Config
+	rng  rng
+	off  int64 // bytes delivered downstream so far
+	run  int   // consecutive transient failures delivered
+	done bool  // truncation point reached
+}
+
+// NewReader wraps r with the configured fault injector.
+func NewReader(r io.Reader, cfg Config) *Reader {
+	if cfg.MaxTransientRun <= 0 {
+		cfg.MaxTransientRun = 3
+	}
+	if cfg.FailErr == nil {
+		cfg.FailErr = ErrInjected
+	}
+	return &Reader{r: r, cfg: cfg, rng: rng(splitmix(cfg.Seed))}
+}
+
+// Offset reports how many bytes have been delivered downstream.
+func (f *Reader) Offset() int64 { return f.off }
+
+// Read implements io.Reader with fault injection.
+func (f *Reader) Read(p []byte) (int, error) {
+	if f.done || (f.cfg.TruncateAt > 0 && f.off >= f.cfg.TruncateAt) {
+		f.done = true
+		return 0, io.EOF
+	}
+	if f.cfg.FailAt > 0 && f.off >= f.cfg.FailAt {
+		return 0, f.cfg.FailErr
+	}
+	if len(p) == 0 {
+		return f.r.Read(p)
+	}
+	// Transient failure before any data moves.
+	if f.cfg.TransientProb > 0 && f.run < f.cfg.MaxTransientRun && f.rng.chance(f.cfg.TransientProb) {
+		f.run++
+		return 0, &TransientError{Off: f.off}
+	}
+	f.run = 0
+
+	limit := len(p)
+	if f.cfg.TruncateAt > 0 {
+		if rem := f.cfg.TruncateAt - f.off; int64(limit) > rem {
+			limit = int(rem)
+		}
+	}
+	if f.cfg.FailAt > 0 {
+		if rem := f.cfg.FailAt - f.off; int64(limit) > rem {
+			limit = int(rem)
+		}
+	}
+	if f.cfg.ShortReadProb > 0 && limit > 1 && f.rng.chance(f.cfg.ShortReadProb) {
+		limit = 1 + f.rng.intn(limit)
+	}
+
+	n, err := f.r.Read(p[:limit])
+	if n > 0 && f.cfg.CorruptProb > 0 {
+		for i := 0; i < n; i++ {
+			if f.rng.chance(f.cfg.CorruptProb) {
+				p[i] ^= byte(1 + f.rng.intn(255)) // never a zero mask
+			}
+		}
+	}
+	f.off += int64(n)
+	if err == nil && f.cfg.TruncateAt > 0 && f.off >= f.cfg.TruncateAt {
+		f.done = true
+	}
+	return n, err
+}
+
+// Corrupt returns a copy of data with roughly rate*len(data) bytes
+// XOR-flipped, chosen deterministically from seed: the in-memory
+// counterpart of Reader's CorruptProb for exercising the parallel engine,
+// whose inputs are byte slices rather than streams.
+func Corrupt(data []byte, seed uint64, rate float64) []byte {
+	out := append([]byte(nil), data...)
+	r := rng(splitmix(seed))
+	for i := range out {
+		if r.chance(rate) {
+			out[i] ^= byte(1 + r.intn(255))
+		}
+	}
+	return out
+}
+
+// CorruptKeeping is Corrupt, but bytes equal to keep (typically the record
+// terminator) are left intact, so record framing survives and every error
+// stays localized to one record — the shape of most real-world corruption
+// against line-oriented feeds.
+func CorruptKeeping(data []byte, seed uint64, rate float64, keep byte) []byte {
+	out := append([]byte(nil), data...)
+	r := rng(splitmix(seed))
+	for i := range out {
+		if r.chance(rate) {
+			m := byte(1 + r.intn(255))
+			if out[i] == keep || out[i]^m == keep {
+				continue
+			}
+			out[i] ^= m
+		}
+	}
+	return out
+}
+
+// rng is a splitmix64 sequence: tiny, fast, and stable across Go releases
+// (unlike math/rand, whose stream is not a compatibility promise), so
+// recorded seeds in regression tests replay forever.
+type rng uint64
+
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	z := x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *rng) next() uint64 {
+	v := splitmix(uint64(*r))
+	*r = rng(uint64(*r) + 0x9e3779b97f4a7c15)
+	return v
+}
+
+// chance reports true with probability p.
+func (r *rng) chance(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return float64(r.next()>>11)/float64(1<<53) < p
+}
+
+// intn returns a value in [0, n).
+func (r *rng) intn(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}

@@ -1,0 +1,153 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+// drain reads r to completion with a fixed buffer size, recording the bytes
+// delivered and every error seen along the way (transient errors are noted
+// and retried).
+func drain(t *testing.T, r io.Reader, bufSize int) (data []byte, transients int, finalErr error) {
+	t.Helper()
+	buf := make([]byte, bufSize)
+	for i := 0; ; i++ {
+		if i > 1<<20 {
+			t.Fatal("reader did not terminate")
+		}
+		n, err := r.Read(buf)
+		data = append(data, buf[:n]...)
+		switch {
+		case err == nil:
+		case errors.Is(err, io.EOF):
+			return data, transients, nil
+		default:
+			var te *TransientError
+			if errors.As(err, &te) {
+				transients++
+				continue
+			}
+			return data, transients, err
+		}
+	}
+}
+
+func TestZeroConfigIsTransparent(t *testing.T) {
+	payload := strings.Repeat("hello, world\n", 100)
+	r := NewReader(strings.NewReader(payload), Config{})
+	got, transients, err := drain(t, r, 97)
+	if err != nil || transients != 0 {
+		t.Fatalf("zero config injected faults: %d transients, err %v", transients, err)
+	}
+	if string(got) != payload {
+		t.Fatalf("zero config altered the data")
+	}
+	if r.Offset() != int64(len(payload)) {
+		t.Fatalf("Offset = %d, want %d", r.Offset(), len(payload))
+	}
+}
+
+// TestDeterministic is the replay contract: equal seeds and equal read
+// patterns produce byte-identical output and identical fault sequences.
+func TestDeterministic(t *testing.T) {
+	payload := strings.Repeat("abcdefghij\n", 500)
+	cfg := Config{Seed: 42, ShortReadProb: 0.3, TransientProb: 0.2, CorruptProb: 0.01}
+	run := func() ([]byte, int) {
+		got, transients, err := drain(t, NewReader(strings.NewReader(payload), cfg), 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got, transients
+	}
+	a, at := run()
+	b, bt := run()
+	if !bytes.Equal(a, b) || at != bt {
+		t.Fatalf("same seed diverged: %d vs %d transients, data equal=%v", at, bt, bytes.Equal(a, b))
+	}
+	if bytes.Equal(a, []byte(payload)) {
+		t.Fatal("corruption rate 0.01 over 5500 bytes flipped nothing")
+	}
+	c, _, err := drain(t, NewReader(strings.NewReader(payload), Config{Seed: 43, ShortReadProb: 0.3, TransientProb: 0.2, CorruptProb: 0.01}), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a, c) {
+		t.Fatal("different seeds produced identical corruption")
+	}
+}
+
+func TestTruncateAt(t *testing.T) {
+	payload := strings.Repeat("x", 1000)
+	got, _, err := drain(t, NewReader(strings.NewReader(payload), Config{TruncateAt: 137}), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 137 {
+		t.Fatalf("delivered %d bytes, want 137", len(got))
+	}
+}
+
+func TestFailAt(t *testing.T) {
+	payload := strings.Repeat("x", 1000)
+	sentinel := errors.New("boom")
+	got, _, err := drain(t, NewReader(strings.NewReader(payload), Config{FailAt: 200, FailErr: sentinel}), 64)
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+	if len(got) != 200 {
+		t.Fatalf("delivered %d bytes before failure, want 200", len(got))
+	}
+	// Default error.
+	_, _, err = drain(t, NewReader(strings.NewReader(payload), Config{FailAt: 1}), 64)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+}
+
+// TestTransientRunCap: even at TransientProb 1, MaxTransientRun bounds
+// consecutive failures so a retrying consumer always progresses.
+func TestTransientRunCap(t *testing.T) {
+	payload := strings.Repeat("y", 256)
+	got, transients, err := drain(t, NewReader(strings.NewReader(payload), Config{TransientProb: 1, MaxTransientRun: 2}), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != payload {
+		t.Fatalf("payload damaged by transient-only faults")
+	}
+	if transients == 0 {
+		t.Fatal("no transient errors at probability 1")
+	}
+}
+
+// TestTemporarySignal: the transient error advertises retryability the way
+// net.Error does, through an errors.As-discoverable Temporary() bool.
+func TestTemporarySignal(t *testing.T) {
+	var err error = &TransientError{Off: 7}
+	var te interface{ Temporary() bool }
+	if !errors.As(err, &te) || !te.Temporary() {
+		t.Fatal("TransientError does not advertise Temporary() == true")
+	}
+}
+
+func TestCorruptKeeping(t *testing.T) {
+	data := []byte(strings.Repeat("abcde\n", 200))
+	out := CorruptKeeping(data, 7, 0.2, '\n')
+	if bytes.Equal(out, data) {
+		t.Fatal("rate 0.2 flipped nothing")
+	}
+	if bytes.Count(out, []byte("\n")) != bytes.Count(data, []byte("\n")) {
+		t.Fatal("CorruptKeeping changed the newline count")
+	}
+	for i := range data {
+		if (data[i] == '\n') != (out[i] == '\n') {
+			t.Fatalf("newline at offset %d not preserved", i)
+		}
+	}
+	if !bytes.Equal(Corrupt(data, 7, 0.2), Corrupt(data, 7, 0.2)) {
+		t.Fatal("Corrupt is not deterministic")
+	}
+}

@@ -95,3 +95,55 @@ func FuzzParseSirius(f *testing.F) {
 		_ = v.PD()
 	})
 }
+
+// FuzzInterpParse co-fuzzes both axes at once: an arbitrary description AND
+// arbitrary data. Any description that compiles cleanly must parse any byte
+// string without panicking, without unbounded memory (the resource guards
+// are armed), and must terminate — the never-die contract with no fixed
+// description to lean on. Real description/data pairs from testdata/ seed
+// the corpus.
+func FuzzInterpParse(f *testing.F) {
+	for _, pair := range [][2]string{{"clf.pads", "clf.sample"}, {"sirius.pads", "sirius.sample"}} {
+		descSrc, err := testdataBytes(pair[0])
+		if err != nil {
+			f.Fatal(err)
+		}
+		data, err := testdataBytes(pair[1])
+		if err != nil {
+			f.Fatal(err)
+		}
+		if len(data) > 512 {
+			data = data[:512]
+		}
+		f.Add(string(descSrc), data)
+	}
+	f.Add(`Psource Precord Pstruct r { Puint8 x; Peor; };`, []byte("1\nx\n300\n"))
+	f.Add(`Parray inner { Pstring(:'|':) : Psep('|'); }; Psource Precord Pstruct r { inner v; Peor; };`,
+		[]byte("a|b||c\n"))
+	f.Add(`Punion u { Pip a; Puint32 b; Pstring(:' ':) s; }; Psource Precord Pstruct r { u v; Peor; };`,
+		[]byte("1.2.3.4\nhello\n99\n"))
+
+	f.Fuzz(func(t *testing.T, descSrc string, data []byte) {
+		if len(descSrc) > 4096 || len(data) > 4096 {
+			return // keep per-input work small; coverage, not throughput
+		}
+		prog, errs := dsl.Parse(descSrc)
+		if len(errs) > 0 {
+			return
+		}
+		desc, serrs := sema.Check(prog)
+		if len(serrs) > 0 {
+			return
+		}
+		s := padsrt.NewBytesSource(data, padsrt.WithLimits(padsrt.Limits{
+			MaxRecordLen: 1 << 16,
+			MaxSpecBytes: 1 << 16,
+			MaxSpecDepth: 64,
+		}))
+		v, err := New(desc).ParseSource(s)
+		if err != nil {
+			return // structured failure is fine; panics and hangs are not
+		}
+		_ = v.PD()
+	})
+}

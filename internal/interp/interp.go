@@ -125,6 +125,13 @@ func (in *Interp) parseDecl(d dsl.Decl, s *padsrt.Source, mask *padsrt.MaskNode,
 		in.trace(telemetry.EvRecordBegin, d.DeclName(), s)
 		v := in.parseDeclBody(d, s, mask, args)
 		pd := v.PD()
+		if s.RecordTruncated() {
+			// The discipline clamped this record to Limits.MaxRecordLen:
+			// whatever parsed is suspect, so flag the record and let the
+			// resync below discard the visible remainder (EndRecord streams
+			// away the rest of the oversized body).
+			pd.SetError(padsrt.ErrRecordTooLong, padsrt.Loc{Begin: recBegin, End: s.Pos()})
+		}
 		if pd.Nerr > 0 && !s.AtEOR() {
 			// Panic-mode resynchronization: skip to the record boundary.
 			begin := s.Pos()
@@ -465,6 +472,7 @@ func (in *Interp) parseArray(d *dsl.ArrayDecl, s *padsrt.Source, mask *padsrt.Ma
 			break
 		}
 		// Separator between elements.
+		iterBegin := s.Pos()
 		if len(arr.Elems) > 0 && d.Sep != nil {
 			sepBegin := s.Pos()
 			if code := in.matchLiteral(d.Sep, s); code != padsrt.ErrNone {
@@ -482,6 +490,11 @@ func (in *Interp) parseArray(d *dsl.ArrayDecl, s *padsrt.Source, mask *padsrt.Ma
 			}
 		} else {
 			arr.Elems = append(arr.Elems, ev)
+			if maxSize < 0 && s.Pos() == iterBegin {
+				// A clean zero-width element in an unbounded array (no
+				// separator consumed either) would repeat forever.
+				break
+			}
 		}
 		// Plast predicate: stop after this element.
 		if d.LastPred != nil {

@@ -1,0 +1,208 @@
+package interp
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"unicode/utf8"
+
+	"pads/internal/padsrt"
+	"pads/internal/value"
+)
+
+// Policy is the error-budget and degradation policy applied to a record
+// scan (docs/ROBUSTNESS.md): how many damaged records a run tolerates
+// before aborting, and where unparseable raw records are dead-lettered for
+// offline triage. PADS parsing itself never dies on bad data — every error
+// lands in a parse descriptor — so without a Policy a scan processes
+// everything; a Policy lets an operator bound how much damage a production
+// run silently absorbs.
+//
+// A Policy is stateless and read-only once a scan starts; counters live in
+// the reader (or, for parallel runs, in the chunk-ordered merge), so one
+// Policy may serve many scans.
+type Policy struct {
+	// MaxErrors aborts the scan once this many records carried parse
+	// errors (0 = unlimited).
+	MaxErrors int
+	// MaxErrorRate aborts the scan once errored/records exceeds this
+	// fraction (0 = disabled). The rate is only consulted after RateMin
+	// records so small prefixes cannot trip it.
+	MaxErrorRate float64
+	// RateMin is the minimum record count before MaxErrorRate applies
+	// (default 100).
+	RateMin int
+	// FailFast aborts on the first errored record.
+	FailFast bool
+	// Sink, when non-nil, receives a dead-letter entry for every errored
+	// record. *Quarantine writes entries through to a file; *Batch
+	// collects them in memory (the parallel engine gives each chunk a
+	// Batch and flushes them in chunk order, keeping output deterministic
+	// at any worker count).
+	Sink Recorder
+}
+
+// rateMin returns the effective rate floor.
+func (p *Policy) rateMin() int {
+	if p.RateMin > 0 {
+		return p.RateMin
+	}
+	return 100
+}
+
+// Check evaluates the budget against cumulative counts, returning a
+// *BudgetError when the scan should abort and nil otherwise. It is pure:
+// callers (sequential readers, the parallel merge loop) own the counts.
+func (p *Policy) Check(records, errored int) error {
+	if p == nil || errored == 0 {
+		return nil
+	}
+	switch {
+	case p.FailFast:
+		return &BudgetError{Records: records, Errored: errored, Reason: "fail-fast: first parse error"}
+	case p.MaxErrors > 0 && errored >= p.MaxErrors:
+		return &BudgetError{Records: records, Errored: errored,
+			Reason: fmt.Sprintf("max-errors budget (%d) exhausted", p.MaxErrors)}
+	case p.MaxErrorRate > 0 && records >= p.rateMin() &&
+		float64(errored)/float64(records) > p.MaxErrorRate:
+		return &BudgetError{Records: records, Errored: errored,
+			Reason: fmt.Sprintf("error rate %.4f exceeds budget %.4f", float64(errored)/float64(records), p.MaxErrorRate)}
+	}
+	return nil
+}
+
+// Active reports whether the policy does anything at all.
+func (p *Policy) Active() bool {
+	return p != nil && (p.MaxErrors > 0 || p.MaxErrorRate > 0 || p.FailFast || p.Sink != nil)
+}
+
+// BudgetError reports a scan aborted by its error budget. Tools exit with
+// a distinct status (3) on it so pipelines can tell "data over budget"
+// from hard failures.
+type BudgetError struct {
+	Records int // records scanned when the budget tripped
+	Errored int // of those, records with parse errors
+	Reason  string
+}
+
+// Error implements error.
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("error budget exceeded after %d records (%d with errors): %s", e.Records, e.Errored, e.Reason)
+}
+
+// Entry is one dead-lettered record: enough context (absolute offset,
+// record number, first error) to triage offline and re-parse the raw bytes
+// once the description or the feed is fixed. Raw holds the record body
+// when it is valid UTF-8; binary bodies go to RawB64 instead.
+type Entry struct {
+	Record int    `json:"record"`           // 1-based record number
+	Offset int64  `json:"offset"`           // absolute byte offset of the record body
+	Err    string `json:"err"`              // first error code, human-readable
+	Nerr   uint32 `json:"nerr"`             // total errors inside the record
+	Loc    string `json:"loc,omitempty"`    // first error location (record:col(@byte) span)
+	Raw    string `json:"raw,omitempty"`    // record body (UTF-8)
+	RawB64 string `json:"rawb64,omitempty"` // record body (base64, when not UTF-8)
+}
+
+// setRaw stores body in the UTF-8 or base64 field as appropriate.
+func (e *Entry) setRaw(body []byte) {
+	if len(body) == 0 {
+		return
+	}
+	if utf8.Valid(body) {
+		e.Raw = string(body)
+	} else {
+		e.RawB64 = base64.StdEncoding.EncodeToString(body)
+	}
+}
+
+// Recorder is a dead-letter sink.
+type Recorder interface {
+	// Quarantine records one dead-lettered record.
+	Quarantine(e Entry)
+}
+
+// Quarantine is the write-through Recorder: one JSONL line per entry. It
+// is safe for concurrent use, but parallel scans should prefer per-chunk
+// Batches flushed in chunk order so the file is deterministic.
+type Quarantine struct {
+	mu  sync.Mutex
+	w   io.Writer
+	n   uint64
+	err error // first write error; later entries still count
+}
+
+// NewQuarantine builds a dead-letter sink writing JSONL to w.
+func NewQuarantine(w io.Writer) *Quarantine { return &Quarantine{w: w} }
+
+// Quarantine implements Recorder.
+func (q *Quarantine) Quarantine(e Entry) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.n++
+	if q.err != nil {
+		return
+	}
+	b, err := json.Marshal(&e)
+	if err == nil {
+		b = append(b, '\n')
+		_, err = q.w.Write(b)
+	}
+	if err != nil {
+		q.err = err
+	}
+}
+
+// Count reports how many records were quarantined (attempted writes
+// included, so counts stay deterministic even if the sink's disk fills).
+func (q *Quarantine) Count() uint64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.n
+}
+
+// Err reports the first write error, if any.
+func (q *Quarantine) Err() error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.err
+}
+
+// Batch is the buffering Recorder used by parallel chunk workers: entries
+// accumulate in memory and flush into the real sink in chunk order.
+type Batch struct {
+	Entries []Entry
+}
+
+// Quarantine implements Recorder.
+func (b *Batch) Quarantine(e Entry) { b.Entries = append(b.Entries, e) }
+
+// FlushTo hands the batch to the final sink, in order, and empties it.
+func (b *Batch) FlushTo(r Recorder) {
+	if r == nil {
+		b.Entries = nil
+		return
+	}
+	for _, e := range b.Entries {
+		r.Quarantine(e)
+	}
+	b.Entries = nil
+}
+
+// entryFor assembles the dead-letter entry for an errored record value.
+func entryFor(v value.Value, raw []byte) Entry {
+	pd := v.PD()
+	e := Entry{
+		Record: pd.Loc.Begin.Record,
+		Offset: pd.Loc.Begin.Byte,
+		Err:    pd.ErrCode.String(),
+		Nerr:   pd.Nerr,
+		Loc:    pd.Loc.String(),
+	}
+	e.setRaw(raw)
+	return e
+}
+
+var _ = padsrt.ErrNone // policy sits beside the reader; keep the import set stable

@@ -21,6 +21,14 @@ type RecordReader struct {
 	mask    *padsrt.MaskNode
 	recDecl dsl.Decl
 	header  value.Value // parsed header, if the source has one
+
+	// Error-budget state (docs/ROBUSTNESS.md). policy is read-only;
+	// records/errored are this reader's cumulative counts; budgetErr,
+	// once set, ends the scan (More reports false, Err reports it).
+	policy    *Policy
+	records   int
+	errored   int
+	budgetErr error
 }
 
 // SourceShape describes how a description's Psource decomposes for
@@ -90,18 +98,54 @@ func (in *Interp) NewRecordReader(s *padsrt.Source, mask *padsrt.MaskNode) (*Rec
 // Header returns the parsed header record, or nil.
 func (rr *RecordReader) Header() value.Value { return rr.header }
 
-// More reports whether another record remains.
-func (rr *RecordReader) More() bool { return rr.s.More() && rr.s.Err() == nil }
+// SetPolicy installs an error budget and dead-letter sink for this scan.
+// With a sink attached, the source snapshots erroneous record bodies so
+// quarantine entries carry the raw bytes.
+func (rr *RecordReader) SetPolicy(p *Policy) {
+	rr.policy = p
+	if p != nil && p.Sink != nil {
+		rr.s.SetKeepErrRecords(true)
+	}
+}
+
+// Counts reports how many records this reader has parsed and how many of
+// those carried parse errors.
+func (rr *RecordReader) Counts() (records, errored int) { return rr.records, rr.errored }
+
+// More reports whether another record remains (and the budget allows it).
+func (rr *RecordReader) More() bool {
+	return rr.budgetErr == nil && rr.s.More() && rr.s.Err() == nil
+}
 
 // Read parses the next record.
 func (rr *RecordReader) Read() value.Value {
-	return rr.in.parseDecl(rr.recDecl, rr.s, rr.mask, nil)
+	return rr.note(rr.in.parseDecl(rr.recDecl, rr.s, rr.mask, nil))
 }
 
 // ReadWith parses the next record under a specific mask (overriding the
 // reader's default), the per-application knob of section 5.1.2.
 func (rr *RecordReader) ReadWith(mask *padsrt.MaskNode) value.Value {
-	return rr.in.parseDecl(rr.recDecl, rr.s, mask, nil)
+	return rr.note(rr.in.parseDecl(rr.recDecl, rr.s, mask, nil))
+}
+
+// note applies the error budget and dead-letter policy to a just-parsed
+// record.
+func (rr *RecordReader) note(v value.Value) value.Value {
+	rr.records++
+	if pd := v.PD(); pd.Nerr > 0 {
+		rr.errored++
+		if p := rr.policy; p != nil {
+			if p.Sink != nil {
+				e := entryFor(v, rr.s.LastErrRecord())
+				if e.Record == 0 {
+					e.Record = rr.s.RecordNum()
+				}
+				p.Sink.Quarantine(e)
+			}
+			rr.budgetErr = p.Check(rr.records, rr.errored)
+		}
+	}
+	return v
 }
 
 // Shard returns a reader that parses records of the same type, under the
@@ -127,8 +171,14 @@ func (rr *RecordReader) Shard(s *padsrt.Source) *RecordReader {
 	}
 }
 
-// Err surfaces any I/O error from the underlying source.
-func (rr *RecordReader) Err() error { return rr.s.Err() }
+// Err surfaces an exhausted error budget or any I/O error from the
+// underlying source.
+func (rr *RecordReader) Err() error {
+	if rr.budgetErr != nil {
+		return rr.budgetErr
+	}
+	return rr.s.Err()
+}
 
 // RecordTypeName names the per-record type.
 func (rr *RecordReader) RecordTypeName() string { return rr.recDecl.DeclName() }

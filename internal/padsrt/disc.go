@@ -86,6 +86,13 @@ func (d *NewlineDisc) Name() string { return "newline" }
 func (d *NewlineDisc) locate(src *Source) (int, int, int, bool, error) {
 	i := 0
 	for {
+		// Resource guard: a record with no terminator in sight would
+		// otherwise buffer without bound (a multi-GB "line" is a classic
+		// corruption). Clamp the body; EndRecord streams the tail away.
+		if m := src.limits.MaxRecordLen; m > 0 && i >= m {
+			src.noteOverflowTerm(d.Term)
+			return 0, m, 0, true, nil
+		}
 		w, eof, err := src.ensure(i + 1)
 		if err != nil {
 			return 0, 0, 0, false, err
@@ -101,6 +108,14 @@ func (d *NewlineDisc) locate(src *Source) (int, int, int, bool, error) {
 		}
 		// Scan the newly available region for the terminator.
 		if j := bytes.IndexByte(w[i:], d.Term); j >= 0 {
+			if m := src.limits.MaxRecordLen; m > 0 && i+j > m {
+				// Clamp even when the terminator is already buffered, so
+				// truncation does not depend on read chunking: a bytes-
+				// backed parallel chunk and a streaming sequential parse
+				// must truncate the same records.
+				src.noteOverflowTerm(d.Term)
+				return 0, m, 0, true, nil
+			}
 			return 0, i + j, 1, true, nil
 		}
 		i = len(w)
@@ -126,17 +141,29 @@ func FixedWidth(width int) *FixedDisc { return &FixedDisc{Width: width} }
 func (d *FixedDisc) Name() string { return fmt.Sprintf("fixed(%d)", d.Width) }
 
 func (d *FixedDisc) locate(src *Source) (int, int, int, bool, error) {
-	w, eof, err := src.ensure(d.Width)
+	want := d.Width
+	capped := false
+	if m := src.limits.MaxRecordLen; m > 0 && want > m {
+		// A misconfigured or adversarial width must not force the whole
+		// record into memory; clamp and stream the tail away at EndRecord.
+		want = m
+		capped = true
+	}
+	w, eof, err := src.ensure(want)
 	if err != nil {
 		return 0, 0, 0, false, err
 	}
 	if len(w) == 0 && eof {
 		return 0, 0, 0, false, nil
 	}
-	if len(w) < d.Width {
+	if len(w) < want {
 		// Short final record: surface what remains; the caller will
 		// report ErrRecordLength when a fixed-width read runs out.
 		return 0, len(w), 0, true, nil
+	}
+	if capped {
+		src.noteOverflowCount(int64(d.Width - want))
+		return 0, want, 0, true, nil
 	}
 	return 0, d.Width, 0, true, nil
 }
@@ -191,6 +218,13 @@ func (d *LenPrefixDisc) locate(src *Source) (int, int, int, bool, error) {
 	}
 	if n < 0 {
 		n = 0
+	}
+	if m := src.limits.MaxRecordLen; m > 0 && n > m {
+		// A corrupted length header (the truncated-Cobol-prefix failure
+		// mode) must not trigger a gigabyte ensure; clamp and let
+		// EndRecord stream the declared remainder away.
+		src.noteOverflowCount(int64(n - m))
+		n = m
 	}
 	return d.HeaderBytes, n, 0, true, nil
 }

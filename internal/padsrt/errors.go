@@ -22,9 +22,10 @@ const (
 	ErrNone ErrCode = iota
 
 	// System errors.
-	ErrIO       // the underlying reader failed
-	ErrBadParam // a bad argument reached a run-time entry point
-	ErrInternal // invariant violation inside the run time
+	ErrIO            // the underlying reader failed
+	ErrBadParam      // a bad argument reached a run-time entry point
+	ErrInternal      // invariant violation inside the run time
+	ErrRecordTooLong // record exceeded Limits.MaxRecordLen and was clamped
 
 	// Syntax errors.
 	ErrAtEOF           // input exhausted before the value finished
@@ -67,6 +68,7 @@ var errNames = map[ErrCode]string{
 	ErrIO:              "I/O error",
 	ErrBadParam:        "bad parameter",
 	ErrInternal:        "internal error",
+	ErrRecordTooLong:   "record exceeds length limit",
 	ErrAtEOF:           "unexpected end of input",
 	ErrAtEOR:           "unexpected end of record",
 	ErrExtraBeforeEOR:  "extra data before end of record",
@@ -124,7 +126,7 @@ func (e ErrCode) Class() Class {
 	switch {
 	case e == ErrNone:
 		return ClassNone
-	case e >= ErrIO && e <= ErrInternal:
+	case e >= ErrIO && e <= ErrRecordTooLong:
 		return ClassSystem
 	case e >= ErrConstraint && e <= ErrWhere:
 		return ClassSemantic

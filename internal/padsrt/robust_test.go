@@ -1,0 +1,414 @@
+package padsrt
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"pads/internal/telemetry"
+)
+
+// flakyReader fails with a transient error before every successful read until
+// fails is exhausted, then delegates to the wrapped reader.
+type flakyReader struct {
+	r     io.Reader
+	fails int
+}
+
+type tempErr struct{}
+
+func (tempErr) Error() string   { return "transient read fault" }
+func (tempErr) Temporary() bool { return true }
+
+func (f *flakyReader) Read(p []byte) (int, error) {
+	if f.fails > 0 {
+		f.fails--
+		return 0, tempErr{}
+	}
+	return f.r.Read(p)
+}
+
+func TestRetryRecoversTransientReads(t *testing.T) {
+	payload := "alpha\nbeta\ngamma\n"
+	st := &telemetry.Stats{}
+	s := NewSource(&flakyReader{r: strings.NewReader(payload), fails: 2},
+		WithRetry(4, 0), WithStats(st))
+	var got []string
+	for s.More() {
+		pd := &PD{}
+		mustBegin(t, s)
+		b := s.Peek(16)
+		got = append(got, string(b))
+		s.Skip(len(b))
+		s.EndRecord(pd)
+	}
+	if err := s.Err(); err != nil {
+		t.Fatalf("Err() = %v with retries enabled", err)
+	}
+	if len(got) != 3 || got[0] != "alpha" || got[2] != "gamma" {
+		t.Fatalf("records = %q", got)
+	}
+	if st.Source.ReadRetries == 0 {
+		t.Fatal("ReadRetries not counted")
+	}
+}
+
+func TestNoRetryTransientIsSticky(t *testing.T) {
+	s := NewSource(&flakyReader{r: strings.NewReader("alpha\n"), fails: 1})
+	if s.More() {
+		t.Fatal("More() true despite immediate transient failure without retry")
+	}
+	err := s.Err()
+	if err == nil {
+		t.Fatal("Err() = nil, want sticky transient error")
+	}
+	if !IsTransient(err) {
+		t.Fatalf("Err() = %v, not recognized as transient", err)
+	}
+	// Sticky: further calls keep reporting it, no panic.
+	if s.More() || s.Err() == nil {
+		t.Fatal("error did not stick")
+	}
+}
+
+func TestIsTransient(t *testing.T) {
+	if !IsTransient(tempErr{}) {
+		t.Fatal("Temporary()==true error not transient")
+	}
+	if IsTransient(errors.New("plain")) || IsTransient(nil) || IsTransient(io.EOF) {
+		t.Fatal("non-transient error misclassified")
+	}
+}
+
+// --- MaxRecordLen guards, per discipline ---
+
+func TestMaxRecordLenNewline(t *testing.T) {
+	long := strings.Repeat("x", 1<<12)
+	input := "short1\n" + long + "\nshort2\n"
+	st := &telemetry.Stats{}
+	s := NewSource(strings.NewReader(input),
+		WithLimits(Limits{MaxRecordLen: 64}), WithStats(st))
+
+	read := func() (string, bool) {
+		pd := &PD{}
+		mustBegin(t, s)
+		body := s.Peek(1 << 13)
+		got := string(body)
+		s.Skip(len(body))
+		trunc := s.RecordTruncated()
+		s.EndRecord(pd)
+		return got, trunc
+	}
+
+	if got, trunc := read(); got != "short1" || trunc {
+		t.Fatalf("record 1 = %q trunc=%v", got, trunc)
+	}
+	got, trunc := read()
+	if !trunc {
+		t.Fatal("oversized newline record not flagged truncated")
+	}
+	if len(got) != 64 || got != long[:64] {
+		t.Fatalf("clamped body len %d, want 64", len(got))
+	}
+	// Overflow must be discarded so the next record is intact.
+	if got, trunc := read(); got != "short2" || trunc {
+		t.Fatalf("record after overflow = %q trunc=%v", got, trunc)
+	}
+	if s.More() {
+		t.Fatal("trailing data after last record")
+	}
+	if st.Source.TruncatedRecs != 1 {
+		t.Fatalf("TruncatedRecs = %d, want 1", st.Source.TruncatedRecs)
+	}
+}
+
+func TestMaxRecordLenFixed(t *testing.T) {
+	input := strings.Repeat("a", 100) + strings.Repeat("b", 100)
+	s := NewSource(strings.NewReader(input),
+		WithDiscipline(&FixedDisc{Width: 100}),
+		WithLimits(Limits{MaxRecordLen: 40}))
+
+	for i, want := range []byte{'a', 'b'} {
+		pd := &PD{}
+		mustBegin(t, s)
+		body := s.Peek(200)
+		if len(body) != 40 {
+			t.Fatalf("record %d: body len %d, want 40", i, len(body))
+		}
+		if body[0] != want {
+			t.Fatalf("record %d starts with %q, want %q", i, body[0], want)
+		}
+		s.Skip(len(body))
+		if !s.RecordTruncated() {
+			t.Fatalf("record %d not flagged truncated", i)
+		}
+		s.EndRecord(pd)
+	}
+	if s.More() {
+		t.Fatal("input not fully consumed")
+	}
+}
+
+// lpHeader encodes a big-endian 4-byte length header.
+func lpHeader(n int) string {
+	return string([]byte{byte(n >> 24), byte(n >> 16), byte(n >> 8), byte(n)})
+}
+
+func TestMaxRecordLenLenPrefix(t *testing.T) {
+	// First record claims 500 body bytes, cap is 32.
+	big := lpHeader(500) + strings.Repeat("z", 500)
+	small := lpHeader(5) + "hello"
+	s := NewSource(strings.NewReader(big+small),
+		WithDiscipline(LenPrefix()),
+		WithLimits(Limits{MaxRecordLen: 32}))
+
+	pd := &PD{}
+	mustBegin(t, s)
+	body := s.Peek(1 << 10)
+	if len(body) != 32 {
+		t.Fatalf("clamped lenprefix body = %d bytes, want 32", len(body))
+	}
+	s.Skip(len(body))
+	if !s.RecordTruncated() {
+		t.Fatal("oversized lenprefix record not flagged truncated")
+	}
+	s.EndRecord(pd)
+
+	pd = &PD{}
+	mustBegin(t, s)
+	body = s.Peek(1 << 10)
+	if string(body) != "hello" {
+		t.Fatalf("record after lenprefix overflow = %q", body)
+	}
+	s.Skip(len(body))
+	if s.RecordTruncated() {
+		t.Fatal("clean record flagged truncated")
+	}
+	s.EndRecord(pd)
+	if s.More() {
+		t.Fatal("input not fully consumed")
+	}
+}
+
+// TestMemoryBoundedOverflow streams a record far larger than the cap through
+// a small-chunk reader and asserts the window buffer never balloons: the
+// guard's whole point is bounded memory, not just a truncation flag.
+func TestMemoryBoundedOverflow(t *testing.T) {
+	const total = 1 << 22 // 4 MiB record
+	const cap = 4 << 10   // 4 KiB cap
+	payload := strings.NewReader(strings.Repeat("q", total) + "\ntail\n")
+	s := NewSource(&chunkReader{r: payload, n: 512},
+		WithLimits(Limits{MaxRecordLen: cap}))
+
+	pd := &PD{}
+	mustBegin(t, s)
+	body := s.Peek(total)
+	if len(body) != cap {
+		t.Fatalf("body len %d, want cap %d", len(body), cap)
+	}
+	s.Skip(len(body))
+	if !s.RecordTruncated() {
+		t.Fatal("not flagged truncated")
+	}
+	s.EndRecord(pd)
+	if max := grown(s); max > 256<<10 {
+		t.Fatalf("window buffer grew to %d bytes while discarding overflow", max)
+	}
+
+	pd = &PD{}
+	mustBegin(t, s)
+	b := s.Peek(16)
+	if string(b) != "tail" {
+		t.Fatalf("record after 4MiB overflow = %q", b)
+	}
+	s.Skip(len(b))
+	s.EndRecord(pd)
+	if err := s.Err(); err != nil {
+		t.Fatalf("Err() = %v", err)
+	}
+}
+
+// grown reports the current window size; white-box by design.
+func grown(s *Source) int { return len(s.buf) }
+
+type chunkReader struct {
+	r io.Reader
+	n int
+}
+
+func (c *chunkReader) Read(p []byte) (int, error) {
+	if len(p) > c.n {
+		p = p[:c.n]
+	}
+	return c.r.Read(p)
+}
+
+// --- truncation at discipline boundaries (satellite) ---
+
+func TestTruncatedLenPrefixHeader(t *testing.T) {
+	// Input ends mid-header: 2 of 4 header bytes present.
+	s := NewSource(strings.NewReader(lpHeader(4)+"data"+"\x00\x01"),
+		WithDiscipline(LenPrefix()))
+
+	pd := &PD{}
+	mustBegin(t, s)
+	b := s.Peek(64)
+	if string(b) != "data" {
+		t.Fatalf("record 1 = %q", b)
+	}
+	s.Skip(len(b))
+	s.EndRecord(pd)
+
+	if !s.More() {
+		t.Fatal("truncated header bytes not surfaced as a record")
+	}
+	pd = &PD{}
+	mustBegin(t, s)
+	b = s.Peek(64)
+	if string(b) != "\x00\x01" {
+		t.Fatalf("truncated record = %q, want the partial header bytes", b)
+	}
+	s.Skip(len(b))
+	s.EndRecord(pd)
+	if s.More() {
+		t.Fatal("phantom record after truncated header")
+	}
+	if err := s.Err(); err != nil {
+		t.Fatalf("Err() = %v; truncation is a parse-level error, not an I/O error", err)
+	}
+}
+
+func TestTruncatedFixedRecord(t *testing.T) {
+	s := NewSource(strings.NewReader(strings.Repeat("a", 10)+"bbb"),
+		WithDiscipline(&FixedDisc{Width: 10}))
+
+	pd := &PD{}
+	mustBegin(t, s)
+	s.Skip(10)
+	s.EndRecord(pd)
+
+	if !s.More() {
+		t.Fatal("short final fixed record dropped")
+	}
+	pd = &PD{}
+	mustBegin(t, s)
+	b := s.Peek(64)
+	if string(b) != "bbb" {
+		t.Fatalf("short record = %q", b)
+	}
+	s.Skip(len(b))
+	s.EndRecord(pd)
+	if s.More() {
+		t.Fatal("phantom record after short fixed tail")
+	}
+}
+
+func TestNewlineRecordWithoutTerminator(t *testing.T) {
+	s := NewSource(strings.NewReader("one\ntwo"))
+	var got []string
+	for s.More() {
+		pd := &PD{}
+		mustBegin(t, s)
+		b := s.Peek(64)
+		got = append(got, string(b))
+		s.Skip(len(b))
+		s.EndRecord(pd)
+	}
+	if len(got) != 2 || got[0] != "one" || got[1] != "two" {
+		t.Fatalf("records = %q; unterminated final record must still parse", got)
+	}
+	if err := s.Err(); err != nil {
+		t.Fatalf("Err() = %v", err)
+	}
+}
+
+// --- speculation caps ---
+
+func TestMaxSpecDepth(t *testing.T) {
+	s := NewSource(strings.NewReader("data\n"),
+		WithLimits(Limits{MaxSpecDepth: 2}))
+	mustBegin(t, s)
+	s.Checkpoint()
+	s.Checkpoint()
+	if s.Err() != nil {
+		t.Fatalf("Err() = %v at depth 2 with cap 2", s.Err())
+	}
+	// The third checkpoint still pushes (Commit/Restore pairing must hold)
+	// but trips the sticky limit error, winding the parse down.
+	s.Checkpoint()
+	var le *LimitError
+	if err := s.Err(); !errors.As(err, &le) {
+		t.Fatalf("Err() = %T %v, want *LimitError past MaxSpecDepth", err, err)
+	}
+	// Pairing still holds — no panic unwinding the stack — and the error
+	// stays sticky so the driving loop terminates.
+	s.Commit()
+	s.Commit()
+	s.Commit()
+	if err := s.Err(); !errors.As(err, &le) {
+		t.Fatalf("Err() = %v after commits, want sticky *LimitError", err)
+	}
+}
+
+func TestMaxSpecBytesSticky(t *testing.T) {
+	// A pinned checkpoint forces the window to accumulate while streaming;
+	// the byte cap turns unbounded speculation into a sticky LimitError.
+	payload := strings.Repeat("k", 1<<20)
+	s := NewSource(&chunkReader{r: strings.NewReader(payload), n: 256},
+		WithDiscipline(NoRecords()),
+		WithLimits(Limits{MaxSpecBytes: 8 << 10}))
+	s.Checkpoint()
+	consumed := 0
+	for i := 0; i < 1<<16; i++ {
+		b := s.Peek(512)
+		if len(b) == 0 {
+			break
+		}
+		s.Skip(len(b))
+		consumed += len(b)
+	}
+	err := s.Err()
+	var le *LimitError
+	if !errors.As(err, &le) {
+		t.Fatalf("Err() = %v, want *LimitError once speculation exceeds byte cap", err)
+	}
+	if consumed >= len(payload) {
+		t.Fatal("source delivered the whole payload despite the spec-bytes cap")
+	}
+	if grown(s) > 64<<10 {
+		t.Fatalf("window grew to %d bytes past the cap", grown(s))
+	}
+}
+
+// --- error-record capture ---
+
+func TestLastErrRecordSnapshot(t *testing.T) {
+	s := NewSource(strings.NewReader("good\nbroken\nfine\n"))
+	s.SetKeepErrRecords(true)
+
+	read := func(fail bool) {
+		pd := &PD{}
+		mustBegin(t, s)
+		b := s.Peek(64)
+		s.Skip(len(b))
+		if fail {
+			pd.SetError(ErrInvalidInt, s.LocFrom(s.Pos()))
+		}
+		s.EndRecord(pd)
+	}
+
+	read(false)
+	if s.LastErrRecord() != nil {
+		t.Fatalf("LastErrRecord = %q after clean record", s.LastErrRecord())
+	}
+	read(true)
+	if got := string(s.LastErrRecord()); got != "broken" {
+		t.Fatalf("LastErrRecord = %q, want %q", got, "broken")
+	}
+	read(false)
+	// Snapshot persists until the next errored record.
+	if got := string(s.LastErrRecord()); got != "broken" {
+		t.Fatalf("LastErrRecord = %q after later clean record", got)
+	}
+}

@@ -1,8 +1,11 @@
 package padsrt
 
 import (
+	"bytes"
+	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"pads/internal/telemetry"
 )
@@ -36,6 +39,15 @@ type Source struct {
 	recNum   int // 1-based record count
 
 	cps []checkpoint
+
+	// Fault tolerance and resource guards (docs/ROBUSTNESS.md).
+	retries  int           // max consecutive retries of a transient read error
+	backoff  time.Duration // initial retry backoff, doubling per attempt
+	limits   Limits        // resource caps; zero fields are unlimited
+	ov       overflow      // pending oversized-record discard
+	recTrunc bool          // current record was clamped to MaxRecordLen
+	keepErr  bool          // snapshot erroneous record bodies for quarantine
+	lastErr  []byte        // most recent erroneous record body (keepErr)
 
 	readBuf []byte // scratch for Read calls
 
@@ -97,6 +109,54 @@ type checkpoint struct {
 	recEnd   int
 	recTrail int
 	recNum   int
+	ov       overflow
+	recTrunc bool
+}
+
+// overflow records how to dispose of the tail of a record that was clamped
+// to Limits.MaxRecordLen: either discard through a terminator byte
+// (newline-style records, whose true length is unknown) or discard a known
+// byte count (length-prefixed and fixed-width records).
+type overflow struct {
+	active bool
+	term   int   // >= 0: discard through this terminator byte
+	remain int64 // term < 0: bytes beyond the clamped body to discard
+}
+
+// Limits bounds the resources a Source may consume on adversarial or
+// corrupted input, converting would-be OOM kills into structured errors.
+// Zero fields are unlimited (the seed behavior). See docs/ROBUSTNESS.md.
+type Limits struct {
+	// MaxRecordLen caps one record's body length. A record that exceeds
+	// it is clamped: the first MaxRecordLen bytes parse normally, the
+	// parse is flagged with ErrRecordTooLong, and the remainder is
+	// discarded in O(64 KiB) memory at EndRecord.
+	MaxRecordLen int
+	// MaxSpecBytes caps the window pinned by speculation checkpoints.
+	// Exceeding it sets a sticky *LimitError: the parse winds down
+	// deterministically instead of buffering without bound.
+	MaxSpecBytes int
+	// MaxSpecDepth caps checkpoint nesting the same way.
+	MaxSpecDepth int
+}
+
+// LimitError is the sticky error produced when a Limits cap is exceeded.
+type LimitError struct {
+	What  string // which guard tripped
+	Limit int
+}
+
+// Error implements error.
+func (e *LimitError) Error() string {
+	return fmt.Sprintf("padsrt: %s limit exceeded (cap %d)", e.What, e.Limit)
+}
+
+// IsTransient reports whether err is a retryable read failure: any error
+// in the chain advertising Temporary() bool, the convention shared by
+// net.Error and the fault-injection harness (internal/fault).
+func IsTransient(err error) bool {
+	var t interface{ Temporary() bool }
+	return errors.As(err, &t) && t.Temporary()
 }
 
 // SourceOption configures a Source.
@@ -117,6 +177,19 @@ func WithByteOrder(o ByteOrder) SourceOption { return func(s *Source) { s.order 
 // default (nil) records nothing and costs nothing beyond a predictable
 // branch per event (docs/OBSERVABILITY.md).
 func WithStats(st *telemetry.Stats) SourceOption { return func(s *Source) { s.SetStats(st) } }
+
+// WithRetry makes transient read errors (IsTransient) retry up to n times
+// with an exponentially doubling backoff before sticking. The default is
+// no retries: the first error of any kind is sticky.
+func WithRetry(n int, backoff time.Duration) SourceOption {
+	return func(s *Source) {
+		s.retries = n
+		s.backoff = backoff
+	}
+}
+
+// WithLimits installs resource guards (docs/ROBUSTNESS.md).
+func WithLimits(l Limits) SourceOption { return func(s *Source) { s.limits = l } }
 
 // NewSource wraps r in a parse cursor. By default records are
 // newline-terminated, the ambient coding is ASCII, and binary integers are
@@ -224,22 +297,56 @@ func (s *Source) fill() {
 		s.eof = true
 		return
 	}
+	// Speculation-buffer guard: once checkpoints pin more window than the
+	// cap allows, stop reading and stick a structured error — the parse
+	// winds down deterministically instead of buffering without bound.
+	if s.limits.MaxSpecBytes > 0 && len(s.cps) > 0 && len(s.buf)-s.cps[0].pos > s.limits.MaxSpecBytes {
+		s.err = &LimitError{What: "speculation buffer", Limit: s.limits.MaxSpecBytes}
+		s.eof = true
+		return
+	}
 	if s.readBuf == nil {
 		s.readBuf = make([]byte, 64*1024)
 	}
-	m, err := s.r.Read(s.readBuf)
-	if m > 0 {
-		s.buf = append(s.buf, s.readBuf[:m]...)
-	}
-	if s.stats != nil {
-		s.stats.Fills++
-		s.stats.BytesRead += uint64(m)
-	}
-	if err == io.EOF {
-		s.eof = true
-	} else if err != nil {
-		s.err = err
-		s.eof = true
+	delay := s.backoff
+	for attempt := 0; ; attempt++ {
+		m, err := s.r.Read(s.readBuf)
+		if m > 0 {
+			s.buf = append(s.buf, s.readBuf[:m]...)
+		}
+		if s.stats != nil {
+			s.stats.Fills++
+			s.stats.BytesRead += uint64(m)
+		}
+		switch {
+		case err == nil:
+			return
+		case err == io.EOF:
+			s.eof = true
+			return
+		case m > 0:
+			// Data arrived alongside the error: deliver it. A transient
+			// error retries on the next fill; a permanent one re-fires.
+			if !IsTransient(err) {
+				s.err = err
+				s.eof = true
+			}
+			return
+		case IsTransient(err) && attempt < s.retries:
+			if s.stats != nil {
+				s.stats.ReadRetries++
+			}
+			if delay > 0 {
+				time.Sleep(delay)
+				if delay < time.Second {
+					delay *= 2
+				}
+			}
+		default:
+			s.err = err
+			s.eof = true
+			return
+		}
 	}
 }
 
@@ -322,8 +429,111 @@ func (s *Source) BeginRecord() (ok bool, err error) {
 	s.recDepth = 1
 	if s.stats != nil {
 		s.stats.RecordsBegun++
+		if s.recTrunc {
+			s.stats.TruncatedRecs++
+		}
 	}
 	return true, nil
+}
+
+// noteOverflowTerm arms an oversized-record discard through term: the
+// record disciplines call it (from locate) when clamping a record whose
+// true length is unknown (newline-style framing).
+func (s *Source) noteOverflowTerm(term byte) {
+	s.ov = overflow{active: true, term: int(term)}
+	s.recTrunc = true
+}
+
+// noteOverflowCount arms an oversized-record discard of n known bytes
+// (length-prefixed and fixed-width framing).
+func (s *Source) noteOverflowCount(n int64) {
+	s.ov = overflow{active: true, term: -1, remain: n}
+	s.recTrunc = true
+}
+
+// RecordTruncated reports whether the current record's body was clamped to
+// Limits.MaxRecordLen. Parsers surface it as ErrRecordTooLong in the
+// record's parse descriptor; the flag clears at EndRecord.
+func (s *Source) RecordTruncated() bool { return s.recTrunc }
+
+// SetKeepErrRecords makes EndRecord snapshot the body of each record whose
+// parse descriptor carries errors, for quarantine (dead-letter) capture.
+// Off by default: clean runs never pay the copy.
+func (s *Source) SetKeepErrRecords(keep bool) { s.keepErr = keep }
+
+// LastErrRecord returns the body snapshot of the most recent erroneous
+// record (valid until the next erroneous EndRecord). Nil when
+// SetKeepErrRecords is off or no erroneous record has ended.
+func (s *Source) LastErrRecord() []byte { return s.lastErr }
+
+// discardOverflow disposes of the unbuffered tail of a clamped record in
+// O(64 KiB) memory: the window is force-compacted as the tail streams
+// through, so a corrupted gigabyte-long record costs no more memory than a
+// normal one.
+func (s *Source) discardOverflow() {
+	ov := s.ov
+	s.ov = overflow{}
+	s.recTrunc = false
+	if ov.term >= 0 {
+		for {
+			if i := bytes.IndexByte(s.buf[s.pos:], byte(ov.term)); i >= 0 {
+				s.pos += i + 1
+				break
+			}
+			s.pos = len(s.buf)
+			s.dropConsumed()
+			if !s.moreInput() {
+				break
+			}
+		}
+	} else {
+		remain := ov.remain
+		for remain > 0 {
+			if avail := len(s.buf) - s.pos; avail > 0 {
+				take := int64(avail)
+				if take > remain {
+					take = remain
+				}
+				s.pos += int(take)
+				remain -= take
+				s.dropConsumed()
+				continue
+			}
+			if !s.moreInput() {
+				break
+			}
+		}
+	}
+	s.dropConsumed()
+}
+
+// moreInput pulls more data if none is buffered at the cursor, reporting
+// whether any is now available.
+func (s *Source) moreInput() bool {
+	if s.pos < len(s.buf) {
+		return true
+	}
+	s.ensure(1)
+	return s.pos < len(s.buf)
+}
+
+// dropConsumed discards the consumed prefix immediately, without compact's
+// 64 KiB hysteresis: used on the overflow-discard path, where the whole
+// point is keeping memory flat while an oversized record streams past.
+func (s *Source) dropConsumed() {
+	if s.borrowed || len(s.cps) > 0 || s.recDepth > 0 || s.pos == 0 {
+		return
+	}
+	n := copy(s.buf, s.buf[s.pos:])
+	if s.stats != nil {
+		s.stats.Compacts++
+		s.stats.CompactBytes += uint64(n)
+	}
+	s.buf = s.buf[:n]
+	s.off += int64(s.pos)
+	s.pos = 0
+	s.recBody = 0
+	s.recEnd = -1
 }
 
 // EndRecord closes the current record, skipping its trailer. If data remains
@@ -337,6 +547,18 @@ func (s *Source) EndRecord(pd *PD) {
 	if s.recDepth > 1 {
 		s.recDepth--
 		return
+	}
+	if s.keepErr && pd != nil && pd.Nerr > 0 {
+		end := s.recEnd
+		if end < 0 || end > len(s.buf) {
+			end = s.pos
+		}
+		if end > len(s.buf) {
+			end = len(s.buf)
+		}
+		if s.recBody >= 0 && s.recBody <= end {
+			s.lastErr = append(s.lastErr[:0], s.buf[s.recBody:end]...)
+		}
 	}
 	if s.recEnd >= 0 {
 		if s.pos < s.recEnd && pd != nil {
@@ -355,6 +577,9 @@ func (s *Source) EndRecord(pd *PD) {
 	s.recDepth = 0
 	if s.stats != nil {
 		s.stats.RecordsEnded++
+	}
+	if s.ov.active {
+		s.discardOverflow()
 	}
 	s.compact()
 }
@@ -501,9 +726,16 @@ func (s *Source) Window(max int) []byte {
 // matching Commit or Restore. Checkpoints nest, supporting unions inside
 // unions.
 func (s *Source) Checkpoint() {
+	if s.limits.MaxSpecDepth > 0 && len(s.cps) >= s.limits.MaxSpecDepth && s.err == nil {
+		// The checkpoint still pushes (Commit/Restore pairing must hold),
+		// but the parse now winds down under a sticky structured error.
+		s.err = &LimitError{What: "speculation depth", Limit: s.limits.MaxSpecDepth}
+		s.eof = true
+	}
 	s.cps = append(s.cps, checkpoint{
 		pos: s.pos, recDepth: s.recDepth, recBody: s.recBody,
 		recEnd: s.recEnd, recTrail: s.recTrail, recNum: s.recNum,
+		ov: s.ov, recTrunc: s.recTrunc,
 	})
 	if s.stats != nil {
 		s.stats.Checkpoints++
@@ -540,6 +772,8 @@ func (s *Source) Restore() {
 	s.recEnd = cp.recEnd
 	s.recTrail = cp.recTrail
 	s.recNum = cp.recNum
+	s.ov = cp.ov
+	s.recTrunc = cp.recTrunc
 }
 
 // Speculating reports whether any checkpoint is active.

@@ -170,6 +170,9 @@ func ReadStringFW(s *Source, width int) (string, ErrCode) {
 // (Pstring_ME). The expression must have been compiled with CompileRegexp so
 // it is anchored.
 func ReadStringME(s *Source, re *Regexp) (string, ErrCode) {
+	if badRegexp(re) {
+		return "", ErrBadParam
+	}
 	w := s.Window(0)
 	loc := re.re.FindIndex(w)
 	if loc == nil || loc[0] != 0 {
@@ -183,6 +186,9 @@ func ReadStringME(s *Source, re *Regexp) (string, ErrCode) {
 // ReadStringSE reads a string terminated by (and not including) the first
 // match of re in the remainder of the record (Pstring_SE).
 func ReadStringSE(s *Source, re *Regexp) (string, ErrCode) {
+	if badRegexp(re) {
+		return "", ErrBadParam
+	}
 	w := s.Window(0)
 	loc := re.unanchored.FindIndex(w)
 	n := len(w)
@@ -242,6 +248,9 @@ func MatchString(s *Source, lit string) ErrCode {
 // MatchRegexp matches re anchored at the cursor and consumes the longest
 // match (regular-expression literals, section 3).
 func MatchRegexp(s *Source, re *Regexp) ErrCode {
+	if badRegexp(re) {
+		return ErrBadParam
+	}
 	w := s.Window(0)
 	loc := re.re.FindIndex(w)
 	if loc == nil || loc[0] != 0 {
@@ -270,12 +279,24 @@ func MatchEOF(s *Source) ErrCode {
 }
 
 // Regexp wraps a compiled regular expression with both an anchored and an
-// unanchored form, as the runtime needs each for different base types.
+// unanchored form, as the runtime needs each for different base types. A
+// Regexp whose pattern failed to compile (MustCompileRegexp on an invalid
+// literal) carries the compile error instead of panicking: every match
+// against it fails with the structured ErrBadParam code, honoring the
+// never-die contract even for type-build-time damage.
 type Regexp struct {
 	src        string
 	re         *regexp.Regexp // anchored at the start
 	unanchored *regexp.Regexp
+	err        error // compile failure; when set, re and unanchored are nil
 }
+
+// Err reports the compile error carried by an invalid Regexp, or nil.
+func (re *Regexp) Err() error { return re.err }
+
+// badRegexp reports whether re is unusable (nil or failed to compile), in
+// which case matches return ErrBadParam rather than dereferencing nil.
+func badRegexp(re *Regexp) bool { return re == nil || re.err != nil }
 
 // CompileRegexp compiles a PADS regular-expression literal.
 func CompileRegexp(src string) (*Regexp, error) {
@@ -290,12 +311,17 @@ func CompileRegexp(src string) (*Regexp, error) {
 	return &Regexp{src: src, re: a, unanchored: u}, nil
 }
 
-// MustCompileRegexp is CompileRegexp that panics on error, for generated
-// code whose patterns were validated at compile time.
+// MustCompileRegexp is CompileRegexp for generated code, whose patterns
+// were validated when the description was checked (sema compiles every
+// regexp literal at type-build time and reports a diagnostic). If version
+// skew or a hand-edited pattern slips an invalid literal through anyway,
+// it no longer panics at package init: it returns a Regexp carrying the
+// compile error, and every match against it fails with ErrBadParam in the
+// parse descriptor.
 func MustCompileRegexp(src string) *Regexp {
 	re, err := CompileRegexp(src)
 	if err != nil {
-		panic("padsrt: bad regexp literal " + src + ": " + err.Error())
+		return &Regexp{src: src, err: err}
 	}
 	return re
 }

@@ -16,7 +16,9 @@
 package parallel
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"time"
 
 	"pads/internal/padsrt"
@@ -70,6 +72,13 @@ const defaultMinChunk = 64 * 1024
 // runs on the calling goroutine; it needs no locking). The first error from
 // work or merge, in chunk order, is returned; merging stops at the first
 // failed chunk so downstream output is never built on a hole.
+//
+// Failed chunks are contained, not fatal (docs/ROBUSTNESS.md): a panic in
+// work is recovered into a chunk error, and any chunk whose worker failed
+// is re-parsed once on the coordinating goroutine with a fresh Source
+// before the run gives up on it. Containment activity is counted in
+// Stats.Faults. Only the rescue's result merges, so output stays
+// deterministic at any worker count.
 func Run[R any](data []byte, opts Options, work func(src *padsrt.Source, c Chunk) (R, error), merge func(c Chunk, r R) error) error {
 	workers := opts.workers()
 	minChunk := opts.MinChunk
@@ -110,12 +119,31 @@ func Run[R any](data []byte, opts Options, work func(src *padsrt.Source, c Chunk
 	doWork := func(c Chunk) (R, error) {
 		src := newSource(c)
 		if opts.Stats == nil {
-			return work(src, c)
+			return contain(work, src, c)
 		}
 		start := time.Now()
-		r, err := work(src, c)
+		r, err := contain(work, src, c)
 		chunkWall[c.Index] = time.Since(start)
 		return r, err
+	}
+
+	// rescue re-parses a failed chunk on the coordinating goroutine: a fresh
+	// Source (newSource also resets the chunk's Stats slot, so counters from
+	// the failed attempt are discarded, not doubled) and one more attempt.
+	rescue := func(c Chunk, failure error) (R, error) {
+		if opts.Stats != nil {
+			opts.Stats.Faults.ChunkFailures++
+			opts.Stats.Faults.ChunkRetries++
+		}
+		r, err := doWork(c)
+		if err != nil {
+			// Report the retry's error; the original failure rides along.
+			return r, fmt.Errorf("%w (first attempt: %v)", err, failure)
+		}
+		if opts.Stats != nil {
+			opts.Stats.Faults.ChunkRescues++
+		}
+		return r, nil
 	}
 
 	// mergeStats folds one merged chunk's counters into opts.Stats and adds
@@ -139,7 +167,9 @@ func Run[R any](data []byte, opts Options, work func(src *padsrt.Source, c Chunk
 		for _, c := range chunks {
 			r, err := doWork(c)
 			if err != nil {
-				return err
+				if r, err = rescue(c, err); err != nil {
+					return err
+				}
 			}
 			mergeStats(c)
 			if err := merge(c, r); err != nil {
@@ -176,8 +206,11 @@ func Run[R any](data []byte, opts Options, work func(src *padsrt.Source, c Chunk
 			continue // drain remaining workers, discarding their results
 		}
 		if res.err != nil {
-			firstErr = res.err
-			continue
+			res.r, res.err = rescue(chunks[i], res.err)
+			if res.err != nil {
+				firstErr = res.err
+				continue
+			}
 		}
 		mergeStats(chunks[i])
 		if err := merge(chunks[i], res.r); err != nil {
@@ -185,4 +218,15 @@ func Run[R any](data []byte, opts Options, work func(src *padsrt.Source, c Chunk
 		}
 	}
 	return firstErr
+}
+
+// contain invokes work, converting a panic into a chunk error (with the
+// goroutine's stack, for triage) so a damaged chunk cannot kill the run.
+func contain[R any](work func(src *padsrt.Source, c Chunk) (R, error), src *padsrt.Source, c Chunk) (r R, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("parallel: chunk %d worker panicked: %v\n%s", c.Index, p, debug.Stack())
+		}
+	}()
+	return work(src, c)
 }

@@ -86,15 +86,22 @@ func (c *checker) run() {
 			c.desc.Funcs[d.Name] = d
 			c.checkFunc(d)
 		default:
-			if _, dup := c.desc.Types[d.DeclName()]; dup {
+			dup := false
+			if _, ok := c.desc.Types[d.DeclName()]; ok {
 				c.errorf(d.DeclPos(), "type %s redeclared", d.DeclName())
+				dup = true
 			} else if LookupBase(d.DeclName()) != nil {
 				c.errorf(d.DeclPos(), "type %s shadows a base type", d.DeclName())
 			}
 			c.checkTypeDecl(d)
 			// Register after checking so self-reference is an
 			// undeclared-type error (recursive types are not supported).
-			c.desc.Types[d.DeclName()] = d
+			// A redeclaration keeps the first definition: re-binding the
+			// name would let a later declaration reference itself through
+			// it, putting a cycle in the registry.
+			if !dup {
+				c.desc.Types[d.DeclName()] = d
+			}
 			lastType = d
 			if annotOf(d).IsSource {
 				if c.desc.Source != nil {

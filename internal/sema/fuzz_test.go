@@ -1,0 +1,52 @@
+package sema
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pads/internal/dsl"
+)
+
+// FuzzParseDescription drives the whole description front end — parse, then
+// check — with arbitrary source text: it must never panic, and every failure
+// must surface as a diagnostic. The real descriptions under testdata/ seed
+// the corpus so mutations start from meaningful programs; the seeds run as
+// regression cases in normal test runs.
+func FuzzParseDescription(f *testing.F) {
+	pads, err := filepath.Glob(filepath.Join("..", "..", "testdata", "*.pads"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	if len(pads) == 0 {
+		f.Fatal("no .pads seeds under testdata/")
+	}
+	for _, p := range pads {
+		src, err := os.ReadFile(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(src))
+	}
+	// Damage the checker has to diagnose rather than die on.
+	f.Add(`Pre "["; Psource Precord Pstruct r { Pstring_ME(:"[":) x; Peor; };`)
+	f.Add(`Psource Precord Pstruct r { t x; };`)                // unknown type
+	f.Add(`Pstruct a { b x; }; Pstruct b { a y; };`)            // forward/recursive refs
+	f.Add(`Parray a { Puint8[3..1] : Psep(','); };`)            // inverted bounds
+	f.Add("Pstruct s { Puint8 x : x \x00 > 0; };")              // NUL in a constraint
+	f.Add(`Ptypedef Puint8 t : t x => { y > 0 }; Psource t q;`) // unbound name
+
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, errs := dsl.Parse(src)
+		if prog == nil {
+			t.Fatal("Parse returned a nil program")
+		}
+		if len(errs) > 0 {
+			return
+		}
+		desc, serrs := Check(prog)
+		if len(serrs) == 0 && desc == nil {
+			t.Fatal("Check returned neither a description nor diagnostics")
+		}
+	})
+}

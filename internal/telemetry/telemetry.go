@@ -47,6 +47,10 @@ type SourceStats struct {
 	RecordsEnded   uint64 `json:"records_ended"`
 	EORResyncs     uint64 `json:"eor_resyncs"`      // SkipToEOR calls that skipped data
 	EORResyncBytes uint64 `json:"eor_resync_bytes"` // bytes discarded by those skips
+
+	// Fault tolerance (docs/ROBUSTNESS.md).
+	ReadRetries   uint64 `json:"read_retries,omitempty"`      // transient read errors retried
+	TruncatedRecs uint64 `json:"truncated_records,omitempty"` // records clamped to MaxRecordLen
 }
 
 // add folds o into s, field by field (maxima take the max).
@@ -67,6 +71,25 @@ func (s *SourceStats) add(o *SourceStats) {
 	s.RecordsEnded += o.RecordsEnded
 	s.EORResyncs += o.EORResyncs
 	s.EORResyncBytes += o.EORResyncBytes
+	s.ReadRetries += o.ReadRetries
+	s.TruncatedRecs += o.TruncatedRecs
+}
+
+// FaultStats counts contained failures: faults that were absorbed by the
+// degradation machinery instead of killing the run (docs/ROBUSTNESS.md).
+type FaultStats struct {
+	ChunkFailures uint64 `json:"chunk_failures,omitempty"` // parallel chunk workers that failed (error or panic)
+	ChunkRetries  uint64 `json:"chunk_retries,omitempty"`  // failed chunks re-parsed sequentially
+	ChunkRescues  uint64 `json:"chunk_rescues,omitempty"`  // sequential re-parses that succeeded
+	Quarantined   uint64 `json:"quarantined,omitempty"`    // records written to the dead-letter sink
+}
+
+// add folds o into f.
+func (f *FaultStats) add(o *FaultStats) {
+	f.ChunkFailures += o.ChunkFailures
+	f.ChunkRetries += o.ChunkRetries
+	f.ChunkRescues += o.ChunkRescues
+	f.Quarantined += o.Quarantined
 }
 
 // WorkerStat is one worker's share of a parallel run: how many records and
@@ -101,6 +124,10 @@ type Stats struct {
 	// Workers holds per-worker utilization rows for parallel runs, in chunk
 	// order; empty for sequential parses.
 	Workers []WorkerStat `json:"workers,omitempty"`
+
+	// Faults counts contained failures: chunk-level containment in the
+	// parallel engine and quarantined (dead-lettered) records.
+	Faults FaultStats `json:"faults"`
 }
 
 // NewStats returns an empty Stats.
@@ -143,6 +170,7 @@ func (s *Stats) Merge(o *Stats) {
 		s.UnionChoices[k] += v
 	}
 	s.Workers = append(s.Workers, o.Workers...)
+	s.Faults.add(&o.Faults)
 }
 
 // WriteText renders the human-readable stats block the -stats flag prints.
@@ -160,6 +188,14 @@ func (s *Stats) WriteText(w io.Writer) {
 	}
 	if src.EORResyncs > 0 {
 		fmt.Fprintf(w, "panic resync   %d skips discarded %d bytes\n", src.EORResyncs, src.EORResyncBytes)
+	}
+	if src.ReadRetries+src.TruncatedRecs > 0 {
+		fmt.Fprintf(w, "resource guard %d transient reads retried, %d records clamped to the length cap\n",
+			src.ReadRetries, src.TruncatedRecs)
+	}
+	if f := &s.Faults; f.ChunkFailures+f.ChunkRetries+f.Quarantined > 0 {
+		fmt.Fprintf(w, "contained      %d chunk failures (%d re-parsed, %d rescued), %d records quarantined\n",
+			f.ChunkFailures, f.ChunkRetries, f.ChunkRescues, f.Quarantined)
 	}
 	if len(s.FieldErrors) > 0 {
 		fmt.Fprintf(w, "field errors   (%d paths)\n", len(s.FieldErrors))

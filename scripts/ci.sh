@@ -43,4 +43,32 @@ grep -q 'parse telemetry' "$tmp/stats-query.txt"
     "$tmp/sirius.data" >/dev/null 2>"$tmp/stats-fmt.txt"
 grep -q 'parse telemetry' "$tmp/stats-fmt.txt"
 
+# Robustness smoke test (docs/ROBUSTNESS.md): the fuzz targets must survive
+# a short budget, and the budget/quarantine flags must behave on a corpus
+# with a known error population.
+go test -fuzz=FuzzParseDescription -fuzztime=5s -run='^$' ./internal/sema >/dev/null
+go test -fuzz=FuzzInterpParse -fuzztime=5s -run='^$' ./internal/interp >/dev/null
+
+"$tmp/padsgen" -corpus clf -n 500 -seed 3 >"$tmp/clf.data"
+printf '!! not a log line !!\n' >>"$tmp/clf.data"
+
+# Within budget: the scan completes and dead-letters the errored records.
+"$tmp/padsacc" -desc testdata/clf.pads -quarantine "$tmp/q.jsonl" -stats \
+    "$tmp/clf.data" >/dev/null 2>"$tmp/stats-rob.txt"
+test -s "$tmp/q.jsonl"
+grep -q '"record"' "$tmp/q.jsonl"
+grep -q 'quarantined' "$tmp/stats-rob.txt"
+
+# The quarantine stream is byte-identical at any worker count.
+"$tmp/padsacc" -desc testdata/clf.pads -workers 4 -quarantine "$tmp/q4.jsonl" \
+    "$tmp/clf.data" >/dev/null
+cmp -s "$tmp/q.jsonl" "$tmp/q4.jsonl"
+
+# Over budget: exit status 3, distinct from hard failure.
+set +e
+"$tmp/padsacc" -desc testdata/clf.pads -fail-fast "$tmp/clf.data" >/dev/null 2>&1
+status=$?
+set -e
+test "$status" -eq 3
+
 echo "ci: OK"
