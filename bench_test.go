@@ -28,6 +28,7 @@ import (
 	"pads/internal/gen/sirius"
 	"pads/internal/gen/siriusset"
 	"pads/internal/padsrt"
+	"pads/internal/telemetry/prof"
 )
 
 const benchRecords = 20000
@@ -170,6 +171,44 @@ func BenchmarkAblation_CompiledVsInterp_Interp(b *testing.B) {
 			rr.Read()
 		}
 	}
+}
+
+// ---- Profiler overhead (docs/OBSERVABILITY.md): an attached-but-idle ----
+// ---- profiler must be free; sampling cost must scale with 1/Every.   ----
+
+func benchInterpProfiled(b *testing.B, mk func() *prof.Profiler) {
+	benchCorpus(b)
+	desc, err := core.CompileFile("testdata/sirius.pads")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(siriusClean)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := mk()
+		desc.ObserveProf(p)
+		s := padsrt.NewBytesSource(siriusClean, padsrt.WithProf(p))
+		rr, err := desc.Records(s, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for rr.More() {
+			rr.Read()
+		}
+	}
+}
+
+func BenchmarkProfiler_Disabled(b *testing.B) {
+	benchInterpProfiled(b, func() *prof.Profiler { return nil })
+}
+
+func BenchmarkProfiler_SampleAll(b *testing.B) {
+	benchInterpProfiled(b, func() *prof.Profiler { return prof.New(prof.Options{}) })
+}
+
+func BenchmarkProfiler_Sample64(b *testing.B) {
+	benchInterpProfiled(b, func() *prof.Profiler { return prof.New(prof.Options{Every: 64}) })
 }
 
 // ---- A2: mask cost (the run-time knob masks exist to control) ----

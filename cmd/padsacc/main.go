@@ -7,6 +7,7 @@
 //
 //	padsacc -desc weblog.pads [-field length] [-track 1000] [-top 10] [-workers 4] data.log
 //	padsacc -desc weblog.pads -stats -trace trace.jsonl -trace-last 1000 data.log
+//	padsacc -desc weblog.pads -profile -progress data.log
 package main
 
 import (
@@ -32,6 +33,7 @@ func main() {
 	workers := flag.Int("workers", 1, "parse worker goroutines: 1 streams sequentially, 0 uses all CPUs (docs/PARALLEL.md)")
 	stats := cliutil.StatsFlag()
 	traceFlags := cliutil.NewTraceFlags()
+	profFlags := cliutil.NewProfFlags()
 	robustFlags := cliutil.NewRobustFlags()
 	flag.Parse()
 
@@ -50,6 +52,11 @@ func main() {
 		cliutil.Fatal(err)
 	}
 	tel.Observe(desc)
+	prf, err := cliutil.OpenProfiling(profFlags, cliutil.DataSize(flag.Arg(0)))
+	if err != nil {
+		cliutil.Fatal(err)
+	}
+	prf.Observe(desc)
 	rob, err := robustFlags.Open(tel.Stats)
 	if err != nil {
 		cliutil.Fatal(err)
@@ -61,10 +68,15 @@ func main() {
 	}
 	defer in.Close()
 
-	// finish closes the quarantine and telemetry before any exit, so the
-	// -stats block and the dead-letter file are complete even on failure.
+	// finish closes the quarantine, profiler, and telemetry before any exit,
+	// so the -stats block, the -profile table, and the dead-letter file are
+	// complete even on failure. The profiler closes first: its progress
+	// ticker must stop before the reports print.
 	finish := func(fatal error) {
 		if err := rob.Close(); err != nil && fatal == nil {
+			fatal = err
+		}
+		if err := prf.Close(); err != nil && fatal == nil {
 			fatal = err
 		}
 		if err := tel.Close(); err != nil && fatal == nil {
@@ -91,7 +103,7 @@ func main() {
 			finish(err)
 		}
 	} else {
-		s := padsrt.NewSource(bufio.NewReaderSize(in, 1<<20), tel.SourceOptions(opts)...)
+		s := padsrt.NewSource(bufio.NewReaderSize(in, 1<<20), prf.SourceOptions(tel.SourceOptions(opts))...)
 		rr, err := desc.Records(s, nil)
 		if err != nil {
 			finish(err)

@@ -44,10 +44,12 @@ import (
 	"pads/internal/baseline"
 	"pads/internal/cliutil"
 	"pads/internal/codegen"
+	"pads/internal/core"
 	"pads/internal/datagen"
 	"pads/internal/fig10"
 	"pads/internal/padsrt"
 	"pads/internal/telemetry"
+	"pads/internal/telemetry/prof"
 )
 
 func main() {
@@ -58,6 +60,7 @@ func main() {
 	leverage := flag.Bool("leverage", false, "print the section 4 leverage ratio and exit")
 	keep := flag.String("keep", "", "also keep the generated data at this path")
 	workers := flag.Int("workers", 0, "if > 1, also time the record-sharded parallel programs with this many workers")
+	profile := flag.Bool("profile", false, "also run one interpreter pass with the parse-path profiler and report the per-node hot list")
 	jsonOut := cliutil.JSONFlag()
 	flag.Parse()
 
@@ -73,12 +76,15 @@ func main() {
 	if *jsonOut {
 		out = os.Stderr
 		report = &telemetry.BenchReport{
-			Schema:  telemetry.BenchSchema,
-			Date:    time.Now().Format("2006-01-02"),
-			Go:      runtime.Version(),
-			Records: *n,
-			Workers: *workers,
+			Schema:     telemetry.BenchSchema,
+			Date:       time.Now().Format("2006-01-02"),
+			Go:         runtime.Version(),
+			Commit:     gitCommit(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			Records:    *n,
+			Workers:    *workers,
 		}
+		report.Host, _ = os.Hostname()
 	}
 
 	perlPath := ""
@@ -325,11 +331,69 @@ func main() {
 	}
 	bench("record count", "paper: PADS 81s vs perl 124s, 1.53x", cleanBytes, countProgs)
 
+	// The Figure 10 rows time the generated parser, which has no node-level
+	// instrumentation; the hot list comes from one untimed interpreter pass
+	// over the cleaned corpus with the parse-path profiler attached
+	// (docs/OBSERVABILITY.md), so the report shows where the description
+	// itself spends its time.
+	if *profile || report != nil {
+		pr, err := interpProfile(cleanPath)
+		if err != nil {
+			cliutil.Fatal(fmt.Errorf("profile pass: %w", err))
+		}
+		if report != nil {
+			report.HotNodes = pr.HotNodes(10)
+		}
+		if *profile {
+			fmt.Fprintln(out, "-- parse profile (interpreter pass over the cleaned corpus) --")
+			pr.WriteTable(out)
+			fmt.Fprintln(out)
+		}
+	}
+
 	if report != nil {
 		if err := report.WriteJSON(os.Stdout); err != nil {
 			cliutil.Fatal(err)
 		}
 	}
+}
+
+// interpProfile reads the cleaned corpus once through the interpreter with
+// every record sampled, and returns the per-node profile.
+func interpProfile(cleanPath string) (*prof.Profile, error) {
+	desc, err := core.CompileFile("testdata/sirius.pads")
+	if err != nil {
+		return nil, err
+	}
+	p := prof.New(prof.Options{})
+	desc.ObserveProf(p)
+	f, err := os.Open(cleanPath)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	s := padsrt.NewSource(bufio.NewReaderSize(f, 1<<20), padsrt.WithProf(p))
+	rr, err := desc.Records(s, nil)
+	if err != nil {
+		return nil, err
+	}
+	for rr.More() {
+		rr.Read()
+	}
+	if err := rr.Err(); err != nil {
+		return nil, err
+	}
+	return p.Snapshot(), nil
+}
+
+// gitCommit stamps the report with the working tree's short commit hash;
+// best effort — a build outside a git checkout just leaves the field empty.
+func gitCommit() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
 }
 
 func mustOpen(path string) *os.File {

@@ -28,6 +28,7 @@ func main() {
 	le := flag.Bool("le", false, "little-endian binary integers")
 	skipErrs := flag.Bool("skip-errors", false, "omit records with parse errors")
 	stats := cliutil.StatsFlag()
+	profFlags := cliutil.NewProfFlags()
 	robustFlags := cliutil.NewRobustFlags()
 	flag.Parse()
 
@@ -46,6 +47,11 @@ func main() {
 		cliutil.Fatal(err)
 	}
 	tel.Observe(desc)
+	prf, err := cliutil.OpenProfiling(profFlags, cliutil.DataSize(flag.Arg(0)))
+	if err != nil {
+		cliutil.Fatal(err)
+	}
+	prf.Observe(desc)
 	rob, err := robustFlags.Open(tel.Stats)
 	if err != nil {
 		cliutil.Fatal(err)
@@ -59,7 +65,7 @@ func main() {
 	f := fmtconv.New(strings.Split(*delims, ",")...)
 	f.DateFormat = *dateFmt
 
-	s := padsrt.NewSource(bufio.NewReaderSize(in, 1<<20), tel.SourceOptions(opts)...)
+	s := padsrt.NewSource(bufio.NewReaderSize(in, 1<<20), prf.SourceOptions(tel.SourceOptions(opts))...)
 	rr, err := desc.Records(s, nil)
 	if err != nil {
 		cliutil.Fatal(err)
@@ -78,6 +84,9 @@ func main() {
 		scanErr = err
 	}
 	if err := rob.Close(); err != nil && scanErr == nil {
+		scanErr = err
+	}
+	if err := prf.Close(); err != nil && scanErr == nil {
 		scanErr = err
 	}
 	if err := tel.Close(); err != nil && scanErr == nil {

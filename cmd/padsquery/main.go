@@ -32,6 +32,7 @@ func main() {
 	le := flag.Bool("le", false, "little-endian binary integers")
 	workers := flag.Int("workers", 1, "parse worker goroutines: 1 parses sequentially, 0 uses all CPUs (docs/PARALLEL.md)")
 	stats := cliutil.StatsFlag()
+	profFlags := cliutil.NewProfFlags()
 	robustFlags := cliutil.NewRobustFlags()
 	flag.Parse()
 
@@ -54,6 +55,11 @@ func main() {
 		cliutil.Fatal(err)
 	}
 	tel.Observe(desc)
+	prf, err := cliutil.OpenProfiling(profFlags, cliutil.DataSize(flag.Arg(0)))
+	if err != nil {
+		cliutil.Fatal(err)
+	}
+	prf.Observe(desc)
 	rob, err := robustFlags.Open(tel.Stats)
 	if err != nil {
 		cliutil.Fatal(err)
@@ -67,6 +73,9 @@ func main() {
 
 	finish := func(fatal error) {
 		if err := rob.Close(); err != nil && fatal == nil {
+			fatal = err
+		}
+		if err := prf.Close(); err != nil && fatal == nil {
 			fatal = err
 		}
 		if err := tel.Close(); err != nil && fatal == nil {
@@ -90,10 +99,10 @@ func main() {
 		v, err = desc.ParseAllParallel(data, opts, *workers)
 		var be *interp.BudgetError
 		if err != nil && !errors.As(err, &be) {
-			v, err = desc.ParseAllPolicy(padsrt.NewBytesSource(data, tel.SourceOptions(opts)...))
+			v, err = desc.ParseAllPolicy(padsrt.NewBytesSource(data, prf.SourceOptions(tel.SourceOptions(opts))...))
 		}
 	} else {
-		v, err = desc.ParseAllPolicy(padsrt.NewBytesSource(data, tel.SourceOptions(opts)...))
+		v, err = desc.ParseAllPolicy(padsrt.NewBytesSource(data, prf.SourceOptions(tel.SourceOptions(opts))...))
 	}
 	if err != nil {
 		finish(err)

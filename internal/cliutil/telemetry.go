@@ -48,8 +48,6 @@ type Telemetry struct {
 	Tracer *telemetry.Tracer
 
 	traceFile *os.File  // owned output file; nil for stderr or no trace
-	traceOut  io.Writer // destination for ring-mode traces
-	ring      bool
 	statsOut  io.Writer // destination for the -stats block; nil disables
 }
 
@@ -79,11 +77,10 @@ func OpenTelemetry(stats bool, tracePath string, traceLast int) (*Telemetry, err
 		}
 		if traceLast > 0 {
 			// Bounded ring: events accumulate in memory and the retained
-			// tail is written out at Close, so tracing a multi-GB source
-			// cannot fill the disk or the heap.
-			t.Tracer = telemetry.NewRingTracer(traceLast)
-			t.ring = true
-			t.traceOut = w
+			// tail — full or partial — is drained by Tracer.Close, so
+			// tracing a multi-GB source cannot fill the disk or the heap,
+			// and truncated runs still flush their final window.
+			t.Tracer = telemetry.NewRingTracerTo(traceLast, w)
 		} else {
 			t.Tracer = telemetry.NewTracer(w)
 		}
@@ -110,19 +107,15 @@ func (t *Telemetry) SourceOptions(opts []padsrt.SourceOption) []padsrt.SourceOpt
 	return append(opts, padsrt.WithStats(t.Stats))
 }
 
-// Close finishes the run: it writes a ring-mode trace's retained tail,
-// flushes a streaming trace, closes the trace file, and prints the -stats
-// block to stderr. Safe to call once, after parsing completes.
+// Close finishes the run: it drains a ring-mode trace's retained (possibly
+// partial) window, flushes a streaming trace, closes the trace file, and
+// prints the -stats block to stderr. Tracer.Close is idempotent, so calling
+// this from both an error path and a success path cannot duplicate the
+// window.
 func (t *Telemetry) Close() error {
 	var first error
-	if t.Tracer != nil {
-		if t.ring {
-			if err := t.Tracer.WriteJSONL(t.traceOut); err != nil {
-				first = err
-			}
-		} else if err := t.Tracer.Flush(); err != nil {
-			first = err
-		}
+	if err := t.Tracer.Close(); err != nil {
+		first = err
 	}
 	if t.traceFile != nil {
 		if err := t.traceFile.Close(); err != nil && first == nil {

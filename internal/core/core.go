@@ -28,6 +28,7 @@ import (
 	"pads/internal/query"
 	"pads/internal/sema"
 	"pads/internal/telemetry"
+	"pads/internal/telemetry/prof"
 	"pads/internal/value"
 	"pads/internal/xmlgen"
 )
@@ -108,6 +109,16 @@ func CompileFile(path string) (*Description, error) {
 func (d *Description) Observe(st *telemetry.Stats, tr *telemetry.Tracer) {
 	d.Interp.Stats = st
 	d.Interp.Tracer = tr
+}
+
+// ObserveProf attaches a parse-path profiler (telemetry/prof) to every parse
+// the description runs: per-node time/byte/error attribution plus latency
+// and record-size histograms. Sequential scans write to p directly; parallel
+// entry points give each chunk a private worker profiler and fold it into p
+// in chunk order. Pass nil to detach. Not safe to call concurrently with a
+// running parse.
+func (d *Description) ObserveProf(p *prof.Profiler) {
+	d.Interp.Prof = p
 }
 
 // SourceType names the Psource type describing the whole data source.
@@ -237,8 +248,10 @@ func (d *Description) AccumulateReader(r io.Reader, opts []padsrt.SourceOption, 
 func (d *Description) openShards(data []byte, opts []padsrt.SourceOption, workers int) (*interp.RecordReader, parallel.Options, int, error) {
 	s := padsrt.NewBorrowedSource(data, opts...)
 	// The header parses sequentially, before any worker starts, so its
-	// source counters can go straight to the observed Stats.
+	// source counters can go straight to the observed Stats (and its
+	// profiler spans to the observed profiler).
 	s.SetStats(d.Interp.Stats)
+	s.SetProf(d.Interp.Prof)
 	rr, err := d.Records(s, nil)
 	if err != nil {
 		return nil, parallel.Options{}, 0, err
@@ -251,6 +264,7 @@ func (d *Description) openShards(data []byte, opts []padsrt.SourceOption, worker
 		Off:     int64(base),
 		Records: s.RecordNum(),
 		Stats:   d.Interp.Stats,
+		Prof:    d.Interp.Prof,
 	}
 	return rr, popts, base, nil
 }

@@ -15,6 +15,7 @@ import (
 	"pads/internal/padsrt"
 	"pads/internal/sema"
 	"pads/internal/telemetry"
+	"pads/internal/telemetry/prof"
 	"pads/internal/value"
 )
 
@@ -32,6 +33,16 @@ type Interp struct {
 	Ev     *expr.Evaluator
 	Stats  *telemetry.Stats
 	Tracer *telemetry.Tracer
+
+	// Prof, when non-nil, attributes wall time, bytes, and errors to
+	// description node paths (telemetry/prof; the -profile flag). Its span
+	// hooks are kept separate from the Stats/Tracer blocks because they
+	// must not build path strings: the profiler interns nodes itself. Hook
+	// discipline: each call site checks Prof.Sampling() once, remembers the
+	// answer in a local, and only calls Exit if its own Enter ran — so
+	// spans stay balanced even when the sampling state flips at a record
+	// boundary between the two.
+	Prof *prof.Profiler
 
 	path []string // dotted field path stack, maintained only while observing
 }
@@ -122,6 +133,9 @@ func (in *Interp) parseDecl(d dsl.Decl, s *padsrt.Source, mask *padsrt.MaskNode,
 			return v
 		}
 		recBegin := s.Pos()
+		if in.Prof != nil {
+			in.Prof.BeginRecord(d.DeclName(), recBegin.Byte)
+		}
 		in.trace(telemetry.EvRecordBegin, d.DeclName(), s)
 		v := in.parseDeclBody(d, s, mask, args)
 		pd := v.PD()
@@ -142,6 +156,9 @@ func (in *Interp) parseDecl(d dsl.Decl, s *padsrt.Source, mask *padsrt.MaskNode,
 			}
 		}
 		s.EndRecord(pd)
+		if in.Prof != nil {
+			in.Prof.EndRecord(s.Pos().Byte, pd.Nerr > 0)
+		}
 		in.traceSpan(telemetry.EvRecordEnd, d.DeclName(), "", recBegin, s, pd.ErrCode)
 		return v
 	}
@@ -259,6 +276,10 @@ func (in *Interp) parseStruct(d *dsl.StructDecl, s *padsrt.Source, mask *padsrt.
 			fieldBegin = s.Pos()
 			in.trace(telemetry.EvFieldEnter, fieldPath, s)
 		}
+		profOpen := in.Prof.Sampling()
+		if profOpen {
+			in.Prof.Enter(f.Name, s.Pos().Byte)
+		}
 		fv := in.parseRef(f.Type, s, fmask, env)
 		if f.Constraint != nil && fmask.BaseMask().DoCheck() && fv.PD().Nerr == 0 {
 			fe := expr.NewEnv(env)
@@ -267,6 +288,9 @@ func (in *Interp) parseStruct(d *dsl.StructDecl, s *padsrt.Source, mask *padsrt.
 			if !ok {
 				fv.PD().SetError(padsrt.ErrConstraint, padsrt.Loc{Begin: s.Pos(), End: s.Pos()})
 			}
+		}
+		if profOpen {
+			in.Prof.Exit(s.Pos().Byte, fv.PD().Nerr > 0)
 		}
 		if in.observing() {
 			if fpd := fv.PD(); fpd.Nerr > 0 {
@@ -336,7 +360,14 @@ func (in *Interp) parseUnion(d *dsl.UnionDecl, s *padsrt.Source, mask *padsrt.Ma
 			return un
 		}
 		f := &chosen.Field
+		profOpen := in.Prof.Sampling()
+		if profOpen {
+			in.Prof.Enter(f.Name, s.Pos().Byte)
+		}
 		bv := in.parseBranch(d, f, s, mask, env)
+		if profOpen {
+			in.Prof.Exit(s.Pos().Byte, bv.PD().Nerr > 0)
+		}
 		un.Tag = f.Name
 		un.Val = bv
 		pd.AddChildErrors(bv.PD(), padsrt.ErrStructField)
@@ -356,9 +387,16 @@ func (in *Interp) parseUnion(d *dsl.UnionDecl, s *padsrt.Source, mask *padsrt.Ma
 				Off: begin.Byte, Rec: begin.Record,
 			})
 		}
+		profOpen := in.Prof.Sampling()
+		if profOpen {
+			in.Prof.Enter(f.Name, s.Pos().Byte)
+		}
 		bv := in.parseBranch(d, f, s, mask, env)
 		if bv.PD().Nerr == 0 {
 			s.Commit()
+			if profOpen {
+				in.Prof.Exit(s.Pos().Byte, false)
+			}
 			un.Tag = f.Name
 			un.TagIdx = i
 			un.Val = bv
@@ -367,6 +405,11 @@ func (in *Interp) parseUnion(d *dsl.UnionDecl, s *padsrt.Source, mask *padsrt.Ma
 			}
 			in.traceSpan(telemetry.EvBranchSelect, d.Name, f.Name, begin, s, padsrt.ErrNone)
 			return un
+		}
+		// Close the span before Restore so the attempt's speculative
+		// consumption is measurable (the cursor is about to rewind).
+		if profOpen {
+			in.Prof.ExitSpeculative(s.Pos().Byte)
 		}
 		in.traceSpan(telemetry.EvBranchBacktrack, d.Name, f.Name, begin, s, bv.PD().ErrCode)
 		s.Restore()
@@ -481,7 +524,14 @@ func (in *Interp) parseArray(d *dsl.ArrayDecl, s *padsrt.Source, mask *padsrt.Ma
 			}
 		}
 		posBefore := s.Pos()
+		profOpen := in.Prof.Sampling()
+		if profOpen {
+			in.Prof.Enter("[]", posBefore.Byte)
+		}
 		ev := in.parseRef(d.Elem, s, elemMask, env)
+		if profOpen {
+			in.Prof.Exit(s.Pos().Byte, ev.PD().Nerr > 0)
+		}
 		if ev.PD().Nerr > 0 {
 			pd.AddChildErrors(ev.PD(), padsrt.ErrArrayElem)
 			arr.Elems = append(arr.Elems, ev)

@@ -1,0 +1,167 @@
+package interp
+
+import (
+	"strings"
+	"testing"
+
+	"pads/internal/padsrt"
+	"pads/internal/telemetry/prof"
+)
+
+// profDesc exercises every node kind the profiler attributes: struct fields,
+// a backtracking union (first branch fails on plain-number input), and a
+// separated array.
+const profDesc = `
+Pstruct no_t {
+  "x";
+  Puint32 v;
+};
+
+Punion num_t {
+  no_t tagged;
+  Puint32 plain;
+};
+
+Parray seq {
+  Puint32[] : Psep (',') && Pterm ( Peor );
+};
+
+Precord Pstruct rec_t {
+  Puint32 id;
+  '|'; num_t val;
+  '|'; seq items;
+};
+
+Parray recs_t {
+  rec_t[];
+};
+
+Psource Pstruct src_t {
+  recs_t rs;
+};
+`
+
+const profData = "1|x42|1,2,3\n2|7|4,5\n"
+
+func profRead(t *testing.T, in *Interp, data string) {
+	t.Helper()
+	rr, err := in.NewRecordReader(padsrt.NewBytesSource([]byte(data)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rr.More() {
+		rr.Read()
+	}
+}
+
+// TestProfilerInterpAttribution checks the hook placement end to end: record
+// roots, struct fields, union branches (committed and backtracked), and
+// array elements all land at their description paths with exact byte and
+// count attribution.
+func TestProfilerInterpAttribution(t *testing.T) {
+	in := compile(t, profDesc)
+	p := prof.New(prof.Options{AllocEvery: -1})
+	in.Prof = p
+	profRead(t, in, profData)
+	pr := p.Snapshot()
+
+	if pr.Records != 2 || pr.Sampled != 2 || pr.Errored != 0 {
+		t.Fatalf("records=%d sampled=%d errored=%d", pr.Records, pr.Sampled, pr.Errored)
+	}
+	if pr.Bytes != uint64(len(profData)) {
+		t.Fatalf("bytes = %d, want %d", pr.Bytes, len(profData))
+	}
+
+	get := func(path string) prof.NodeStat {
+		t.Helper()
+		for _, st := range pr.Nodes {
+			if st.Path == path {
+				return st
+			}
+		}
+		names := make([]string, 0, len(pr.Nodes))
+		for _, st := range pr.Nodes {
+			names = append(names, st.Path)
+		}
+		t.Fatalf("no node %q; have %s", path, strings.Join(names, ", "))
+		return prof.NodeStat{}
+	}
+
+	if st := get("rec_t"); st.Count != 2 || st.CumBytes != uint64(len(profData)) {
+		t.Errorf("rec_t: %+v", st)
+	}
+	if st := get("rec_t.id"); st.Count != 2 || st.CumBytes != 2 {
+		t.Errorf("rec_t.id: %+v", st)
+	}
+	// Record 1 commits the tagged branch; record 2 tries it, fails, and
+	// backtracks — one error, with the speculative attempt's bytes counted.
+	if st := get("rec_t.val.tagged"); st.Count != 2 || st.Errors != 1 || st.CumBytes < 3 {
+		t.Errorf("rec_t.val.tagged: %+v", st)
+	}
+	if st := get("rec_t.val.plain"); st.Count != 1 || st.Errors != 0 || st.CumBytes != 1 {
+		t.Errorf("rec_t.val.plain: %+v", st)
+	}
+	// The val field consumed 3 bytes ("x42") and 1 byte ("7"): the failed
+	// speculation must not inflate it.
+	if st := get("rec_t.val"); st.CumBytes != 4 {
+		t.Errorf("rec_t.val: %+v", st)
+	}
+	// Five array elements across both records: 1,2,3 and 4,5.
+	if st := get("rec_t.items.[]"); st.Count != 5 || st.CumBytes != 5 {
+		t.Errorf("rec_t.items.[]: %+v", st)
+	}
+	if pr.AttributedFrac() < 0.5 {
+		t.Errorf("attributed fraction = %.2f, want most of the wall window", pr.AttributedFrac())
+	}
+}
+
+// TestProfilerInterpErroredRecord checks that a damaged record is counted
+// and attributed as errored.
+func TestProfilerInterpErroredRecord(t *testing.T) {
+	in := compile(t, profDesc)
+	p := prof.New(prof.Options{AllocEvery: -1})
+	in.Prof = p
+	profRead(t, in, "1|x42|1,2,3\nbogus||\n3|8|9\n")
+	pr := p.Snapshot()
+	if pr.Records != 3 || pr.Errored != 1 {
+		t.Fatalf("records=%d errored=%d, want 3/1", pr.Records, pr.Errored)
+	}
+}
+
+// TestDisabledProfilingNoAllocs is the zero-overhead guard for the profiler
+// hooks: a record loop with profiling disabled (nil Prof — the default)
+// allocates exactly what it allocated before the hooks existed, measured
+// against an attached-but-never-sampling profiler to pin the per-record
+// delta at zero.
+func TestDisabledProfilingNoAllocs(t *testing.T) {
+	var b strings.Builder
+	for i := 0; i < 256; i++ {
+		b.WriteString("7|x42|1,2,3\n")
+	}
+	data := []byte(b.String())
+
+	in := compile(t, profDesc)
+	parse := func() {
+		rr, err := in.NewRecordReader(padsrt.NewBorrowedSource(data), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for rr.More() {
+			rr.Read()
+		}
+	}
+
+	parse() // warm intern caches and lazies
+	in.Prof = nil
+	nilAllocs := testing.AllocsPerRun(10, parse)
+	// Every > records: the profiler is attached but no record ever samples,
+	// so only the always-on record-boundary counters run.
+	in.Prof = prof.New(prof.Options{Every: 1 << 30})
+	offAllocs := testing.AllocsPerRun(10, parse)
+	in.Prof = nil
+
+	if delta := offAllocs - nilAllocs; delta > 0.5 {
+		t.Errorf("unsampled profiling adds %.1f allocs/run over disabled (%.1f vs %.1f); the record-boundary path must not allocate",
+			delta, offAllocs, nilAllocs)
+	}
+}

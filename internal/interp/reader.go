@@ -156,12 +156,14 @@ func (rr *RecordReader) note(v value.Value) value.Value {
 // state), so shards of one reader may run concurrently.
 //
 // Telemetry: the shard's interpreter counters route to the chunk source's
-// private Stats (so concurrent shards never share a counter), while the
-// parent's Tracer — which is concurrency-safe — is shared, so a traced
-// parallel parse emits every worker's events into one stream.
+// private Stats (so concurrent shards never share a counter), and its
+// profiler hooks to the chunk source's private Profiler, while the parent's
+// Tracer — which is concurrency-safe — is shared, so a traced parallel
+// parse emits every worker's events into one stream.
 func (rr *RecordReader) Shard(s *padsrt.Source) *RecordReader {
 	in := New(rr.in.Desc)
 	in.Stats = s.Stats()
+	in.Prof = s.Prof()
 	in.Tracer = rr.in.Tracer
 	return &RecordReader{
 		in:      in,

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"pads/internal/telemetry"
+	"pads/internal/telemetry/prof"
 )
 
 // Source is a streaming parse cursor over an io.Reader. It maintains a
@@ -56,6 +57,12 @@ type Source struct {
 	// the hot paths pay one nil check and a direct field increment.
 	tele  *telemetry.Stats
 	stats *telemetry.SourceStats
+
+	// prof, when non-nil, is the parse-path profiler riding this source.
+	// The Source only carries it (like tele): internal/parallel installs a
+	// per-chunk profiler here and shard readers (internal/interp) pick it
+	// up, the same private-observer handoff as Stats.
+	prof *prof.Profiler
 
 	// intern is a direct-mapped cache of short strings produced by the
 	// string base types: ad hoc fields draw from small vocabularies (the
@@ -178,6 +185,10 @@ func WithByteOrder(o ByteOrder) SourceOption { return func(s *Source) { s.order 
 // branch per event (docs/OBSERVABILITY.md).
 func WithStats(st *telemetry.Stats) SourceOption { return func(s *Source) { s.SetStats(st) } }
 
+// WithProf attaches a parse-path profiler for shard readers to pick up
+// (telemetry/prof; the -profile flag).
+func WithProf(p *prof.Profiler) SourceOption { return func(s *Source) { s.SetProf(p) } }
+
 // WithRetry makes transient read errors (IsTransient) retry up to n times
 // with an exponentially doubling backoff before sticking. The default is
 // no retries: the first error of any kind is sticky.
@@ -258,6 +269,15 @@ func (s *Source) SetStats(st *telemetry.Stats) {
 // (internal/interp) use it to route interpreter-level counters to the same
 // per-worker Stats as the source counters.
 func (s *Source) Stats() *telemetry.Stats { return s.tele }
+
+// SetProf attaches (or, with nil, detaches) a parse-path profiler. Like
+// SetStats it exists so internal/parallel can give every chunk source a
+// private profiler; the Source itself never calls profiler hooks.
+func (s *Source) SetProf(p *prof.Profiler) { s.prof = p }
+
+// Prof returns the attached profiler, or nil. Shard readers pick it up the
+// same way they pick up Stats.
+func (s *Source) Prof() *prof.Profiler { return s.prof }
 
 // Coding returns the ambient character coding.
 func (s *Source) Coding() Coding { return s.coding }

@@ -23,6 +23,7 @@ import (
 
 	"pads/internal/padsrt"
 	"pads/internal/telemetry"
+	"pads/internal/telemetry/prof"
 )
 
 // Options configures a parallel run.
@@ -55,6 +56,15 @@ type Options struct {
 	// shard skew visible. Chunks after a failed one are not folded, matching
 	// the merge semantics.
 	Stats *telemetry.Stats
+	// Prof, when non-nil, receives the run's parse-path profile the same
+	// way Stats receives counters: every chunk source gets a private worker
+	// profiler (Prof.NewWorker — sharing only the concurrency-safe Progress
+	// sink), and as each chunk merges, its profiler folds into Prof in
+	// chunk order. All folded quantities are commutative, so the
+	// deterministic fields of the profile (node counts, bytes, errors, the
+	// record-size histogram) are identical to a sequential run's at any
+	// worker count.
+	Prof *prof.Profiler
 }
 
 func (o Options) workers() int {
@@ -100,6 +110,10 @@ func Run[R any](data []byte, opts Options, work func(src *padsrt.Source, c Chunk
 		chunkStats = make([]*telemetry.Stats, len(chunks))
 		chunkWall = make([]time.Duration, len(chunks))
 	}
+	var chunkProf []*prof.Profiler
+	if opts.Prof != nil {
+		chunkProf = make([]*prof.Profiler, len(chunks))
+	}
 
 	newSource := func(c Chunk) *padsrt.Source {
 		src := padsrt.NewBorrowedSource(c.Data, opts.Source...)
@@ -113,17 +127,26 @@ func Run[R any](data []byte, opts Options, work func(src *padsrt.Source, c Chunk
 			// drop any sink a caller-supplied Source option attached.
 			src.SetStats(nil)
 		}
+		if opts.Prof != nil {
+			wp := opts.Prof.NewWorker()
+			chunkProf[c.Index] = wp
+			src.SetProf(wp)
+		} else {
+			src.SetProf(nil)
+		}
 		return src
 	}
 
 	doWork := func(c Chunk) (R, error) {
 		src := newSource(c)
-		if opts.Stats == nil {
+		if opts.Stats == nil && opts.Prof == nil {
 			return contain(work, src, c)
 		}
 		start := time.Now()
 		r, err := contain(work, src, c)
-		chunkWall[c.Index] = time.Since(start)
+		if opts.Stats != nil {
+			chunkWall[c.Index] = time.Since(start)
+		}
 		return r, err
 	}
 
@@ -146,10 +169,13 @@ func Run[R any](data []byte, opts Options, work func(src *padsrt.Source, c Chunk
 		return r, nil
 	}
 
-	// mergeStats folds one merged chunk's counters into opts.Stats and adds
-	// its per-worker utilization row; it runs on the calling goroutine in
-	// chunk order, like merge itself.
+	// mergeStats folds one merged chunk's counters into opts.Stats (and its
+	// profiler into opts.Prof) and adds its per-worker utilization row; it
+	// runs on the calling goroutine in chunk order, like merge itself.
 	mergeStats := func(c Chunk) {
+		if opts.Prof != nil {
+			opts.Prof.Merge(chunkProf[c.Index])
+		}
 		if opts.Stats == nil {
 			return
 		}

@@ -1,0 +1,92 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+)
+
+// Collector is anything that can render itself in Prometheus text exposition
+// format (version 0.0.4). Stats implements it here; the profiler's Profile
+// (telemetry/prof) implements it too — the interface is satisfied
+// structurally, so the child package needs no registration hook.
+type Collector interface {
+	WritePrometheus(w io.Writer)
+}
+
+// MetricsHandler is an http.Handler serving the Prometheus text exposition
+// of a set of collectors: the metrics endpoint a long-running parse service
+// (the padsd of ROADMAP item 3) mounts at /metrics. Register is safe to call
+// while the handler is serving, so a parse can attach its Stats or Profile
+// mid-flight; collectors render in registration order.
+type MetricsHandler struct {
+	mu         sync.Mutex
+	collectors []Collector
+}
+
+// NewMetricsHandler builds a handler over an initial collector set (nil
+// entries are skipped).
+func NewMetricsHandler(cs ...Collector) *MetricsHandler {
+	h := &MetricsHandler{}
+	for _, c := range cs {
+		h.Register(c)
+	}
+	return h
+}
+
+// Register appends a collector to the exposition.
+func (h *MetricsHandler) Register(c Collector) {
+	if c == nil {
+		return
+	}
+	h.mu.Lock()
+	h.collectors = append(h.collectors, c)
+	h.mu.Unlock()
+}
+
+// ServeHTTP renders every registered collector.
+func (h *MetricsHandler) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	h.mu.Lock()
+	cs := append([]Collector(nil), h.collectors...)
+	h.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	for _, c := range cs {
+		c.WritePrometheus(w)
+	}
+}
+
+// WritePrometheus renders the stats counters as Prometheus metrics. Callers
+// must not mutate s concurrently (snapshot or merge first); label values are
+// the same dotted paths the -stats block prints.
+func (s *Stats) WritePrometheus(w io.Writer) {
+	src := &s.Source
+	counter := func(name string, v uint64) {
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, v)
+	}
+	counter("pads_source_bytes_read_total", src.BytesRead)
+	counter("pads_source_fills_total", src.Fills)
+	counter("pads_source_compactions_total", src.Compacts)
+	counter("pads_records_begun_total", src.RecordsBegun)
+	counter("pads_records_ended_total", src.RecordsEnded)
+	counter("pads_speculation_checkpoints_total", src.Checkpoints)
+	counter("pads_speculation_commits_total", src.Commits)
+	counter("pads_speculation_restores_total", src.Restores)
+	counter("pads_eor_resyncs_total", src.EORResyncs)
+	counter("pads_read_retries_total", src.ReadRetries)
+	counter("pads_chunk_failures_total", s.Faults.ChunkFailures)
+	counter("pads_chunk_rescues_total", s.Faults.ChunkRescues)
+	counter("pads_quarantined_records_total", s.Faults.Quarantined)
+	if len(s.FieldErrors) > 0 {
+		fmt.Fprintln(w, "# TYPE pads_field_errors_total counter")
+		for _, k := range sortedKeys(s.FieldErrors) {
+			fmt.Fprintf(w, "pads_field_errors_total{path=%q} %d\n", k, s.FieldErrors[k])
+		}
+	}
+	if len(s.UnionChoices) > 0 {
+		fmt.Fprintln(w, "# TYPE pads_union_choices_total counter")
+		for _, k := range sortedKeys(s.UnionChoices) {
+			fmt.Fprintf(w, "pads_union_choices_total{branch=%q} %d\n", k, s.UnionChoices[k])
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package telemetry
+
+import (
+	"bytes"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestRingTracerCloseDrainsPartialWindow(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewRingTracerTo(8, &buf)
+	// Fewer events than the ring holds: the partial window must still land.
+	tr.Emit(Event{Ev: EvRecordBegin, Off: 0, Rec: 1})
+	tr.Emit(Event{Ev: EvError, Off: 3, Rec: 1, Err: "truncated"})
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("Close drained %d lines, want 2:\n%s", len(lines), buf.String())
+	}
+	if !strings.Contains(lines[1], "truncated") {
+		t.Errorf("final event missing from drained window: %q", lines[1])
+	}
+	// Idempotent: a second Close must not duplicate the window.
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Split(strings.TrimSpace(buf.String()), "\n"); len(got) != 2 {
+		t.Fatalf("second Close duplicated output: %d lines", len(got))
+	}
+}
+
+func TestStreamTracerClose(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	tr.Emit(Event{Ev: EvRecordBegin, Off: 0})
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), EvRecordBegin) {
+		t.Fatalf("Close did not flush streaming output: %q", buf.String())
+	}
+	var nilTr *Tracer
+	if err := nilTr.Close(); err != nil {
+		t.Fatal("nil tracer Close must be a no-op")
+	}
+}
+
+type collectorFunc func(io.Writer)
+
+func (f collectorFunc) WritePrometheus(w io.Writer) { f(w) }
+
+func TestMetricsHandler(t *testing.T) {
+	st := NewStats()
+	st.Source.RecordsEnded = 42
+	st.FieldError("entry_t.ts")
+	st.UnionChoice("dib_ramp_t", "ramp")
+	h := NewMetricsHandler(st, nil) // nil collectors are skipped
+	h.Register(collectorFunc(func(w io.Writer) { io.WriteString(w, "extra_metric 1\n") }))
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("content type = %q", ct)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		"# TYPE pads_records_ended_total counter",
+		"pads_records_ended_total 42",
+		`pads_field_errors_total{path="entry_t.ts"} 1`,
+		`pads_union_choices_total{branch="dib_ramp_t.ramp"} 1`,
+		"extra_metric 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestBenchReportStamps(t *testing.T) {
+	r := &BenchReport{
+		Date:       "2026-08-07",
+		Go:         "go1.x",
+		Commit:     "abc1234",
+		GOMAXPROCS: 8,
+		Host:       "bench-box",
+		HotNodes:   []HotNode{{Path: "entry_t.events", Count: 10, SelfNS: 5, CumNS: 9, Bytes: 100}},
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBenchReport(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Commit != "abc1234" || back.GOMAXPROCS != 8 || back.Host != "bench-box" {
+		t.Fatalf("stamps lost: %+v", back)
+	}
+	if len(back.HotNodes) != 1 || back.HotNodes[0].Path != "entry_t.events" {
+		t.Fatalf("hot nodes lost: %+v", back.HotNodes)
+	}
+	if back.Schema != BenchSchema {
+		t.Fatalf("schema = %q", back.Schema)
+	}
+}

@@ -1,0 +1,350 @@
+package prof
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestHistQuantileBounds checks the quantile contract against brute force:
+// for random samples the true q-quantile always lies inside the returned
+// closed interval.
+func TestHistQuantileBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(2000)
+		vals := make([]uint64, n)
+		var h Hist
+		for i := range vals {
+			v := uint64(rng.Int63n(1 << uint(1+rng.Intn(40))))
+			vals[i] = v
+			h.Observe(v)
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		for _, q := range []float64{0.01, 0.25, 0.5, 0.9, 0.99, 1} {
+			rank := int(q * float64(n))
+			if rank < 1 {
+				rank = 1
+			}
+			want := vals[rank-1]
+			lo, hi := h.Quantile(q)
+			if want < lo || want > hi {
+				t.Fatalf("trial %d q=%g: true quantile %d outside [%d,%d]", trial, q, want, lo, hi)
+			}
+		}
+	}
+}
+
+func TestHistMinMaxMean(t *testing.T) {
+	var h Hist
+	for _, v := range []uint64{10, 2, 30} {
+		h.Observe(v)
+	}
+	if h.Min != 2 || h.Max != 30 || h.N != 3 || h.Sum != 42 {
+		t.Fatalf("got min=%d max=%d n=%d sum=%d", h.Min, h.Max, h.N, h.Sum)
+	}
+	if h.Mean() != 14 {
+		t.Fatalf("mean = %g, want 14", h.Mean())
+	}
+}
+
+// TestHistMergeChunkOrder is the satellite property test: splitting a value
+// stream into W contiguous chunks, observing each chunk into a private
+// histogram, and folding the workers in chunk order yields a histogram
+// byte-identical to the sequential one — for any worker count and any
+// (deterministic) random stream.
+func TestHistMergeChunkOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(5000)
+		vals := make([]uint64, n)
+		var seq Hist
+		for i := range vals {
+			vals[i] = uint64(rng.Int63n(1 << uint(1+rng.Intn(50))))
+			seq.Observe(vals[i])
+		}
+		for _, workers := range []int{1, 2, 3, 4, 7, 8, 16, 33} {
+			per := (n + workers - 1) / workers
+			var merged Hist
+			for w := 0; w < workers; w++ {
+				lo := w * per
+				if lo >= n {
+					break
+				}
+				hi := lo + per
+				if hi > n {
+					hi = n
+				}
+				var part Hist
+				for _, v := range vals[lo:hi] {
+					part.Observe(v)
+				}
+				merged.Merge(&part)
+			}
+			a, err := json.Marshal(&seq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := json.Marshal(&merged)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(a, b) {
+				t.Fatalf("trial %d workers %d: merged histogram differs from sequential", trial, workers)
+			}
+		}
+	}
+}
+
+// simRecord drives one record through the profiler with a fixed span shape:
+// rec_t { hdr (10 bytes), body { x (5), y (15) } } — 30 bytes total.
+func simRecord(p *Profiler, off int64, errored bool) int64 {
+	p.BeginRecord("rec_t", off)
+	if p.Sampling() {
+		p.Enter("hdr", off)
+		p.Exit(off+10, false)
+		p.Enter("body", off+10)
+		p.Enter("x", off+10)
+		p.Exit(off+15, false)
+		p.Enter("y", off+15)
+		p.Exit(off+30, errored)
+		p.Exit(off+30, errored)
+	}
+	p.EndRecord(off+30, errored)
+	return off + 30
+}
+
+func nodeByPath(t *testing.T, pr *Profile, path string) NodeStat {
+	t.Helper()
+	for _, st := range pr.Nodes {
+		if st.Path == path {
+			return st
+		}
+	}
+	t.Fatalf("no node %q in profile (have %d nodes)", path, len(pr.Nodes))
+	return NodeStat{}
+}
+
+func TestProfilerAttribution(t *testing.T) {
+	p := New(Options{AllocEvery: -1})
+	var off int64
+	for i := 0; i < 100; i++ {
+		off = simRecord(p, off, i%10 == 0)
+	}
+	pr := p.Snapshot()
+	if pr.Records != 100 || pr.Sampled != 100 || pr.Errored != 10 {
+		t.Fatalf("records=%d sampled=%d errored=%d", pr.Records, pr.Sampled, pr.Errored)
+	}
+	if pr.Bytes != 3000 {
+		t.Fatalf("bytes = %d, want 3000", pr.Bytes)
+	}
+
+	rec := nodeByPath(t, pr, "rec_t")
+	if rec.Count != 100 || rec.CumBytes != 3000 {
+		t.Fatalf("rec_t: count=%d cumBytes=%d", rec.Count, rec.CumBytes)
+	}
+	// rec_t consumed nothing itself: hdr took 10, body took 20.
+	if rec.SelfBytes != 0 {
+		t.Fatalf("rec_t selfBytes = %d, want 0", rec.SelfBytes)
+	}
+	hdr := nodeByPath(t, pr, "rec_t.hdr")
+	if hdr.Count != 100 || hdr.CumBytes != 1000 || hdr.SelfBytes != 1000 {
+		t.Fatalf("hdr: %+v", hdr)
+	}
+	body := nodeByPath(t, pr, "rec_t.body")
+	if body.CumBytes != 2000 || body.SelfBytes != 0 {
+		t.Fatalf("body: %+v", body)
+	}
+	y := nodeByPath(t, pr, "rec_t.body.y")
+	if y.CumBytes != 1500 || y.Errors != 10 {
+		t.Fatalf("y: %+v", y)
+	}
+	// Wall-time conservation: every node's self time sums to at most the
+	// root's cumulative time, and the root's cum equals the attributed total.
+	var selfSum int64
+	for _, st := range pr.Nodes {
+		selfSum += st.SelfNS
+	}
+	if selfSum > rec.CumNS {
+		t.Fatalf("self sum %d exceeds root cum %d", selfSum, rec.CumNS)
+	}
+	if pr.AttributedNS != rec.CumNS {
+		t.Fatalf("attributed %d != root cum %d", pr.AttributedNS, rec.CumNS)
+	}
+	if pr.RecLat.N != 100 || pr.RecSize.N != 100 {
+		t.Fatalf("hist counts: lat=%d size=%d", pr.RecLat.N, pr.RecSize.N)
+	}
+	if lo, hi := pr.RecSize.Quantile(0.5); lo != 30 || hi != 30 {
+		t.Fatalf("size p50 = [%d,%d], want [30,30]", lo, hi)
+	}
+}
+
+// TestProfilerSpeculative checks union-branch accounting: a failed branch's
+// speculative bytes land on the branch node but not the parent.
+func TestProfilerSpeculative(t *testing.T) {
+	p := New(Options{AllocEvery: -1})
+	p.BeginRecord("u_t", 0)
+	p.Enter("ramp", 0)
+	p.ExitSpeculative(40) // tried 40 bytes, backtracked
+	p.Enter("genRamp", 0)
+	p.Exit(25, false)
+	p.EndRecord(25, false)
+	pr := p.Snapshot()
+
+	ramp := nodeByPath(t, pr, "u_t.ramp")
+	if ramp.CumBytes != 40 || ramp.Errors != 1 {
+		t.Fatalf("ramp: %+v", ramp)
+	}
+	gen := nodeByPath(t, pr, "u_t.genRamp")
+	if gen.CumBytes != 25 || gen.Errors != 0 {
+		t.Fatalf("genRamp: %+v", gen)
+	}
+	root := nodeByPath(t, pr, "u_t")
+	// Only the committed branch's bytes flow to the record: 25 total, 0 self.
+	if root.CumBytes != 25 || root.SelfBytes != 0 {
+		t.Fatalf("u_t: %+v", root)
+	}
+}
+
+func TestProfilerSampling(t *testing.T) {
+	p := New(Options{Every: 4, AllocEvery: -1})
+	var off int64
+	for i := 0; i < 100; i++ {
+		off = simRecord(p, off, false)
+	}
+	pr := p.Snapshot()
+	if pr.Records != 100 || pr.Sampled != 25 {
+		t.Fatalf("records=%d sampled=%d, want 100/25", pr.Records, pr.Sampled)
+	}
+	// Unsampled records still feed the size histogram and byte totals.
+	if pr.RecSize.N != 100 || pr.Bytes != 3000 {
+		t.Fatalf("size n=%d bytes=%d", pr.RecSize.N, pr.Bytes)
+	}
+	if pr.RecLat.N != 25 {
+		t.Fatalf("latency n=%d, want 25", pr.RecLat.N)
+	}
+	if got := nodeByPath(t, pr, "rec_t").Count; got != 25 {
+		t.Fatalf("rec_t count = %d, want 25", got)
+	}
+	if s := pr.Scale(); s != 4 {
+		t.Fatalf("scale = %g, want 4", s)
+	}
+}
+
+// TestProfilerMergeDeterministic checks that the deterministic fields of a
+// merged profile — node counts/bytes/errors and both histograms — match the
+// sequential profile for several worker counts, and that merging is
+// insensitive to which worker saw which chunk shape.
+func TestProfilerMergeDeterministic(t *testing.T) {
+	run := func(workers int) *Profile {
+		parent := New(Options{AllocEvery: -1})
+		per := 100 / workers
+		var off int64
+		for w := 0; w < workers; w++ {
+			wp := parent.NewWorker()
+			n := per
+			if w == workers-1 {
+				n = 100 - per*(workers-1)
+			}
+			for i := 0; i < n; i++ {
+				off = simRecord(wp, off, (int(off)/30)%10 == 0)
+			}
+			parent.Merge(wp)
+		}
+		return parent.Snapshot()
+	}
+	seq := run(1)
+	for _, workers := range []int{2, 4, 8} {
+		got := run(workers)
+		if got.Records != seq.Records || got.Errored != seq.Errored || got.Bytes != seq.Bytes {
+			t.Fatalf("workers=%d: totals differ", workers)
+		}
+		a, _ := json.Marshal(&seq.RecSize)
+		b, _ := json.Marshal(&got.RecSize)
+		if !bytes.Equal(a, b) {
+			t.Fatalf("workers=%d: record-size histogram differs from sequential", workers)
+		}
+		if len(got.Nodes) != len(seq.Nodes) {
+			t.Fatalf("workers=%d: node count %d != %d", workers, len(got.Nodes), len(seq.Nodes))
+		}
+		for _, want := range seq.Nodes {
+			st := nodeByPath(t, got, want.Path)
+			if st.Count != want.Count || st.CumBytes != want.CumBytes || st.Errors != want.Errors {
+				t.Fatalf("workers=%d node %s: count/bytes/errors differ: %+v vs %+v",
+					workers, want.Path, st, want)
+			}
+		}
+	}
+}
+
+func TestProfileOutputs(t *testing.T) {
+	p := New(Options{AllocEvery: -1})
+	var off int64
+	for i := 0; i < 10; i++ {
+		off = simRecord(p, off, i == 3)
+	}
+	pr := p.Snapshot()
+
+	var table bytes.Buffer
+	pr.WriteTable(&table)
+	for _, want := range []string{"records   10 parsed", "rec_t.body.y", "latency", "size"} {
+		if !strings.Contains(table.String(), want) {
+			t.Fatalf("table missing %q:\n%s", want, table.String())
+		}
+	}
+
+	var folded bytes.Buffer
+	pr.WriteFolded(&folded)
+	found := false
+	for _, line := range strings.Split(strings.TrimSpace(folded.String()), "\n") {
+		parts := strings.Split(line, " ")
+		if len(parts) != 2 {
+			t.Fatalf("folded line %q is not 'stack count'", line)
+		}
+		if strings.HasPrefix(line, "rec_t;body;y ") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no rec_t;body;y stack in folded output:\n%s", folded.String())
+	}
+
+	var prom bytes.Buffer
+	pr.WritePrometheus(&prom)
+	for _, want := range []string{
+		"# TYPE pads_profile_records_total counter",
+		"pads_profile_records_total 10",
+		`pads_profile_node_self_seconds_total{path="rec_t.body.y"}`,
+		"# TYPE pads_profile_record_latency_seconds histogram",
+		"pads_profile_record_size_bytes_bucket{le=\"+Inf\"} 10",
+		"pads_profile_record_size_bytes_count 10",
+	} {
+		if !strings.Contains(prom.String(), want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, prom.String())
+		}
+	}
+}
+
+func TestProgressRender(t *testing.T) {
+	pr := NewProgress(1 << 20)
+	pr.Add(512, false)
+	pr.Add(512, true)
+	pr.SetHot("rec_t.body.y")
+	line := pr.render()
+	for _, want := range []string{"2 records", "err 50.00%", "hot rec_t.body.y", "ETA"} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("progress line missing %q: %s", want, line)
+		}
+	}
+	var buf bytes.Buffer
+	pr.Start(&buf, time.Millisecond)
+	pr.Stop()
+	pr.Stop() // idempotent
+	if !strings.Contains(buf.String(), "2 records") {
+		t.Fatalf("no final line written: %q", buf.String())
+	}
+}

@@ -1,0 +1,117 @@
+package prof
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Progress is the live ticker behind the -progress flag: a concurrency-safe
+// sink of byte/record/error counts that periodically renders a one-line
+// status (bytes/sec, ETA against a known total, error rate, current hottest
+// node) over itself with a carriage return. Producers — one Profiler per
+// worker in a parallel parse — only touch atomics; the rendering goroutine
+// owns the writer.
+type Progress struct {
+	total   int64 // input size in bytes, <= 0 when unknown (no ETA)
+	start   time.Time
+	bytes   atomic.Uint64
+	records atomic.Uint64
+	errors  atomic.Uint64
+	hot     atomic.Value // string: current hottest node path
+
+	mu      sync.Mutex
+	w       io.Writer
+	stop    chan struct{}
+	done    chan struct{}
+	started bool
+}
+
+// NewProgress builds a progress sink. totalBytes enables the ETA column;
+// pass <= 0 when the input size is unknown (stdin).
+func NewProgress(totalBytes int64) *Progress {
+	return &Progress{total: totalBytes, start: time.Now()}
+}
+
+// Add records size bytes of one more parsed record.
+func (pr *Progress) Add(size uint64, errored bool) {
+	pr.bytes.Add(size)
+	pr.records.Add(1)
+	if errored {
+		pr.errors.Add(1)
+	}
+}
+
+// SetHot publishes the current hottest node path.
+func (pr *Progress) SetHot(path string) { pr.hot.Store(path) }
+
+// Start begins rendering to w every interval until Stop. Rendering uses
+// carriage returns, so w should be a terminal-ish stream (stderr).
+func (pr *Progress) Start(w io.Writer, interval time.Duration) {
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	if pr.started {
+		return
+	}
+	if interval <= 0 {
+		interval = 250 * time.Millisecond
+	}
+	pr.started = true
+	pr.w = w
+	pr.stop = make(chan struct{})
+	pr.done = make(chan struct{})
+	go func() {
+		defer close(pr.done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-pr.stop:
+				return
+			case <-t.C:
+				fmt.Fprintf(pr.w, "\r%-110s", pr.render())
+			}
+		}
+	}()
+}
+
+// Stop halts the ticker and prints a final status line (with a trailing
+// newline so subsequent output starts clean). Safe to call more than once.
+func (pr *Progress) Stop() {
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	if !pr.started {
+		return
+	}
+	pr.started = false
+	close(pr.stop)
+	<-pr.done
+	fmt.Fprintf(pr.w, "\r%-110s\n", pr.render())
+}
+
+// render builds the status line from the current counters.
+func (pr *Progress) render() string {
+	elapsed := time.Since(pr.start)
+	bytes := pr.bytes.Load()
+	records := pr.records.Load()
+	errors := pr.errors.Load()
+	rate := float64(bytes) / elapsed.Seconds()
+	line := fmt.Sprintf("%s  %s/s  %d records", humanBytes(bytes), humanBytes(uint64(rate)), records)
+	if records > 0 {
+		line += fmt.Sprintf("  err %.2f%%", 100*float64(errors)/float64(records))
+	}
+	if pr.total > 0 && rate > 0 {
+		remain := pr.total - int64(bytes)
+		if remain < 0 {
+			remain = 0
+		}
+		eta := time.Duration(float64(remain) / rate * float64(time.Second))
+		line += fmt.Sprintf("  ETA %s", eta.Round(time.Second))
+	}
+	if hot, _ := pr.hot.Load().(string); hot != "" {
+		line += "  hot " + hot
+	}
+	return line
+}

@@ -28,17 +28,39 @@ type BenchRow struct {
 	Counters *Stats `json:"counters,omitempty"`
 }
 
+// HotNode is one entry of a profiler hot list: the cost attributed to one
+// description node path, in report form. The profiler (telemetry/prof)
+// produces these; the bench report and Prometheus surface carry them.
+type HotNode struct {
+	Path   string `json:"path"`
+	Count  uint64 `json:"count"`
+	Errors uint64 `json:"errors,omitempty"`
+	SelfNS int64  `json:"self_ns"`
+	CumNS  int64  `json:"cum_ns"`
+	Bytes  uint64 `json:"bytes"`
+}
+
 // BenchReport is the machine-readable output of padsbench -json, and the
 // row format of the committed BENCH_*.json trajectory files written by
-// scripts/bench.sh.
+// scripts/bench.sh. The environment stamps (Commit, GOMAXPROCS, Host) make
+// trajectory points attributable: a throughput shift can be tied to a code
+// change versus a machine change. All post-v1 additions are new optional
+// fields — the schema tag stays pads-bench/v1 because no existing field
+// changed meaning, so older BENCH_*.json files still validate.
 type BenchReport struct {
-	Schema  string     `json:"schema"` // always BenchSchema
-	Date    string     `json:"date"`   // YYYY-MM-DD of the run
-	Go      string     `json:"go"`     // runtime.Version()
-	Records int        `json:"records"`
-	Bytes   int64      `json:"bytes"`
-	Workers int        `json:"workers,omitempty"` // parallel rows present when > 1
-	Rows    []BenchRow `json:"rows"`
+	Schema     string     `json:"schema"` // always BenchSchema
+	Date       string     `json:"date"`   // YYYY-MM-DD of the run
+	Go         string     `json:"go"`     // runtime.Version()
+	Commit     string     `json:"commit,omitempty"`
+	GOMAXPROCS int        `json:"gomaxprocs,omitempty"`
+	Host       string     `json:"host,omitempty"`
+	Records    int        `json:"records"`
+	Bytes      int64      `json:"bytes"`
+	Workers    int        `json:"workers,omitempty"` // parallel rows present when > 1
+	Rows       []BenchRow `json:"rows"`
+	// HotNodes is the profiler's per-node hot list from one instrumented
+	// pass of the interpreter (top nodes by self time).
+	HotNodes []HotNode `json:"hot_nodes,omitempty"`
 }
 
 // FinishRow fills the derived fields of a row from its raw samples.

@@ -45,9 +45,11 @@ type Tracer struct {
 	mu      sync.Mutex
 	w       *bufio.Writer // nil in ring-only mode
 	enc     *json.Encoder
-	ring    []Event // bounded retention; nil when unbounded streaming
-	next    int     // ring write cursor
+	ring    []Event   // bounded retention; nil when unbounded streaming
+	out     io.Writer // ring mode: where Close drains the retained window
+	next    int       // ring write cursor
 	wrapped bool
+	closed  bool
 	emitted uint64
 }
 
@@ -64,6 +66,17 @@ func NewRingTracer(n int) *Tracer {
 		n = 1
 	}
 	return &Tracer{ring: make([]Event, n)}
+}
+
+// NewRingTracerTo is NewRingTracer with an owned output: Close drains the
+// retained window to w. Binding the destination at construction means the
+// final (possibly partial) window reaches the trace file on every exit path
+// that closes the tracer — clean EOF, error budget stop, or fault-truncated
+// input — not just the paths that remember to call WriteJSONL.
+func NewRingTracerTo(n int, w io.Writer) *Tracer {
+	t := NewRingTracer(n)
+	t.out = w
+	return t
 }
 
 // Emit records one event. On a nil Tracer it is a no-op, so call sites can
@@ -144,4 +157,27 @@ func (t *Tracer) Flush() error {
 		return nil
 	}
 	return t.w.Flush()
+}
+
+// Close finalizes the tracer: in ring mode with an owned output
+// (NewRingTracerTo) it drains the retained — possibly partial — window to
+// that output; in streaming mode it flushes. Close is idempotent: the first
+// call writes, later calls are no-ops, so defensive defers on error paths
+// cannot duplicate the window.
+func (t *Tracer) Close() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	out := t.out
+	t.mu.Unlock()
+	if t.ring != nil && out != nil {
+		return t.WriteJSONL(out)
+	}
+	return t.Flush()
 }

@@ -1,0 +1,221 @@
+package pads_test
+
+// End-to-end profiler tests over the synthetic Sirius corpus: the parse-path
+// profiler must attribute nearly all of the parse wall time to named
+// description nodes, its per-worker histograms and counters must fold to the
+// same result at any worker count, and the bounded-ring tracer must flush a
+// partial final window when a fault-injected source truncates the run
+// (docs/OBSERVABILITY.md).
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"pads/internal/core"
+	"pads/internal/fault"
+	"pads/internal/padsrt"
+	"pads/internal/telemetry"
+	"pads/internal/telemetry/prof"
+)
+
+// profiledRead parses data through the interpreter with a fresh profiler
+// sampling every record and returns the snapshot.
+func profiledRead(t *testing.T, desc *core.Description, data []byte) *prof.Profile {
+	t.Helper()
+	p := prof.New(prof.Options{})
+	desc.ObserveProf(p)
+	defer desc.ObserveProf(nil)
+	s := padsrt.NewBytesSource(data, padsrt.WithProf(p))
+	rr, err := desc.Records(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rr.More() {
+		rr.Read()
+	}
+	if err := rr.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return p.Snapshot()
+}
+
+// TestProfilerSiriusAttribution runs the profiler over the raw Sirius corpus
+// — error population included — and checks the acceptance bar: at least 95%
+// of the profiled wall time attributed to named description node paths, with
+// the paths rooted in the declarations the description actually names.
+func TestProfilerSiriusAttribution(t *testing.T) {
+	benchCorpus(nil)
+	desc, err := core.CompileFile("testdata/sirius.pads")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := profiledRead(t, desc, siriusData)
+
+	if pr.Records == 0 || pr.Sampled != pr.Records {
+		t.Fatalf("sampled %d of %d records, want full sampling", pr.Sampled, pr.Records)
+	}
+	if frac := pr.AttributedFrac(); frac < 0.95 {
+		t.Errorf("attributed %.1f%% of wall time to nodes, want >= 95%%", frac*100)
+	}
+	if pr.Bytes != uint64(len(siriusData)) {
+		t.Errorf("profiled %d bytes, want the whole %d-byte corpus", pr.Bytes, len(siriusData))
+	}
+
+	paths := make(map[string]prof.NodeStat, len(pr.Nodes))
+	for _, n := range pr.Nodes {
+		paths[n.Path] = n
+		root := n.Path
+		if i := strings.IndexByte(root, '.'); i >= 0 {
+			root = root[:i]
+		}
+		if root != "summary_header_t" && root != "entry_t" {
+			t.Errorf("node %q not rooted in a Sirius declaration", n.Path)
+		}
+	}
+	// The union of the paper's walkthrough: the optional dib_ramp_t branch
+	// fails speculatively on generated ramps, so its errors and the
+	// alternative branch's count must both be visible.
+	ramp, ok := paths["entry_t.header.ramp.ramp"]
+	if !ok || ramp.Errors == 0 {
+		t.Errorf("hot union branch entry_t.header.ramp.ramp missing or error-free: %+v", ramp)
+	}
+	if gen, ok := paths["entry_t.header.ramp.genRamp"]; !ok || gen.Count == 0 {
+		t.Errorf("union branch entry_t.header.ramp.genRamp missing: %+v", gen)
+	}
+	if _, ok := paths["entry_t.events.[]"]; !ok {
+		t.Error("array element node entry_t.events.[] missing")
+	}
+}
+
+// deterministicView strips the timing quantities — which legitimately vary
+// run to run — leaving the merge-order-invariant ones: record/byte/error
+// totals, the record-size histogram, and per-node counts and bytes.
+func deterministicView(t *testing.T, pr *prof.Profile) string {
+	t.Helper()
+	type nodeView struct {
+		Path                string
+		Count, Errors       uint64
+		SelfBytes, CumBytes uint64
+	}
+	view := struct {
+		Records, Sampled, Errored, Bytes uint64
+		RecSize                          prof.Hist
+		Nodes                            []nodeView
+	}{pr.Records, pr.Sampled, pr.Errored, pr.Bytes, pr.RecSize, nil}
+	for _, n := range pr.Nodes {
+		view.Nodes = append(view.Nodes, nodeView{n.Path, n.Count, n.Errors, n.SelfBytes, n.CumBytes})
+	}
+	// Node order is self-time-sorted and thus timing-dependent; sort the
+	// view by path instead.
+	for i := 1; i < len(view.Nodes); i++ {
+		for j := i; j > 0 && view.Nodes[j].Path < view.Nodes[j-1].Path; j-- {
+			view.Nodes[j], view.Nodes[j-1] = view.Nodes[j-1], view.Nodes[j]
+		}
+	}
+	b, err := json.MarshalIndent(view, "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestProfilerParallelMergeDeterministic parses the raw corpus sequentially
+// and record-sharded at several worker counts, each run with a fresh
+// profiler, and requires the chunk-order fold to reproduce the sequential
+// profile's deterministic quantities byte-for-byte — the same bar the
+// parallel engine meets for accumulators and telemetry counters.
+func TestProfilerParallelMergeDeterministic(t *testing.T) {
+	benchCorpus(nil)
+	desc, err := core.CompileFile("testdata/sirius.pads")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := deterministicView(t, profiledRead(t, desc, siriusData))
+
+	for _, workers := range []int{1, 2, 4, 8} {
+		p := prof.New(prof.Options{})
+		desc.ObserveProf(p)
+		if _, err := desc.ParseAllParallel(siriusData, nil, workers); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		desc.ObserveProf(nil)
+		got := deterministicView(t, p.Snapshot())
+		if got != want {
+			t.Errorf("workers=%d: merged profile diverges from sequential:\n got %s\nwant %s",
+				workers, got, want)
+		}
+	}
+}
+
+// TestRingTracerFaultTruncation reproduces the satellite regression: a
+// bounded-ring trace of a run that dies mid-stream (fault-injected
+// truncation) must still flush its retained window on Close — before the
+// fix, a ring that never wrapped was dropped silently, so truncated runs
+// lost exactly the trace that would explain them.
+func TestRingTracerFaultTruncation(t *testing.T) {
+	benchCorpus(nil)
+	desc, err := core.CompileFile("testdata/sirius.pads")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Truncate a few records in: far fewer events than the ring holds, so
+	// Close must drain a partial window.
+	const ringSize = 10_000
+	cut := int64(bytes.IndexByte(siriusData[200:], '\n') + 201)
+	var out bytes.Buffer
+	tr := telemetry.NewRingTracerTo(ringSize, &out)
+	desc.Observe(nil, tr)
+	defer desc.Observe(nil, nil)
+
+	fr := fault.NewReader(bytes.NewReader(siriusData), fault.Config{TruncateAt: cut})
+	s := padsrt.NewSource(bufio.NewReader(fr))
+	rr, err := desc.Records(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rr.More() {
+		rr.Read()
+	}
+	if err := rr.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	if out.Len() != 0 {
+		t.Fatalf("ring tracer wrote %d bytes before Close", out.Len())
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(out.String(), "\n"), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		t.Fatal("Close drained no events from the partial window")
+	}
+	if len(lines) >= ringSize {
+		t.Fatalf("%d events for a %d-byte truncated run; window was not partial", len(lines), cut)
+	}
+	sawRecordEnd := false
+	for i, ln := range lines {
+		var ev map[string]any
+		if err := json.Unmarshal([]byte(ln), &ev); err != nil {
+			t.Fatalf("line %d is not JSON: %v\n%s", i+1, err, ln)
+		}
+		if ev["ev"] == "record_end" {
+			sawRecordEnd = true
+		}
+	}
+	if !sawRecordEnd {
+		t.Error("drained window has no record_end event")
+	}
+	// Closing again must not duplicate the window.
+	n := out.Len()
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != n {
+		t.Error("second Close re-drained the window")
+	}
+}

@@ -3,7 +3,10 @@
 # a dated BENCH_<date>.json (pads-bench/v1, internal/telemetry.BenchReport)
 # at the repo root. Committing these files over time gives the project a
 # machine-readable performance history — wall time, bytes/sec, allocations,
-# and the runtime parse counters of docs/OBSERVABILITY.md per row.
+# the runtime parse counters of docs/OBSERVABILITY.md per row, and the
+# per-node hot list of one profiled interpreter pass. Each report is stamped
+# with the commit, GOMAXPROCS, and hostname so trajectory deltas can be
+# traced to the code and machine that produced them.
 #
 # Usage: scripts/bench.sh [extra padsbench flags]
 #   scripts/bench.sh                    # default corpus (2M records)
@@ -13,4 +16,10 @@ cd "$(dirname "$0")/.."
 
 out="BENCH_$(date +%Y-%m-%d).json"
 go run ./cmd/padsbench -json "$@" >"$out"
-echo "wrote $out"
+
+# Refuse to record a report missing the provenance stamps or the hot list;
+# a half-empty trajectory point is worse than none.
+grep -q '"gomaxprocs"' "$out"
+grep -q '"hot_nodes"' "$out"
+commit="$(grep -o '"commit": "[^"]*"' "$out" | head -1 || true)"
+echo "wrote $out (${commit:-no commit stamp})"

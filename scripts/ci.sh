@@ -19,6 +19,8 @@ go build -o "$tmp" ./cmd/...
 "$tmp/padsbench" -n 200 -runs 1 -noperl -json >"$tmp/bench.json" 2>/dev/null
 grep -q '"schema": "pads-bench/v1"' "$tmp/bench.json"
 grep -q '"counters"' "$tmp/bench.json"
+grep -q '"gomaxprocs"' "$tmp/bench.json"
+grep -q '"hot_nodes"' "$tmp/bench.json"
 
 "$tmp/padsbench" -n 200 -runs 1 -noperl -keep "$tmp/sirius.data" >/dev/null
 
@@ -42,6 +44,20 @@ grep -q 'parse telemetry' "$tmp/stats-query.txt"
 "$tmp/padsfmt" -desc testdata/sirius.pads -stats \
     "$tmp/sirius.data" >/dev/null 2>"$tmp/stats-fmt.txt"
 grep -q 'parse telemetry' "$tmp/stats-fmt.txt"
+
+# Profiler smoke test (docs/OBSERVABILITY.md): -profile must exit 0 with a
+# non-empty attribution table naming description node paths, and the folded
+# output must be flamegraph-ready (semicolon-joined stacks).
+"$tmp/padsacc" -desc testdata/sirius.pads -profile \
+    -profile-folded "$tmp/folded.txt" \
+    "$tmp/sirius.data" >/dev/null 2>"$tmp/prof.txt"
+grep -q 'parse profile' "$tmp/prof.txt"
+grep -q 'entry_t.header' "$tmp/prof.txt"
+grep -q 'entry_t;header' "$tmp/folded.txt"
+
+# Disabled profiling must stay off the allocation hot path: the regression
+# test pins a parse with an attached-but-idle profiler to 0 extra allocs/op.
+go test -run 'TestDisabledProfilingNoAllocs' -count=1 ./internal/interp >/dev/null
 
 # Robustness smoke test (docs/ROBUSTNESS.md): the fuzz targets must survive
 # a short budget, and the budget/quarantine flags must behave on a corpus
