@@ -9,6 +9,7 @@
 //	padsc -schema out.xsd description.pads         # generate the XML Schema
 //	padsc -print description.pads                  # pretty-print (round trip)
 //	padsc -check description.pads                  # check only
+//	padsc -emit=ir description.pads                # dump the lowered IR
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 
 	"pads/internal/codegen"
 	"pads/internal/dsl"
+	"pads/internal/ir"
 	"pads/internal/padsrt"
 	"pads/internal/sema"
 	"pads/internal/xmlgen"
@@ -30,6 +32,7 @@ func main() {
 	schemaOut := flag.String("schema", "", "write the generated XML Schema to this file")
 	printSrc := flag.Bool("print", false, "pretty-print the checked description to stdout")
 	checkOnly := flag.Bool("check", false, "check the description and exit")
+	emit := flag.String("emit", "", `dump an intermediate form to stdout: "ir" (the lowered bytecode program shared by the interpreter and the compiler backend, docs/IR.md)`)
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -61,6 +64,18 @@ func main() {
 	}
 	if *printSrc {
 		fmt.Print(dsl.Print(prog))
+	}
+	switch *emit {
+	case "":
+	case "ir":
+		p, err := ir.Lower(desc)
+		if err != nil {
+			fatal(err)
+		}
+		p.Dump(os.Stdout)
+	default:
+		fmt.Fprintf(os.Stderr, "padsc: unknown -emit form %q (want \"ir\")\n", *emit)
+		os.Exit(2)
 	}
 	if *schemaOut != "" {
 		if err := os.WriteFile(*schemaOut, []byte(xmlgen.Schema(desc)), 0o644); err != nil {

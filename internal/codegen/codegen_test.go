@@ -179,7 +179,7 @@ Psource Parray rows_t { row_t[]; };
 		"func fn_positive(p_v int64) bool",
 		"type Sw_tTag int",
 		"case sel == int64(2) || sel == int64(3):",
-		"padsrt.ReadBCD(s, int(int64(5)))",
+		"padsrt.ReadBCD(s, 5)",
 		"padsrt.Opt[float64]",
 		"minSize :=",
 		"maxSize :=",

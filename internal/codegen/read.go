@@ -2,10 +2,10 @@ package codegen
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
 	"pads/internal/dsl"
+	"pads/internal/ir"
 	"pads/internal/sema"
 )
 
@@ -61,8 +61,9 @@ func (g *gen) maskSet(tr dsl.TypeRef, mExpr string) string {
 	return g.doSetExpr(mExpr)
 }
 
-// matchLiteral renders a literal match call.
-func (g *gen) matchLiteral(l *dsl.Literal) string {
+// matchLitID renders a match call for a pooled IR literal.
+func (g *gen) matchLitID(id ir.LitID) string {
+	l := &g.prog.Lits[id]
 	switch l.Kind {
 	case dsl.CharLit:
 		return fmt.Sprintf("padsrt.MatchChar(s, %q)", l.Char)
@@ -77,37 +78,39 @@ func (g *gen) matchLiteral(l *dsl.Literal) string {
 	}
 }
 
-// atomicRef reports whether parsing tr consumes no input when it fails and
-// carries no value constraint, so speculative trials (Popt, union branches)
-// need no checkpoint around it. Fixed-width reads consume their field even
-// on bad digits and dates consume their text before validating, so both are
-// excluded; so are typedefs with constraints (the constraint fails after
-// the input was consumed).
-func (g *gen) atomicRef(tr dsl.TypeRef) bool {
-	if tr.Opt {
-		return false
+// argInt renders a folded IR argument as an int expression: constants fold
+// to literals, everything else evaluates the pooled expression.
+func (g *gen) argInt(a ir.Arg, sc *scope) string {
+	if a.IsConst {
+		return fmt.Sprintf("%d", a.Const)
 	}
-	if b := sema.LookupBase(tr.Name); b != nil {
-		return !b.FW && b.Kind != sema.KDate
-	}
-	switch d := g.desc.Types[tr.Name].(type) {
-	case *dsl.EnumDecl:
-		return true
-	case *dsl.TypedefDecl:
-		return d.Constraint == nil && g.atomicRef(d.Base)
-	}
-	return false
+	code, t := g.expr(g.prog.Exprs[a.Expr], sc)
+	return "int(" + asNum(code, t) + ")"
 }
 
-// readCall renders the call that parses one value of tr into target, using
-// the given mask and pd expressions. uniq makes scratch names unique.
-func (g *gen) readCall(tr dsl.TypeRef, target, mExpr, pdExpr string, sc *scope, depth int, uniq string) {
+// argByte renders a folded IR argument as a byte expression.
+func (g *gen) argByte(a ir.Arg, sc *scope) string {
+	if a.IsConst {
+		return fmt.Sprintf("%q", byte(a.Const))
+	}
+	code, t := g.expr(g.prog.Exprs[a.Expr], sc)
+	return "byte(" + asNum(code, t) + ")"
+}
+
+// readCall renders the call that parses one value of the IR node nid into
+// target, using the given mask and pd expressions. tr supplies the Go-level
+// type names the IR does not carry; uniq makes scratch names unique.
+func (g *gen) readCall(nid ir.NodeID, tr dsl.TypeRef, target, mExpr, pdExpr string, sc *scope, depth int, uniq string) {
 	ind := strings.Repeat("\t", depth)
-	if tr.Opt {
+	n := &g.prog.Nodes[nid]
+	if n.Op == ir.OpOpt {
 		inner := tr
 		inner.Opt = false
 		g.p("%s%s = padsrt.PD{}", ind, pdExpr)
-		atomic := g.atomicRef(inner)
+		// Atomicity was folded at lowering time (ir.FAtomic): an atomic
+		// inner type consumes nothing on failure, so the trial needs no
+		// checkpoint — the same elision the VM applies.
+		atomic := g.prog.Nodes[n.A].Flags&ir.FAtomic != 0
 		if !atomic {
 			g.p("%ss.Checkpoint()", ind)
 		}
@@ -122,10 +125,8 @@ func (g *gen) readCall(tr dsl.TypeRef, target, mExpr, pdExpr string, sc *scope, 
 			g.p("%s\toptM%s := New%sMask(%s)", ind, uniq, GoName(inner.Name), mExpr)
 			innerMask = "optM" + uniq
 		}
-		g.readCallNonOpt(inner, target+".Val", innerMask, innerPD, sc, depth+1, uniq+"i")
+		g.readCallNonOpt(n.A, inner, target+".Val", innerMask, innerPD, sc, depth+1, uniq+"i")
 		if atomic {
-			// An atomic inner type consumes nothing on failure: no
-			// checkpoint is needed around the trial.
 			g.p("%s\t%s.Present = %s.Nerr == 0", ind, target, g.pdHeader(inner, innerPD))
 		} else {
 			g.p("%s\tif %s.Nerr == 0 {", ind, g.pdHeader(inner, innerPD))
@@ -139,22 +140,19 @@ func (g *gen) readCall(tr dsl.TypeRef, target, mExpr, pdExpr string, sc *scope, 
 		g.p("%s}", ind)
 		return
 	}
-	g.readCallNonOpt(tr, target, mExpr, pdExpr, sc, depth, uniq)
+	g.readCallNonOpt(nid, tr, target, mExpr, pdExpr, sc, depth, uniq)
 }
 
-func (g *gen) readCallNonOpt(tr dsl.TypeRef, target, mExpr, pdExpr string, sc *scope, depth int, uniq string) {
+func (g *gen) readCallNonOpt(nid ir.NodeID, tr dsl.TypeRef, target, mExpr, pdExpr string, sc *scope, depth int, uniq string) {
 	ind := strings.Repeat("\t", depth)
-	if b := sema.LookupBase(tr.Name); b != nil {
-		g.readBase(b, tr, target, mExpr, pdExpr, sc, depth, uniq)
+	n := &g.prog.Nodes[nid]
+	if n.Op == ir.OpBase {
+		g.readBase(n, target, mExpr, pdExpr, sc, depth, uniq)
 		return
 	}
-	d, ok := g.desc.Types[tr.Name]
-	if !ok {
-		g.err = fmt.Errorf("codegen: unknown type %s", tr.Name)
-		return
-	}
+	// OpCall: a reference to a declared type.
 	args := g.argExprs(tr, sc)
-	switch d.(type) {
+	switch g.desc.Types[tr.Name].(type) {
 	case *dsl.EnumDecl, *dsl.TypedefDecl:
 		g.p("%sRead%s(s, %s, &%s, &%s%s)", ind, GoName(tr.Name), mExpr, pdExpr, target, args)
 	default:
@@ -166,138 +164,107 @@ func (g *gen) readCallNonOpt(tr dsl.TypeRef, target, mExpr, pdExpr string, sc *s
 	}
 }
 
-// readBase emits a base-type read into target.
-func (g *gen) readBase(b *sema.BaseInfo, tr dsl.TypeRef, target, mExpr, pdExpr string, sc *scope, depth int, uniq string) {
+// readBase emits a base-type read into target, driven by the lowered
+// BaseSpec: the registry dispatch (kind × coding × fixed-width) and constant
+// argument folding happened once at ir.Lower time, shared with the VM's
+// execBase table.
+func (g *gen) readBase(n *ir.Node, target, mExpr, pdExpr string, sc *scope, depth int, uniq string) {
 	ind := strings.Repeat("\t", depth)
+	spec := &g.prog.Bases[n.A]
 	v := "v" + uniq
 	c := "c" + uniq
 
-	intArg := func(i int) string {
-		code, t := g.expr(tr.Args[i], sc)
-		return "int(" + asNum(code, t) + ")"
-	}
-	// termArg renders a Pstring/Pdate terminator; ok=false means Peor/Peof.
-	termArg := func(i int) (string, bool) {
-		switch a := tr.Args[i].(type) {
-		case *dsl.CharExpr:
-			return fmt.Sprintf("%q", a.Val), true
-		case *dsl.EORExpr, *dsl.EOFExpr:
-			return "", false
-		default:
-			code, t := g.expr(a, sc)
-			return "byte(" + asNum(code, t) + ")", true
-		}
-	}
-
 	g.p("%s%s = padsrt.PD{}", ind, pdExpr)
 	g.p("%s{", ind)
+	if spec.BadParam {
+		// Statically malformed reference: parsing yields ErrBadParam,
+		// matching the interpreter.
+		g.p("%s\t%s.SetError(padsrt.ErrBadParam, s.LocHere())", ind, pdExpr)
+		g.p("%s}", ind)
+		return
+	}
 
 	var call, conv string
-	switch b.Kind {
-	case sema.KChar:
-		switch b.Coding {
-		case "a":
-			call = "padsrt.ReadAChar(s)"
-		case "e":
-			call = "padsrt.ReadEChar(s)"
-		case "b":
-			call = "padsrt.ReadBChar(s)"
-		default:
-			call = "padsrt.ReadChar(s)"
-		}
-		conv = v
-	case sema.KUint:
-		switch {
-		case b.FW && b.Coding == "a":
-			call = fmt.Sprintf("padsrt.ReadAUintFW(s, %s, %d)", intArg(0), b.Bits)
-		case b.FW:
-			call = fmt.Sprintf("padsrt.ReadUintFW(s, %s, %d)", intArg(0), b.Bits)
-		case b.Coding == "a":
-			call = fmt.Sprintf("padsrt.ReadAUint(s, %d)", b.Bits)
-		case b.Coding == "e":
-			call = fmt.Sprintf("padsrt.ReadEUint(s, %d)", b.Bits)
-		case b.Coding == "b":
-			call = fmt.Sprintf("padsrt.ReadBUint(s, %d)", b.Bits/8)
-		default:
-			call = fmt.Sprintf("padsrt.ReadUint(s, %d)", b.Bits)
-		}
-		conv = fmt.Sprintf("uint%d(%s)", b.Bits, v)
-	case sema.KInt:
-		switch {
-		case b.Coding == "bcd":
-			call = fmt.Sprintf("padsrt.ReadBCD(s, %s)", intArg(0))
-		case b.Coding == "zoned":
-			call = fmt.Sprintf("padsrt.ReadZoned(s, %s)", intArg(0))
-		case b.FW:
-			call = fmt.Sprintf("padsrt.ReadAIntFW(s, %s, %d)", intArg(0), b.Bits)
-		case b.Coding == "a":
-			call = fmt.Sprintf("padsrt.ReadAInt(s, %d)", b.Bits)
-		case b.Coding == "e":
-			call = fmt.Sprintf("padsrt.ReadEInt(s, %d)", b.Bits)
-		case b.Coding == "b":
-			call = fmt.Sprintf("padsrt.ReadBInt(s, %d)", b.Bits/8)
-		default:
-			call = fmt.Sprintf("padsrt.ReadInt(s, %d)", b.Bits)
-		}
-		conv = fmt.Sprintf("int%d(%s)", b.Bits, v)
-	case sema.KFloat:
-		call = fmt.Sprintf("padsrt.ReadAFloat(s, %d)", b.Bits)
-		conv = fmt.Sprintf("float%d(%s)", b.Bits, v)
-	case sema.KString:
+	switch spec.Read {
+	case ir.RChar:
+		call, conv = "padsrt.ReadChar(s)", v
+	case ir.RAChar:
+		call, conv = "padsrt.ReadAChar(s)", v
+	case ir.REChar:
+		call, conv = "padsrt.ReadEChar(s)", v
+	case ir.RBChar:
+		call, conv = "padsrt.ReadBChar(s)", v
+	case ir.RUint:
+		call = fmt.Sprintf("padsrt.ReadUint(s, %d)", spec.Bits)
+	case ir.RAUint:
+		call = fmt.Sprintf("padsrt.ReadAUint(s, %d)", spec.Bits)
+	case ir.REUint:
+		call = fmt.Sprintf("padsrt.ReadEUint(s, %d)", spec.Bits)
+	case ir.RBUint:
+		call = fmt.Sprintf("padsrt.ReadBUint(s, %d)", spec.Bits/8)
+	case ir.RUintFW:
+		call = fmt.Sprintf("padsrt.ReadUintFW(s, %s, %d)", g.argInt(spec.Width, sc), spec.Bits)
+	case ir.RAUintFW:
+		call = fmt.Sprintf("padsrt.ReadAUintFW(s, %s, %d)", g.argInt(spec.Width, sc), spec.Bits)
+	case ir.RInt:
+		call = fmt.Sprintf("padsrt.ReadInt(s, %d)", spec.Bits)
+	case ir.RAInt:
+		call = fmt.Sprintf("padsrt.ReadAInt(s, %d)", spec.Bits)
+	case ir.REInt:
+		call = fmt.Sprintf("padsrt.ReadEInt(s, %d)", spec.Bits)
+	case ir.RBInt:
+		call = fmt.Sprintf("padsrt.ReadBInt(s, %d)", spec.Bits/8)
+	case ir.RAIntFW:
+		call = fmt.Sprintf("padsrt.ReadAIntFW(s, %s, %d)", g.argInt(spec.Width, sc), spec.Bits)
+	case ir.RBCD:
+		call = fmt.Sprintf("padsrt.ReadBCD(s, %s)", g.argInt(spec.Width, sc))
+	case ir.RZoned:
+		call = fmt.Sprintf("padsrt.ReadZoned(s, %s)", g.argInt(spec.Width, sc))
+	case ir.RAFloat:
+		call = fmt.Sprintf("padsrt.ReadAFloat(s, %d)", spec.Bits)
+		conv = fmt.Sprintf("float%d(%s)", spec.Bits, v)
+	case ir.RStringTerm, ir.RStringEOR, ir.RStringFW:
 		// A skip path avoids materializing strings whose mask neither
 		// sets nor (for validated kinds) checks: the run-time saving
 		// masks exist to provide (section 5.1.2).
-		skip := ""
-		switch b.Name {
-		case "Pstring":
-			if t, isChar := termArg(0); isChar {
-				call = fmt.Sprintf("padsrt.ReadStringTerm(s, %s)", t)
-				skip = fmt.Sprintf("padsrt.SkipStringTerm(s, %s)", t)
-			} else {
-				call = "padsrt.ReadStringEOR(s)"
-				skip = "padsrt.SkipStringEOR(s)"
-			}
-		case "Pstring_FW":
-			w := intArg(0)
+		var skip string
+		switch spec.Read {
+		case ir.RStringTerm:
+			t := g.argByte(spec.Term, sc)
+			call = fmt.Sprintf("padsrt.ReadStringTerm(s, %s)", t)
+			skip = fmt.Sprintf("padsrt.SkipStringTerm(s, %s)", t)
+		case ir.RStringEOR:
+			call = "padsrt.ReadStringEOR(s)"
+			skip = "padsrt.SkipStringEOR(s)"
+		default:
+			w := g.argInt(spec.Width, sc)
 			call = fmt.Sprintf("padsrt.ReadStringFW(s, %s)", w)
 			skip = fmt.Sprintf("padsrt.SkipStringFW(s, %s)", w)
-		case "Pstring_ME", "Pstring_SE":
-			re := "nil"
-			if rex, ok := tr.Args[0].(*dsl.RegexpExpr); ok {
-				re = g.reVar(rex.Src)
-			}
-			if b.Name == "Pstring_ME" {
-				call = fmt.Sprintf("padsrt.ReadStringME(s, %s)", re)
-			} else {
-				call = fmt.Sprintf("padsrt.ReadStringSE(s, %s)", re)
-			}
-		case "Phostname":
-			call = "padsrt.ReadHostname(s)"
-		case "Pzip":
-			call = "padsrt.ReadZip(s)"
-		default:
-			g.err = fmt.Errorf("codegen: unsupported string base %s", b.Name)
-			call = "padsrt.ReadHostname(s)"
 		}
-		if skip != "" {
-			g.p("%s\tif %s {", ind, g.doSetExpr(mExpr))
-			g.p("%s\t\t%s, %s := %s", ind, v, c, call)
-			g.p("%s\t\tif %s != padsrt.ErrNone {", ind, c)
-			g.p("%s\t\t\t%s.SetError(%s, s.LocHere())", ind, pdExpr, c)
-			g.p("%s\t\t} else {", ind)
-			g.p("%s\t\t\t%s = %s", ind, target, v)
-			g.p("%s\t\t}", ind)
-			g.p("%s\t} else if %s := %s; %s != padsrt.ErrNone {", ind, c, skip, c)
-			g.p("%s\t\t%s.SetError(%s, s.LocHere())", ind, pdExpr, c)
-			g.p("%s\t}", ind)
-			g.p("%s}", ind)
-			return
-		}
-		conv = v
-	case sema.KDate:
-		t, isChar := termArg(0)
-		if !isChar {
-			t = "0"
+		g.p("%s\tif %s {", ind, g.doSetExpr(mExpr))
+		g.p("%s\t\t%s, %s := %s", ind, v, c, call)
+		g.p("%s\t\tif %s != padsrt.ErrNone {", ind, c)
+		g.p("%s\t\t\t%s.SetError(%s, s.LocHere())", ind, pdExpr, c)
+		g.p("%s\t\t} else {", ind)
+		g.p("%s\t\t\t%s = %s", ind, target, v)
+		g.p("%s\t\t}", ind)
+		g.p("%s\t} else if %s := %s; %s != padsrt.ErrNone {", ind, c, skip, c)
+		g.p("%s\t\t%s.SetError(%s, s.LocHere())", ind, pdExpr, c)
+		g.p("%s\t}", ind)
+		g.p("%s}", ind)
+		return
+	case ir.RStringME:
+		call, conv = fmt.Sprintf("padsrt.ReadStringME(s, %s)", g.reVar(spec.Re.String())), v
+	case ir.RStringSE:
+		call, conv = fmt.Sprintf("padsrt.ReadStringSE(s, %s)", g.reVar(spec.Re.String())), v
+	case ir.RHostname:
+		call, conv = "padsrt.ReadHostname(s)", v
+	case ir.RZip:
+		call, conv = "padsrt.ReadZip(s)", v
+	case ir.RDate:
+		t := "0"
+		if spec.TermChar {
+			t = g.argByte(spec.Term, sc)
 		}
 		// Skip the date parse entirely when the field is neither set nor
 		// checked; the text is still consumed syntactically.
@@ -313,12 +280,23 @@ func (g *gen) readBase(b *sema.BaseInfo, tr dsl.TypeRef, target, mExpr, pdExpr s
 		g.p("%s\t}", ind)
 		g.p("%s}", ind)
 		return
-	case sema.KIP:
-		call = "padsrt.ReadIP(s)"
-		conv = v
-	case sema.KVoid:
+	case ir.RIP:
+		call, conv = "padsrt.ReadIP(s)", v
+	case ir.RVoid:
 		g.p("%s}", ind)
 		return
+	default:
+		g.err = fmt.Errorf("codegen: unsupported read op %v", spec.Read)
+		g.p("%s}", ind)
+		return
+	}
+	if conv == "" {
+		switch spec.Info.Kind {
+		case sema.KUint:
+			conv = fmt.Sprintf("uint%d(%s)", spec.Bits, v)
+		default:
+			conv = fmt.Sprintf("int%d(%s)", spec.Bits, v)
+		}
 	}
 
 	g.p("%s\t%s, %s := %s", ind, v, c, call)
@@ -383,12 +361,14 @@ func (g *gen) emitStruct(d *dsl.StructDecl) {
 	for _, p := range d.Params {
 		sc.bind(p.Name, "arg_"+p.Name, g.scopeTyForGo(p.Type, g.paramGoType(p.Type)))
 	}
+	kids := g.prog.KidsOf(&g.prog.Nodes[g.prog.Root(d.Name)])
 	uniq := 0
-	for _, it := range d.Items {
+	for i, it := range d.Items {
+		k := &g.prog.Nodes[kids[i]]
 		uniq++
-		if it.Lit != nil {
+		if k.Op == ir.OpLit {
 			g.p("\t{")
-			g.p("\t\tif code := %s; code != padsrt.ErrNone {", g.matchLiteral(it.Lit))
+			g.p("\t\tif code := %s; code != padsrt.ErrNone {", g.matchLitID(k.A))
 			g.p("\t\t\tpd.PD.SetError(code, s.LocHere())")
 			g.p("\t\t\tif pd.PD.State == padsrt.Normal {")
 			g.p("\t\t\t\tpd.PD.State = padsrt.Partial")
@@ -399,7 +379,7 @@ func (g *gen) emitStruct(d *dsl.StructDecl) {
 		}
 		f := it.Field
 		fn := goFieldName(f.Name)
-		g.readCall(f.Type, "rep."+fn, "m."+fn, "pd."+fn, sc, 1, fmt.Sprintf("f%d", uniq))
+		g.readCall(k.A, f.Type, "rep."+fn, "m."+fn, "pd."+fn, sc, 1, fmt.Sprintf("f%d", uniq))
 		pdh := g.pdHeader(f.Type, "pd."+fn)
 		if f.Constraint != nil {
 			fsc := newScope(sc)
@@ -513,6 +493,32 @@ func (g *gen) emitUnion(d *dsl.UnionDecl) {
 	g.p("var default%sMask = New%sMask(padsrt.CheckAndSet)", name, name)
 	g.p("")
 
+	// Branch metadata lowered into the IR: per-branch child nodes, folded
+	// atomicity, and (speculative unions only) first-byte classes.
+	un := &g.prog.Nodes[g.prog.Root(d.Name)]
+	kids := g.prog.KidsOf(un)
+	screened := false
+	if d.Switch == nil {
+		for _, kid := range kids {
+			if g.prog.Nodes[kid].D != ir.None {
+				screened = true
+			}
+		}
+	}
+	if screened {
+		g.p("// First-byte classes: a speculative branch whose class excludes the next")
+		g.p("// input byte cannot possibly match, so its trial parse is skipped.")
+		g.p("var (")
+		for i, kid := range kids {
+			if cid := g.prog.Nodes[kid].D; cid != ir.None {
+				cls := g.prog.Classes[cid]
+				g.p("\tfirst%s%d = padsrt.ByteClass{%#x, %#x, %#x, %#x}", name, i, cls[0], cls[1], cls[2], cls[3])
+			}
+		}
+		g.p(")")
+		g.p("")
+	}
+
 	g.p("// Read%s parses one %s from s.", name, d.Name)
 	g.p("func Read%s(s *padsrt.Source, m *%sMask, pd *%sPD, rep *%s%s) {", name, name, name, name, g.paramList(d.Params))
 	g.p("\tif m == nil {")
@@ -532,7 +538,7 @@ func (g *gen) emitUnion(d *dsl.UnionDecl) {
 	emitBranchRead := func(i int, depth int) {
 		b := &branches[i]
 		fn := goFieldName(b.Name)
-		g.readCall(b.Type, "rep."+fn, "m."+fn, "pd."+fn, sc, depth, fmt.Sprintf("b%d", i))
+		g.readCall(g.prog.Nodes[kids[i]].A, b.Type, "rep."+fn, "m."+fn, "pd."+fn, sc, depth, fmt.Sprintf("b%d", i))
 		pdh := g.pdHeader(b.Type, "pd."+fn)
 		if b.Constraint != nil {
 			bsc := newScope(sc)
@@ -581,26 +587,51 @@ func (g *gen) emitUnion(d *dsl.UnionDecl) {
 		}
 		g.p("\t}")
 	} else {
+		if screened {
+			// The screen is armed only when nothing observes the
+			// checkpoint stream: telemetry counters, profiler sampling,
+			// and speculation limits all see fewer trials when branches
+			// are skipped, so their presence disables screening — the
+			// same gate the VM applies.
+			g.p("\tscreen := s.Stats() == nil && s.Prof() == nil && !s.SpecLimited()")
+			g.p("\tnb, nbOK := s.PeekByte()")
+		}
 		for i := range branches {
+			k := &g.prog.Nodes[kids[i]]
 			fn := goFieldName(branches[i].Name)
 			pdh := g.pdHeader(branches[i].Type, "pd."+fn)
-			atomic := g.atomicRef(branches[i].Type) && branches[i].Constraint == nil
-			if !atomic {
-				g.p("\ts.Checkpoint()")
+			atomic := g.prog.Nodes[k.A].Flags&ir.FAtomic != 0 && k.B == ir.None
+			depth := 1
+			if k.D != ir.None {
+				// ASCII-conditional classes hold only under the default
+				// ambient coding; on other codings the probe is disarmed.
+				if g.prog.ClassASCII[k.D] {
+					g.p("\tif !screen || s.Coding() != padsrt.ASCII || (nbOK && first%s%d.Has(nb)) {", name, i)
+				} else {
+					g.p("\tif !screen || (nbOK && first%s%d.Has(nb)) {", name, i)
+				}
+				depth = 2
 			}
-			emitBranchRead(i, 1)
-			g.p("\tif %s.Nerr == 0 {", pdh)
+			ind := strings.Repeat("\t", depth)
 			if !atomic {
-				g.p("\t\ts.Commit()")
+				g.p("%ss.Checkpoint()", ind)
 			}
-			g.p("\t\trep.Tag = %sTag%s", name, GoName(branches[i].Name))
+			emitBranchRead(i, depth)
+			g.p("%sif %s.Nerr == 0 {", ind, pdh)
+			if !atomic {
+				g.p("%s\ts.Commit()", ind)
+			}
+			g.p("%s\trep.Tag = %sTag%s", ind, name, GoName(branches[i].Name))
 			if d.IsRecord {
 				g.recordEpilogue(true)
 			}
-			g.p("\t\treturn")
-			g.p("\t}")
+			g.p("%s\treturn", ind)
+			g.p("%s}", ind)
 			if !atomic {
-				g.p("\ts.Restore()")
+				g.p("%ss.Restore()", ind)
+			}
+			if k.D != ir.None {
+				g.p("\t}")
 			}
 		}
 		g.p("\tpd.PD.SetError(padsrt.ErrUnionMatch, s.LocFrom(begin))")
@@ -653,10 +684,10 @@ func (g *gen) emitArray(d *dsl.ArrayDecl) {
 	g.p("var default%sMask = New%sMask(padsrt.CheckAndSet)", name, name)
 	g.p("")
 
-	elemIsRecord := false
-	if ed, ok := g.desc.Types[d.Elem.Name]; ok && sema.Annot(ed).IsRecord {
-		elemIsRecord = true
-	}
+	// The lowered ArraySpec carries folded bounds, pooled sep/term literal
+	// matchers, and the element node.
+	an := &g.prog.Nodes[g.prog.Root(d.Name)]
+	spec := &g.prog.Arrays[an.A]
 
 	g.p("// Read%s parses one %s from s.", name, d.Name)
 	g.p("func Read%s(s *padsrt.Source, m *%sMask, pd *%sPD, rep *%s%s) {", name, name, name, name, g.paramList(d.Params))
@@ -678,47 +709,53 @@ func (g *gen) emitArray(d *dsl.ArrayDecl) {
 	seqSc.bind("elts", "rep.Elems", ty{k: sema.KArray, name: d.Name, elem: tyPtr(g.tyOfRef(d.Elem))})
 	seqSc.bind("length", "int64(len(rep.Elems))", tyNum)
 
-	if d.MinSize != nil {
-		code, t := g.expr(d.MinSize, sc)
-		g.p("\tminSize := %s", asNum(code, t))
+	if spec.HasMin {
+		if spec.MinSize.IsConst {
+			g.p("\tminSize := int64(%d)", spec.MinSize.Const)
+		} else {
+			code, t := g.expr(g.prog.Exprs[spec.MinSize.Expr], sc)
+			g.p("\tminSize := %s", asNum(code, t))
+		}
 	}
-	if d.MaxSize != nil {
-		code, t := g.expr(d.MaxSize, sc)
-		g.p("\tmaxSize := %s", asNum(code, t))
+	if spec.HasMax {
+		if spec.MaxSize.IsConst {
+			g.p("\tmaxSize := int64(%d)", spec.MaxSize.Const)
+		} else {
+			code, t := g.expr(g.prog.Exprs[spec.MaxSize.Expr], sc)
+			g.p("\tmaxSize := %s", asNum(code, t))
+		}
 	}
 
 	g.p("\tfor {")
-	if d.MaxSize != nil {
+	if spec.HasMax {
 		g.p("\t\tif int64(len(rep.Elems)) >= maxSize {")
 		g.p("\t\t\tbreak")
 		g.p("\t\t}")
 	}
-	if d.EndedPred != nil {
-		cond, _ := g.expr(d.EndedPred, seqSc)
+	if spec.EndedPred != ir.None {
+		cond, _ := g.expr(g.prog.Exprs[spec.EndedPred], seqSc)
 		g.p("\t\tif %s {", cond)
 		g.p("\t\t\tbreak")
 		g.p("\t\t}")
 	}
-	if d.Term != nil {
-		switch d.Term.Kind {
-		case dsl.EORLit:
-			g.p("\t\tif s.AtEOR() {")
-			g.p("\t\t\tbreak")
-			g.p("\t\t}")
-		case dsl.EOFLit:
-			g.p("\t\tif s.AtEOF() {")
-			g.p("\t\t\tbreak")
-			g.p("\t\t}")
-		default:
-			g.p("\t\ts.Checkpoint()")
-			g.p("\t\tif %s == padsrt.ErrNone {", g.matchLiteral(d.Term))
-			g.p("\t\t\ts.Commit()")
-			g.p("\t\t\tbreak")
-			g.p("\t\t}")
-			g.p("\t\ts.Restore()")
-		}
+	switch {
+	case spec.TermEOR:
+		g.p("\t\tif s.AtEOR() {")
+		g.p("\t\t\tbreak")
+		g.p("\t\t}")
+	case spec.TermEOF:
+		g.p("\t\tif s.AtEOF() {")
+		g.p("\t\t\tbreak")
+		g.p("\t\t}")
+	case spec.Term != ir.None:
+		g.p("\t\ts.Checkpoint()")
+		g.p("\t\tif %s == padsrt.ErrNone {", g.matchLitID(spec.Term))
+		g.p("\t\t\ts.Commit()")
+		g.p("\t\t\tbreak")
+		g.p("\t\t}")
+		g.p("\t\ts.Restore()")
 	}
-	if elemIsRecord {
+	if spec.ElemIsRecord {
 		g.p("\t\tif !s.InRecord() && !s.More() {")
 		g.p("\t\t\tbreak")
 		g.p("\t\t}")
@@ -727,10 +764,10 @@ func (g *gen) emitArray(d *dsl.ArrayDecl) {
 		g.p("\t\t\tbreak")
 		g.p("\t\t}")
 	}
-	if d.Sep != nil {
+	if spec.Sep != ir.None {
 		g.p("\t\tif len(rep.Elems) > 0 {")
 		g.p("\t\t\tsepBegin := s.Pos()")
-		g.p("\t\t\tif code := %s; code != padsrt.ErrNone {", g.matchLiteral(d.Sep))
+		g.p("\t\t\tif code := %s; code != padsrt.ErrNone {", g.matchLitID(spec.Sep))
 		g.p("\t\t\t\tpd.PD.SetError(padsrt.ErrArraySep, s.LocFrom(sepBegin))")
 		g.p("\t\t\t\tbreak")
 		g.p("\t\t\t}")
@@ -742,7 +779,7 @@ func (g *gen) emitArray(d *dsl.ArrayDecl) {
 	g.p("\t\ter := &rep.Elems[len(rep.Elems)-1]")
 	g.p("\t\tepd := &pd.Elems[len(pd.Elems)-1]")
 	elemMask := "m.Elem"
-	g.readCall(d.Elem, "(*er)", elemMask, "(*epd)", sc, 2, "e")
+	g.readCall(an.B, d.Elem, "(*er)", elemMask, "(*epd)", sc, 2, "e")
 	pdh := g.pdHeader(d.Elem, "(*epd)")
 	g.p("\t\tif %s.Nerr > 0 {", pdh)
 	g.p("\t\t\tpd.PD.AddChildErrors(&%s, padsrt.ErrArrayElem)", pdh)
@@ -750,23 +787,23 @@ func (g *gen) emitArray(d *dsl.ArrayDecl) {
 	g.p("\t\t\t\tbreak")
 	g.p("\t\t\t}")
 	g.p("\t\t}")
-	if d.LastPred != nil {
+	if spec.LastPred != ir.None {
 		lsc := newScope(seqSc)
 		lsc.bind("elt", "(*er)", g.tyOfRef(d.Elem))
-		cond, _ := g.expr(d.LastPred, lsc)
+		cond, _ := g.expr(g.prog.Exprs[spec.LastPred], lsc)
 		g.p("\t\tif %s {", cond)
 		g.p("\t\t\tbreak")
 		g.p("\t\t}")
 	}
 	g.p("\t}")
 
-	if d.MinSize != nil {
+	if spec.HasMin {
 		g.p("\tif int64(len(rep.Elems)) < minSize && %s {", g.doCheckExpr("m.CompoundLevel"))
 		g.p("\t\tpd.PD.SetError(padsrt.ErrArraySize, s.LocFrom(begin))")
 		g.p("\t}")
 	}
-	if d.Where != nil {
-		cond, _ := g.expr(d.Where, seqSc)
+	if spec.Where != ir.None {
+		cond, _ := g.expr(g.prog.Exprs[spec.Where], seqSc)
 		g.p("\tif %s && pd.PD.Nerr == 0 {", g.doCheckExpr("m.CompoundLevel"))
 		g.p("\t\tif !(%s) {", cond)
 		g.p("\t\t\tpd.PD.SetError(padsrt.ErrWhere, s.LocFrom(begin))")
@@ -812,33 +849,21 @@ func (g *gen) emitEnum(d *dsl.EnumDecl) {
 	g.p("}")
 	g.p("")
 
-	// Longest-first members for unambiguous matching.
-	idx := make([]int, len(d.Members))
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.SliceStable(idx, func(a, b int) bool {
-		return len(d.Members[idx[a]].Repr) > len(d.Members[idx[b]].Repr)
-	})
+	// Match order and peek width come from the lowered EnumSpec: members
+	// sorted longest-repr-first, so the first match is the longest.
+	spec := &g.prog.Enums[g.prog.Nodes[g.prog.Root(d.Name)].A]
 
 	g.p("// Read%s parses one %s from s.", name, d.Name)
 	g.p("func Read%s(s *padsrt.Source, m padsrt.Mask, pd *padsrt.PD, rep *%s) {", name, name)
 	g.p("\t*pd = padsrt.PD{}")
 	g.p("\tbegin := s.Pos()")
-	maxLen := 0
-	for _, m := range d.Members {
-		if len(m.Repr) > maxLen {
-			maxLen = len(m.Repr)
-		}
-	}
-	g.p("\tw := s.Peek(%d)", maxLen)
+	g.p("\tw := s.Peek(%d)", spec.MaxLen)
 	g.p("\tswitch {")
-	for _, i := range idx {
-		m := d.Members[i]
-		g.p("\tcase len(w) >= %d && string(w[:%d]) == %q:", len(m.Repr), len(m.Repr), m.Repr)
-		g.p("\t\ts.Skip(%d)", len(m.Repr))
+	for _, a := range spec.Alts {
+		g.p("\tcase len(w) >= %d && string(w[:%d]) == %q:", len(a.Repr), len(a.Repr), a.Repr)
+		g.p("\t\ts.Skip(%d)", len(a.Repr))
 		g.p("\t\tif %s {", g.doSetExpr("m"))
-		g.p("\t\t\t*rep = %s_%s", name, m.Name)
+		g.p("\t\t\t*rep = %s_%s", name, a.Name)
 		g.p("\t\t}")
 	}
 	g.p("\tdefault:")
@@ -866,7 +891,7 @@ func (g *gen) emitTypedef(d *dsl.TypedefDecl) {
 	}
 	// The base may itself be an enum/typedef (mask by value) or a base
 	// type; compound bases are not supported for typedefs by the checker.
-	g.readCall(d.Base, "(*rep)", "m", "(*pd)", sc, 1, "t")
+	g.readCall(g.prog.Nodes[g.prog.Root(d.Name)].A, d.Base, "(*rep)", "m", "(*pd)", sc, 1, "t")
 	if d.Constraint != nil {
 		csc := newScope(sc)
 		csc.bind(d.VarName, "(*rep)", g.tyOfRef(d.Base))

@@ -55,6 +55,11 @@ func PadsVetSource(s *padsrt.Source, clean, errOut io.Writer) (VetStats, error) 
 		clean.Write(buf)
 	}
 
+	// Clean records are copied through byte-for-byte (what the task asks
+	// for, and what the go-port and Perl vetters do) rather than
+	// re-serialized field by field; only erroneous records re-serialize,
+	// surfacing the parser's view of what it could salvage.
+	s.SetKeepRecords(true)
 	var e sirius.Entry_t
 	var epd sirius.Entry_tPD
 	for s.More() {
@@ -63,7 +68,8 @@ func PadsVetSource(s *padsrt.Source, clean, errOut io.Writer) (VetStats, error) 
 		if epd.PD.Nerr == 0 {
 			st.Clean++
 			if clean != nil {
-				buf = sirius.WriteEntry_t(buf[:0], &e)
+				buf = append(buf[:0], s.LastRecord()...)
+				buf = append(buf, '\n')
 				clean.Write(buf)
 			}
 		} else {
@@ -153,6 +159,7 @@ func PadsVetParallel(data []byte, clean, errOut io.Writer, workers int) (VetStat
 		parallel.Options{Workers: workers, Off: int64(base), Records: s.RecordNum()},
 		func(src *padsrt.Source, c parallel.Chunk) (*shard, error) {
 			sh := &shard{}
+			src.SetKeepRecords(true) // raw copy-through, as in PadsVetSource
 			var e sirius.Entry_t
 			var epd sirius.Entry_tPD
 			for src.More() {
@@ -161,7 +168,8 @@ func PadsVetParallel(data []byte, clean, errOut io.Writer, workers int) (VetStat
 				if epd.PD.Nerr == 0 {
 					sh.st.Clean++
 					if clean != nil {
-						sh.clean = sirius.WriteEntry_t(sh.clean, &e)
+						sh.clean = append(sh.clean, src.LastRecord()...)
+						sh.clean = append(sh.clean, '\n')
 					}
 				} else {
 					sh.st.Errors++

@@ -132,8 +132,13 @@ func TestDifferentialAgainstInterp(t *testing.T) {
 	}
 	data := buf.Bytes()
 
+	// Three-way IR conformance: AST walk vs bytecode VM vs generated code.
 	si := padsrt.NewBytesSource(data)
 	rr, err := in.NewRecordReader(si, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, err := interp.NewAST(desc).NewRecordReader(padsrt.NewBytesSource(data), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,6 +146,12 @@ func TestDifferentialAgainstInterp(t *testing.T) {
 	rec := 0
 	for rr.More() {
 		iv := rr.Read()
+		if !ra.More() {
+			t.Fatalf("AST reader ran out at record %d", rec)
+		}
+		if d := value.DiffFull(ra.Read(), iv); d != "" {
+			t.Fatalf("record %d: AST walk and VM differ: %s", rec, d)
+		}
 		var e Entry_t
 		var epd Entry_tPD
 		ReadEntry_t(sg, nil, &epd, &e)

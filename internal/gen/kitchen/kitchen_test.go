@@ -43,13 +43,21 @@ func TestThreeWayDifferential(t *testing.T) {
 			t.Fatalf("seed %d: generate: %v", seed, err)
 		}
 
-		// Interpreter.
+		// Interpreter (the bytecode VM), checked against the reference AST
+		// walk descriptor-for-descriptor.
 		iv, err := in.ParseSource(padsrt.NewBytesSource(data))
 		if err != nil {
 			t.Fatalf("seed %d: interp: %v", seed, err)
 		}
 		if iv.PD().Nerr != 0 {
 			t.Fatalf("seed %d: interp flagged generated data: %v\n%s", seed, iv.PD(), data)
+		}
+		av, err := interp.NewAST(desc).ParseSource(padsrt.NewBytesSource(data))
+		if err != nil {
+			t.Fatalf("seed %d: AST walk: %v", seed, err)
+		}
+		if d := value.DiffFull(av, iv); d != "" {
+			t.Fatalf("seed %d: AST walk and VM differ: %s", seed, d)
 		}
 
 		// Generated parser.

@@ -122,11 +122,21 @@ func TestDifferentialAgainstInterp(t *testing.T) {
 	}
 	data := buf.Bytes()
 
+	// Three-way IR conformance: the reference AST walk, the bytecode VM
+	// (interp.New), and the generated code over the same corpus.
 	in := interpreter(t)
 	si := padsrt.NewBytesSource(data)
 	rr, err := in.NewRecordReader(si, nil)
 	if err != nil {
 		t.Fatal(err)
+	}
+	ast := interp.NewAST(in.Desc)
+	ra, err := ast.NewRecordReader(padsrt.NewBytesSource(data), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := value.DiffFull(ra.Header(), rr.Header()); d != "" {
+		t.Fatalf("AST walk and VM headers differ: %s", d)
 	}
 
 	sg := padsrt.NewBytesSource(data)
@@ -140,6 +150,12 @@ func TestDifferentialAgainstInterp(t *testing.T) {
 	rec := 0
 	for rr.More() {
 		iv := rr.Read()
+		if !ra.More() {
+			t.Fatalf("AST reader ran out at record %d", rec)
+		}
+		if d := value.DiffFull(ra.Read(), iv); d != "" {
+			t.Fatalf("record %d: AST walk and VM differ: %s", rec, d)
+		}
 		if !sg.More() {
 			t.Fatalf("generated parser ran out at record %d", rec)
 		}

@@ -12,6 +12,7 @@ import (
 
 	"pads/internal/dsl"
 	"pads/internal/expr"
+	"pads/internal/ir"
 	"pads/internal/padsrt"
 	"pads/internal/sema"
 	"pads/internal/telemetry"
@@ -44,6 +45,12 @@ type Interp struct {
 	// boundary between the two.
 	Prof *prof.Profiler
 
+	// prog is the lowered IR program (internal/ir). When non-nil, parsing
+	// runs on the bytecode VM (vm.go); when nil, on the reference AST walk.
+	// New lowers eagerly and falls back to the walk only if lowering fails;
+	// NewAST pins the walk for differential testing.
+	prog *ir.Program
+
 	path []string // dotted field path stack, maintained only while observing
 }
 
@@ -75,8 +82,21 @@ func (in *Interp) traceSpan(ev, name, branch string, begin padsrt.Pos, s *padsrt
 	in.Tracer.Emit(e)
 }
 
-// New builds an interpreter for the description.
+// New builds an interpreter for the description. The description is lowered
+// to the flat IR once, here, and parsed by the bytecode VM; if lowering is
+// not possible the reference AST walk takes over, so New never fails.
 func New(desc *sema.Desc) *Interp {
+	in := &Interp{Desc: desc, Ev: expr.New(desc)}
+	if p, err := ir.Lower(desc); err == nil {
+		in.prog = p
+	}
+	return in
+}
+
+// NewAST builds an interpreter pinned to the reference AST walk, bypassing
+// the IR lowering. The conformance suite uses it as the semantic baseline
+// the VM and the generated code are differentially tested against.
+func NewAST(desc *sema.Desc) *Interp {
 	return &Interp{Desc: desc, Ev: expr.New(desc)}
 }
 
@@ -96,7 +116,7 @@ func (in *Interp) ParseType(name string, s *padsrt.Source, mask *padsrt.MaskNode
 	if !ok {
 		return nil, fmt.Errorf("interp: unknown type %s", name)
 	}
-	v := in.parseDecl(d, s, mask, args)
+	v := in.parse(d, s, mask, args)
 	return v, s.Err()
 }
 

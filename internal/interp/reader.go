@@ -90,7 +90,7 @@ func (in *Interp) NewRecordReader(s *padsrt.Source, mask *padsrt.MaskNode) (*Rec
 	rr.recDecl = rd
 	if shape.HeaderType != "" {
 		hd := in.Desc.Types[shape.HeaderType]
-		rr.header = in.parseDecl(hd, s, nil, nil)
+		rr.header = in.parse(hd, s, nil, nil)
 	}
 	return rr, nil
 }
@@ -119,13 +119,13 @@ func (rr *RecordReader) More() bool {
 
 // Read parses the next record.
 func (rr *RecordReader) Read() value.Value {
-	return rr.note(rr.in.parseDecl(rr.recDecl, rr.s, rr.mask, nil))
+	return rr.note(rr.in.parse(rr.recDecl, rr.s, rr.mask, nil))
 }
 
 // ReadWith parses the next record under a specific mask (overriding the
 // reader's default), the per-application knob of section 5.1.2.
 func (rr *RecordReader) ReadWith(mask *padsrt.MaskNode) value.Value {
-	return rr.note(rr.in.parseDecl(rr.recDecl, rr.s, mask, nil))
+	return rr.note(rr.in.parse(rr.recDecl, rr.s, mask, nil))
 }
 
 // note applies the error budget and dead-letter policy to a just-parsed
@@ -161,7 +161,10 @@ func (rr *RecordReader) note(v value.Value) value.Value {
 // Tracer — which is concurrency-safe — is shared, so a traced parallel
 // parse emits every worker's events into one stream.
 func (rr *RecordReader) Shard(s *padsrt.Source) *RecordReader {
-	in := New(rr.in.Desc)
+	// The lowered program is immutable at parse time, so shards share the
+	// parent's instead of re-lowering per chunk (and a NewAST parent's
+	// shards stay on the AST walk).
+	in := &Interp{Desc: rr.in.Desc, Ev: expr.New(rr.in.Desc), prog: rr.in.prog}
 	in.Stats = s.Stats()
 	in.Prof = s.Prof()
 	in.Tracer = rr.in.Tracer

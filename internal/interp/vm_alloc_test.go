@@ -1,0 +1,57 @@
+package interp_test
+
+import (
+	"bytes"
+	"testing"
+
+	"pads/internal/datagen"
+	"pads/internal/interp"
+	"pads/internal/padsrt"
+)
+
+// TestVMAllocsPerRecord pins the VM loop's allocation budget on a clean
+// synthetic Sirius corpus. When the VM landed, the tree-walking interpreter
+// spent ~99 allocations per record here (~66 on the smaller checked-in
+// sample records) and the VM ~73; the pin sits between the two so the VM
+// can never quietly regress back to tree-walk allocation behavior, with
+// headroom over its measured need so the test flags regressions, not noise.
+func TestVMAllocsPerRecord(t *testing.T) {
+	const records = 200
+	const maxPerRecord = 85.0 // AST walk ~99, VM measured ~73
+
+	desc := checkFile(t, "sirius.pads")
+	var buf bytes.Buffer
+	cfg := datagen.DefaultSirius(records)
+	cfg.SortViolations = 0
+	cfg.SyntaxErrors = 0
+	if _, err := datagen.Sirius(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	vm := interp.New(desc)
+	if vm.Program() == nil {
+		t.Fatal("description did not lower to IR")
+	}
+
+	parsed := 0
+	avg := testing.AllocsPerRun(5, func() {
+		s := padsrt.NewBytesSource(data)
+		rr, err := vm.NewRecordReader(s, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parsed = 0
+		for rr.More() {
+			if rr.Read().PD().Nerr != 0 {
+				t.Fatal("clean corpus parsed with errors")
+			}
+			parsed++
+		}
+	}) / records
+	if parsed != records {
+		t.Fatalf("parsed %d records, want %d", parsed, records)
+	}
+	if avg > maxPerRecord {
+		t.Errorf("VM allocations = %.1f per record, pinned max %.1f", avg, maxPerRecord)
+	}
+}

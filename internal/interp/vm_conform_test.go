@@ -1,0 +1,224 @@
+package interp_test
+
+// Three-way IR conformance: the bytecode VM (interp.New) is compared
+// against the reference AST walk (interp.NewAST) over the datagen corpora,
+// demanding indistinguishable results — value.EqualFull requires identical
+// values, type names, and bit-identical parse descriptors at every node,
+// and the accumulator reports built from both streams must render the same
+// bytes. The generated-code leg of the three-way runs in the gen packages
+// (internal/gen/{clf,sirius,kitchen}), which diff against interp.New — the
+// VM — so the chain AST walk == VM == generated code closes over every
+// corpus. FuzzVMAgainstInterp extends the same contract to random
+// description/input pairs.
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pads/internal/accum"
+	"pads/internal/datagen"
+	"pads/internal/dsl"
+	"pads/internal/interp"
+	"pads/internal/padsrt"
+	"pads/internal/sema"
+	"pads/internal/value"
+)
+
+func checkFile(t *testing.T, name string) *sema.Desc {
+	t.Helper()
+	src, err := os.ReadFile(filepath.Join("..", "..", "testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, errs := dsl.Parse(string(src))
+	if len(errs) > 0 {
+		t.Fatalf("parse: %v", errs[0])
+	}
+	desc, serrs := sema.Check(prog)
+	if len(serrs) > 0 {
+		t.Fatalf("check: %v", serrs[0])
+	}
+	return desc
+}
+
+// conformRecords parses data record-by-record through the AST walk and the
+// VM, requiring indistinguishable headers, records, and accumulator output.
+func conformRecords(t *testing.T, desc *sema.Desc, data []byte) int {
+	t.Helper()
+	ast := interp.NewAST(desc)
+	vm := interp.New(desc)
+	if vm.Program() == nil {
+		t.Fatal("description did not lower to IR")
+	}
+
+	ra, err := ast.NewRecordReader(padsrt.NewBytesSource(data), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rv, err := vm.NewRecordReader(padsrt.NewBytesSource(data), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := value.DiffFull(ra.Header(), rv.Header()); d != "" {
+		t.Fatalf("headers differ: %s", d)
+	}
+
+	accA := accum.New(accum.DefaultConfig())
+	accV := accum.New(accum.DefaultConfig())
+	rec := 0
+	for ra.More() {
+		av := ra.Read()
+		if !rv.More() {
+			t.Fatalf("VM reader exhausted at record %d", rec)
+		}
+		vv := rv.Read()
+		if d := value.DiffFull(av, vv); d != "" {
+			t.Fatalf("record %d: AST walk and VM differ: %s\nAST: %s\nVM:  %s",
+				rec, d, value.String(av), value.String(vv))
+		}
+		accA.Add(av)
+		accV.Add(vv)
+		rec++
+	}
+	if rv.More() {
+		t.Fatal("VM reader has records left over")
+	}
+	var ba, bv bytes.Buffer
+	accA.Report(&ba, "")
+	accV.Report(&bv, "")
+	if ba.String() != bv.String() {
+		t.Fatalf("accumulator reports differ:\n--- AST\n%s\n--- VM\n%s", ba.String(), bv.String())
+	}
+	return rec
+}
+
+func TestVMConformSiriusCorpus(t *testing.T) {
+	desc := checkFile(t, "sirius.pads")
+	var buf bytes.Buffer
+	cfg := datagen.DefaultSirius(400)
+	cfg.SortViolations = 5
+	cfg.SyntaxErrors = 9
+	if _, err := datagen.Sirius(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if n := conformRecords(t, desc, buf.Bytes()); n != 400 {
+		t.Fatalf("records = %d", n)
+	}
+}
+
+func TestVMConformCLFCorpus(t *testing.T) {
+	desc := checkFile(t, "clf.pads")
+	var buf bytes.Buffer
+	if _, err := datagen.CLF(&buf, datagen.DefaultCLF(400)); err != nil {
+		t.Fatal(err)
+	}
+	if n := conformRecords(t, desc, buf.Bytes()); n != 400 {
+		t.Fatalf("records = %d", n)
+	}
+}
+
+// TestVMConformKitchen runs the kitchen-sink description (every language
+// construct) over generically-generated instances, whole-source.
+func TestVMConformKitchen(t *testing.T) {
+	desc := checkFile(t, "kitchen.pads")
+	for seed := uint64(1); seed <= 25; seed++ {
+		g := datagen.NewGenerator(desc, seed)
+		data, err := g.GenerateSource()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		av, err := interp.NewAST(desc).ParseSource(padsrt.NewBytesSource(data))
+		if err != nil {
+			t.Fatalf("seed %d: AST: %v", seed, err)
+		}
+		vv, err := interp.New(desc).ParseSource(padsrt.NewBytesSource(data))
+		if err != nil {
+			t.Fatalf("seed %d: VM: %v", seed, err)
+		}
+		if d := value.DiffFull(av, vv); d != "" {
+			t.Fatalf("seed %d: %s\ninput: %q", seed, d, data)
+		}
+	}
+}
+
+// TestVMConformSamples pins the checked-in sample files.
+func TestVMConformSamples(t *testing.T) {
+	for _, pair := range [][2]string{{"clf.pads", "clf.sample"}, {"sirius.pads", "sirius.sample"}} {
+		desc := checkFile(t, pair[0])
+		data, err := os.ReadFile(filepath.Join("..", "..", "testdata", pair[1]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		conformRecords(t, desc, data)
+	}
+}
+
+// FuzzVMAgainstInterp co-fuzzes description and input: any description that
+// checks cleanly must parse any byte string identically through the AST
+// walk and the VM — same values, same parse descriptors, same error codes,
+// same accumulator output.
+func FuzzVMAgainstInterp(f *testing.F) {
+	for _, pair := range [][2]string{{"clf.pads", "clf.sample"}, {"sirius.pads", "sirius.sample"}} {
+		descSrc, err := os.ReadFile(filepath.Join("..", "..", "testdata", pair[0]))
+		if err != nil {
+			f.Fatal(err)
+		}
+		data, err := os.ReadFile(filepath.Join("..", "..", "testdata", pair[1]))
+		if err != nil {
+			f.Fatal(err)
+		}
+		if len(data) > 512 {
+			data = data[:512]
+		}
+		f.Add(string(descSrc), data)
+	}
+	f.Add(`Psource Precord Pstruct r { Puint8 x; Peor; };`, []byte("1\nx\n300\n"))
+	f.Add(`Punion u { Pip a; Puint32 b; Pstring(:' ':) s; }; Psource Precord Pstruct r { u v; Peor; };`,
+		[]byte("1.2.3.4\nhello\n99\n"))
+	f.Add(`Penum color { red, green, blue }; Psource Precord Pstruct r { color c; Popt Puint16 n; Peor; };`,
+		[]byte("red7\nblue\nmauve\n"))
+	f.Add(`Parray inner { Puint8 : Psep(',') && Pterm(';'); }; Psource Precord Pstruct r { inner v; ';'; Peor; };`,
+		[]byte("1,2,3;\n;\n1,,2;\n"))
+
+	f.Fuzz(func(t *testing.T, descSrc string, data []byte) {
+		if len(descSrc) > 4096 || len(data) > 4096 {
+			return
+		}
+		prog, errs := dsl.Parse(descSrc)
+		if len(errs) > 0 {
+			return
+		}
+		desc, serrs := sema.Check(prog)
+		if len(serrs) > 0 {
+			return
+		}
+		// MaxRecordLen keeps damaged-record scans bounded. The speculation
+		// caps stay unarmed: the VM legitimately uses fewer checkpoints than
+		// the walk (atomic trials are checkpoint-free), so a spec limit can
+		// trip in one engine and not the other by design.
+		limits := padsrt.WithLimits(padsrt.Limits{MaxRecordLen: 1 << 16})
+		av, aerr := interp.NewAST(desc).ParseSource(padsrt.NewBytesSource(data, limits))
+		vv, verr := interp.New(desc).ParseSource(padsrt.NewBytesSource(data, limits))
+		if (aerr == nil) != (verr == nil) {
+			t.Fatalf("source errors differ: AST=%v VM=%v", aerr, verr)
+		}
+		if aerr != nil {
+			return
+		}
+		if d := value.DiffFull(av, vv); d != "" {
+			t.Fatalf("AST walk and VM differ: %s", d)
+		}
+		accA := accum.New(accum.DefaultConfig())
+		accV := accum.New(accum.DefaultConfig())
+		accA.Add(av)
+		accV.Add(vv)
+		var ba, bv bytes.Buffer
+		accA.Report(&ba, "")
+		accV.Report(&bv, "")
+		if ba.String() != bv.String() {
+			t.Fatal("accumulator reports differ")
+		}
+	})
+}

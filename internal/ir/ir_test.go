@@ -1,0 +1,317 @@
+package ir
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pads/internal/dsl"
+	"pads/internal/sema"
+)
+
+func lower(t *testing.T, src string) *Program {
+	t.Helper()
+	prog, errs := dsl.Parse(src)
+	if len(errs) > 0 {
+		t.Fatalf("parse: %v", errs[0])
+	}
+	desc, serrs := sema.Check(prog)
+	if len(serrs) > 0 {
+		t.Fatalf("check: %v", serrs[0])
+	}
+	p, err := Lower(desc)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	return p
+}
+
+func rootNode(t *testing.T, p *Program, name string) *Node {
+	t.Helper()
+	id, ok := p.DeclByName(name)
+	if !ok {
+		t.Fatalf("no decl %s", name)
+	}
+	root := p.Decls[id].Root
+	if root == None {
+		t.Fatalf("decl %s has no root", name)
+	}
+	return &p.Nodes[root]
+}
+
+func TestLowerStructShape(t *testing.T) {
+	p := lower(t, `
+Psource Precord Pstruct entry {
+  Puint32 a; '|'; Puint16 b : b > 0; Peor;
+};`)
+	n := rootNode(t, p, "entry")
+	if n.Op != OpStruct {
+		t.Fatalf("op = %v", n.Op)
+	}
+	if n.Flags&FRecord == 0 || n.Flags&FSource == 0 {
+		t.Errorf("flags = %v, want record|source", n.Flags)
+	}
+	if n.D != 2 {
+		t.Errorf("field count D = %d, want 2", n.D)
+	}
+	kids := p.KidsOf(n)
+	if len(kids) != 4 {
+		t.Fatalf("kids = %d, want 4 (field, lit, field, eor-lit)", len(kids))
+	}
+	ops := make([]Op, 0, 4)
+	for _, k := range kids {
+		ops = append(ops, p.Nodes[k].Op)
+	}
+	want := []Op{OpField, OpLit, OpField, OpLit}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Fatalf("kid ops = %v, want %v", ops, want)
+		}
+	}
+	// The constrained field carries its predicate; the other does not.
+	if p.Nodes[kids[0]].B != None {
+		t.Error("field a should have no constraint")
+	}
+	if p.Nodes[kids[2]].B == None {
+		t.Error("field b should carry its constraint")
+	}
+	// env analysis: the constraint forces an environment.
+	if n.Flags&FNeedEnv == 0 {
+		t.Error("constrained struct should need an env")
+	}
+}
+
+func TestLowerNoEnvWhenPureSyntax(t *testing.T) {
+	p := lower(t, `Psource Precord Pstruct r { Puint32 a; '|'; Pstring(:'|':) s; Peor; };`)
+	if n := rootNode(t, p, "r"); n.Flags&FNeedEnv != 0 {
+		t.Error("constraint-free struct should not need an env")
+	}
+}
+
+func TestLowerBaseFolding(t *testing.T) {
+	p := lower(t, `Psource Precord Pstruct r { Pstring_FW(:5:) s; Pstring(:';':) u; Peor; };`)
+	if len(p.Bases) != 2 {
+		t.Fatalf("bases = %d", len(p.Bases))
+	}
+	fw := p.Bases[0]
+	if fw.Read != RStringFW || !fw.Width.IsConst || fw.Width.Const != 5 {
+		t.Errorf("Pstring_FW spec = %+v", fw)
+	}
+	term := p.Bases[1]
+	if term.Read != RStringTerm || !term.TermChar || !term.Term.IsConst || byte(term.Term.Const) != ';' {
+		t.Errorf("Pstring spec = %+v", term)
+	}
+}
+
+func TestLowerStringEORBoundary(t *testing.T) {
+	p := lower(t, `Psource Precord Pstruct r { Pstring(:Peor:) s; Peor; };`)
+	if p.Bases[0].Read != RStringEOR {
+		t.Errorf("Pstring(:Peor:) lowered to %v, want RStringEOR", p.Bases[0].Read)
+	}
+}
+
+func TestLowerEnumSortedLongestFirst(t *testing.T) {
+	p := lower(t, `Penum st { go, gone, g }; Psource Precord Pstruct r { st s; Peor; };`)
+	e := p.Enums[0]
+	if len(e.Alts) != 3 || e.MaxLen != 4 {
+		t.Fatalf("enum spec = %+v", e)
+	}
+	if e.Alts[0].Repr != "gone" || e.Alts[1].Repr != "go" || e.Alts[2].Repr != "g" {
+		t.Errorf("alts not longest-first: %+v", e.Alts)
+	}
+	// Index must be the declaration position, not the sorted position.
+	if e.Alts[0].Index != 1 || e.Alts[2].Index != 2 {
+		t.Errorf("alt indices = %+v", e.Alts)
+	}
+}
+
+func TestLowerArraySpec(t *testing.T) {
+	p := lower(t, `
+Parray seq { Puint8[2..10] : Psep(',') && Pterm(';'); };
+Psource Precord Pstruct r { seq v; ';'; Peor; };`)
+	a := p.Arrays[0]
+	if !a.HasMin || !a.MinSize.IsConst || a.MinSize.Const != 2 {
+		t.Errorf("min = %+v", a.MinSize)
+	}
+	if !a.HasMax || !a.MaxSize.IsConst || a.MaxSize.Const != 10 {
+		t.Errorf("max = %+v", a.MaxSize)
+	}
+	if a.Sep == None || p.Lits[a.Sep].Char != ',' {
+		t.Error("separator not lowered")
+	}
+	if a.Term == None || p.Lits[a.Term].Char != ';' || a.TermEOR || a.TermEOF {
+		t.Error("terminator not lowered")
+	}
+}
+
+func TestLowerSwitchCases(t *testing.T) {
+	p := lower(t, `
+Punion u (:Puint8 which:) Pswitch (which) {
+  Pcase 1: Puint32 a;
+  Pcase 2: Pstring(:'|':) s;
+  Pdefault: Puint8 d;
+};
+Psource Precord Pstruct r { u(:1:) v; Peor; };`)
+	n := rootNode(t, p, "u")
+	if n.Op != OpSwitch {
+		t.Fatalf("op = %v", n.Op)
+	}
+	kids := p.KidsOf(n)
+	if len(kids) != 3 {
+		t.Fatalf("cases = %d", len(kids))
+	}
+	if p.Nodes[kids[0]].D == None || p.Nodes[kids[1]].D == None {
+		t.Error("valued cases must carry case lists")
+	}
+	if p.Nodes[kids[2]].D != None {
+		t.Error("default case must not carry a case list")
+	}
+	if n.D != 2 {
+		t.Errorf("default kid offset = %d, want 2", n.D)
+	}
+	if n.Flags&FNeedEnv == 0 {
+		t.Error("switch selector needs an env")
+	}
+}
+
+func TestAtomicFolding(t *testing.T) {
+	p := lower(t, `
+Ptypedef Puint64 pn;
+Ptypedef Puint64 small : small < 100;
+Psource Precord Pstruct r { Popt pn a; '|'; Popt small b; Peor; };`)
+	pnRoot := rootNode(t, p, "pn")
+	if pnRoot.Flags&FAtomic == 0 {
+		t.Error("unconstrained Puint64 typedef must be atomic")
+	}
+	smallRoot := rootNode(t, p, "small")
+	if smallRoot.Flags&FAtomic != 0 {
+		t.Error("constrained typedef must not be atomic")
+	}
+	// Date and fixed-width reads are not atomic.
+	p2 := lower(t, `Psource Precord Pstruct r { Pdate(:'|':) d; '|'; Pstring_FW(:3:) s; Peor; };`)
+	for _, b := range p2.Bases {
+		bid := None
+		for i := range p2.Nodes {
+			if p2.Nodes[i].Op == OpBase && p2.Nodes[i].A == bid {
+				if p2.Nodes[i].Flags&FAtomic != 0 {
+					t.Errorf("%s should not be atomic", b.Info.Name)
+				}
+			}
+		}
+	}
+}
+
+func TestWidthFolding(t *testing.T) {
+	p := lower(t, `Psource Precord Pstruct r { Pstring_FW(:4:) a; '|'; Pchar c; Peor; };`)
+	n := rootNode(t, p, "r")
+	id, _ := p.DeclByName("r")
+	root := p.Decls[id].Root
+	// 4 (FW string) + 1 (lit) + 1 (char) + EOR lit (no width) -> variable.
+	_ = n
+	if w := p.Widths[root]; w != None {
+		// Peor has no fixed byte width, so the struct must stay variable.
+		t.Errorf("record struct width = %d, want folded-unknown", w)
+	}
+	// But the fixed prefix nodes fold.
+	kids := p.KidsOf(&p.Nodes[root])
+	if w := p.Widths[kids[0]]; w != 4 {
+		t.Errorf("FW field width = %d, want 4", w)
+	}
+	if w := p.Widths[kids[1]]; w != 1 {
+		t.Errorf("lit width = %d, want 1", w)
+	}
+}
+
+func TestFirstClassesOnUnionBranches(t *testing.T) {
+	p := lower(t, `
+Pstruct noramp { "no_ii"; Puint64 id; };
+Punion ramp { Pa_int64 which; noramp nr; };
+Psource Precord Pstruct r { ramp v; Peor; };`)
+	n := rootNode(t, p, "ramp")
+	if n.Op != OpUnion {
+		t.Fatalf("op = %v", n.Op)
+	}
+	kids := p.KidsOf(n)
+	if len(kids) != 2 {
+		t.Fatalf("branches = %d", len(kids))
+	}
+	intBranch := &p.Nodes[kids[0]]
+	if intBranch.D == None {
+		t.Fatal("Pint64 branch should carry a first-byte class")
+	}
+	cls := p.Classes[intBranch.D]
+	for _, b := range []byte("0123456789-+") {
+		if !cls.Has(b) {
+			t.Errorf("int class missing %q", b)
+		}
+	}
+	if cls.Has('x') || cls.Has('n') {
+		t.Error("int class too wide")
+	}
+	litBranch := &p.Nodes[kids[1]]
+	if litBranch.D == None {
+		t.Fatal("literal-led branch should carry a first-byte class")
+	}
+	if c := p.Classes[litBranch.D]; !c.Has('n') || c.Has('0') {
+		t.Error("literal class wrong")
+	}
+	if p.ClassASCII[intBranch.D] || p.ClassASCII[litBranch.D] {
+		t.Error("explicitly-coded classes must not be ASCII-conditional")
+	}
+}
+
+func TestFirstClassAmbientIntIsASCIIConditional(t *testing.T) {
+	// Default-coded ints dispatch on the ambient coding at parse time, so
+	// their digit class only holds under ASCII and must be marked so.
+	p := lower(t, `
+Pstruct noramp { "no_ii"; Puint64 id; };
+Punion ramp { Pint64 which; noramp nr; };
+Psource Precord Pstruct r { ramp v; Peor; };`)
+	kids := p.KidsOf(rootNode(t, p, "ramp"))
+	intBranch := &p.Nodes[kids[0]]
+	if intBranch.D == None {
+		t.Fatal("ambient Pint64 branch should carry a first-byte class")
+	}
+	if !p.ClassASCII[intBranch.D] {
+		t.Error("ambient int class must be ASCII-conditional")
+	}
+	cls := p.Classes[intBranch.D]
+	for _, b := range []byte("0123456789-+") {
+		if !cls.Has(b) {
+			t.Errorf("int class missing %q", b)
+		}
+	}
+	litBranch := &p.Nodes[kids[1]]
+	if litBranch.D == None || p.ClassASCII[litBranch.D] {
+		t.Error("literal-led branch class must be unconditional")
+	}
+}
+
+func TestDumpRendersProgram(t *testing.T) {
+	p := lower(t, `
+Penum color { red, green };
+Psource Precord Pstruct r { color c; '|'; Popt Puint32 n; Peor; };`)
+	var buf bytes.Buffer
+	p.Dump(&buf)
+	out := buf.String()
+	for _, want := range []string{"struct r", "enum color", "opt", `char "|"`, "record"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLowerTestdataDescriptions(t *testing.T) {
+	for _, name := range []string{"sirius.pads", "clf.pads", "kitchen.pads"} {
+		src, err := os.ReadFile(filepath.Join("..", "..", "testdata", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := lower(t, string(src))
+		if len(p.Decls) == 0 || len(p.Nodes) == 0 {
+			t.Errorf("%s lowered to an empty program", name)
+		}
+	}
+}

@@ -1,0 +1,9 @@
+package padsrt
+
+// ByteClass is a 256-bit byte-membership table. The compiler backend emits
+// one per screened union branch: the class of bytes the branch's parse could
+// possibly start with, probed before committing to a speculative trial.
+type ByteClass [4]uint64
+
+// Has reports whether b is in the class.
+func (c *ByteClass) Has(b byte) bool { return c[b>>6]&(1<<(b&63)) != 0 }

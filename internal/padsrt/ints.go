@@ -7,6 +7,8 @@ package padsrt
 // ErrCode instead of an error value so parse descriptors can be filled in
 // without allocation.
 
+import "strconv"
+
 // eofCode picks the boundary error appropriate to the cursor: end of record
 // inside a bounded record, end of input otherwise.
 func eofCode(s *Source) ErrCode {
@@ -51,6 +53,20 @@ func ReadAUint(s *Source, bits int) (uint64, ErrCode) {
 	}
 	i := 0
 	var v uint64
+	// 19 decimal digits always fit in a uint64, so the common path skips the
+	// per-digit overflow arithmetic; only digit 20+ takes the guarded loop.
+	lim := len(w)
+	if lim > 19 {
+		lim = 19
+	}
+	for i < lim {
+		d := uint64(w[i]) - '0'
+		if d > 9 {
+			break
+		}
+		v = v*10 + d
+		i++
+	}
 	overflow := false
 	const cutoff = (1<<64 - 1) / 10 // pre-multiply bound
 	for i < len(w) && isDigit(w[i]) {
@@ -87,6 +103,18 @@ func ReadAInt(s *Source, bits int) (int64, ErrCode) {
 	}
 	start := i
 	var v uint64
+	dlim := len(w)
+	if dlim > start+19 {
+		dlim = start + 19
+	}
+	for i < dlim {
+		d := uint64(w[i]) - '0'
+		if d > 9 {
+			break
+		}
+		v = v*10 + d
+		i++
+	}
 	overflow := false
 	for i < len(w) && isDigit(w[i]) {
 		d := uint64(w[i] - '0')
@@ -357,26 +385,12 @@ func parseFWUnsigned(w []byte, bits int) (uint64, ErrCode) {
 
 // AppendUint appends the shortest ASCII decimal form of v.
 func AppendUint(dst []byte, v uint64) []byte {
-	if v == 0 {
-		return append(dst, '0')
-	}
-	var tmp [20]byte
-	i := len(tmp)
-	for v > 0 {
-		i--
-		tmp[i] = byte('0' + v%10)
-		v /= 10
-	}
-	return append(dst, tmp[i:]...)
+	return strconv.AppendUint(dst, v, 10)
 }
 
 // AppendInt appends the shortest ASCII decimal form of v.
 func AppendInt(dst []byte, v int64) []byte {
-	if v < 0 {
-		dst = append(dst, '-')
-		return AppendUint(dst, uint64(-v))
-	}
-	return AppendUint(dst, uint64(v))
+	return strconv.AppendInt(dst, v, 10)
 }
 
 // AppendUintFW appends v right-aligned in exactly width bytes, zero-padded.

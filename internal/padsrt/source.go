@@ -2,6 +2,7 @@ package padsrt
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -49,8 +50,8 @@ type Source struct {
 	recTrunc bool          // current record was clamped to MaxRecordLen
 	keepErr  bool          // snapshot erroneous record bodies for quarantine
 	lastErr  []byte        // most recent erroneous record body (keepErr)
-
-	readBuf []byte // scratch for Read calls
+	keepRec  bool          // snapshot every record body (LastRecord)
+	lastRec  []byte        // most recent record body (keepRec)
 
 	// tele, when non-nil, receives runtime counters (fills, compactions,
 	// intern hits, speculation churn, records). stats caches &tele.Source so
@@ -84,17 +85,33 @@ func (s *Source) internString(w []byte) string {
 	if n == 0 {
 		return ""
 	}
-	if n > maxInternLen {
+	if n > maxInternLen || (w[0] >= '0' && w[0] <= '9') {
+		// Digit-led strings are identifiers (zips, phones, order numbers),
+		// not vocabulary: they nearly always miss, and caching them evicts
+		// the low-cardinality entries the table exists for.
 		return string(w)
 	}
-	// FNV-1a over the whole string: vocabularies that differ only in one
-	// digit (states, zips, hostnames) must not collide into the same slot,
-	// or the cache thrashes and every record allocates.
-	h := uint32(2166136261)
-	for _, b := range w {
-		h = (h ^ uint32(b)) * 16777619
+	// FNV-1a folded eight bytes at a time: the hash must cover the whole
+	// string — vocabularies that differ only in one digit (states, zips,
+	// hostnames) must not collide into the same slot, or the cache thrashes
+	// and every record allocates.
+	h := uint64(14695981039346656037)
+	p := w
+	for len(p) >= 8 {
+		h = (h ^ binary.LittleEndian.Uint64(p)) * 1099511628211
+		p = p[8:]
 	}
-	idx := h % internSlots
+	for _, b := range p {
+		h = (h ^ uint64(b)) * 1099511628211
+	}
+	// Multiplication only carries differences toward the high bits, so a
+	// murmur-style finalizer must fold them back down before the modulo —
+	// strings differing only in their final bytes would otherwise share a
+	// slot (the exact thrash the full-coverage hash exists to prevent).
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	idx := uint32(h) % internSlots
 	if v := s.intern[idx]; v == string(w) { // comparison does not allocate
 		if s.stats != nil {
 			s.stats.InternHits++
@@ -279,6 +296,14 @@ func (s *Source) SetProf(p *prof.Profiler) { s.prof = p }
 // same way they pick up Stats.
 func (s *Source) Prof() *prof.Profiler { return s.prof }
 
+// SpecLimited reports whether speculation resource guards (MaxSpecBytes or
+// MaxSpecDepth) are armed. Engines that would elide provably-failing
+// checkpointed trials consult it: with guards armed, even a doomed trial's
+// checkpoint is observable (it can trip a limit), so the elision is off.
+func (s *Source) SpecLimited() bool {
+	return s.limits.MaxSpecBytes > 0 || s.limits.MaxSpecDepth > 0
+}
+
 // Coding returns the ambient character coding.
 func (s *Source) Coding() Coding { return s.coding }
 
@@ -325,14 +350,23 @@ func (s *Source) fill() {
 		s.eof = true
 		return
 	}
-	if s.readBuf == nil {
-		s.readBuf = make([]byte, 64*1024)
+	// Read directly into the buffer's spare capacity: staging through a
+	// scratch buffer would copy every input byte twice (Read + append).
+	const fillChunk = 64 * 1024
+	if cap(s.buf)-len(s.buf) < fillChunk {
+		newCap := 2 * cap(s.buf)
+		if newCap < len(s.buf)+fillChunk {
+			newCap = len(s.buf) + fillChunk
+		}
+		grown := make([]byte, len(s.buf), newCap)
+		copy(grown, s.buf)
+		s.buf = grown
 	}
 	delay := s.backoff
 	for attempt := 0; ; attempt++ {
-		m, err := s.r.Read(s.readBuf)
+		m, err := s.r.Read(s.buf[len(s.buf):cap(s.buf)])
 		if m > 0 {
-			s.buf = append(s.buf, s.readBuf[:m]...)
+			s.buf = s.buf[:len(s.buf)+m]
 		}
 		if s.stats != nil {
 			s.stats.Fills++
@@ -486,6 +520,18 @@ func (s *Source) SetKeepErrRecords(keep bool) { s.keepErr = keep }
 // SetKeepErrRecords is off or no erroneous record has ended.
 func (s *Source) LastErrRecord() []byte { return s.lastErr }
 
+// SetKeepRecords makes EndRecord snapshot every record body, so a caller
+// can echo the raw bytes of a record it just parsed — the vetting task
+// (Figure 10) copies clean records through unchanged instead of
+// re-serializing field by field. Borrowed (in-memory) sources alias the
+// input instead of copying.
+func (s *Source) SetKeepRecords(keep bool) { s.keepRec = keep }
+
+// LastRecord returns the body of the most recently ended record (without
+// its trailer), valid until the next EndRecord. Nil when SetKeepRecords is
+// off or no record has ended.
+func (s *Source) LastRecord() []byte { return s.lastRec }
+
 // discardOverflow disposes of the unbuffered tail of a clamped record in
 // O(64 KiB) memory: the window is force-compacted as the tail streams
 // through, so a corrupted gigabyte-long record costs no more memory than a
@@ -568,7 +614,7 @@ func (s *Source) EndRecord(pd *PD) {
 		s.recDepth--
 		return
 	}
-	if s.keepErr && pd != nil && pd.Nerr > 0 {
+	if s.keepRec || (s.keepErr && pd != nil && pd.Nerr > 0) {
 		end := s.recEnd
 		if end < 0 || end > len(s.buf) {
 			end = s.pos
@@ -577,7 +623,19 @@ func (s *Source) EndRecord(pd *PD) {
 			end = len(s.buf)
 		}
 		if s.recBody >= 0 && s.recBody <= end {
-			s.lastErr = append(s.lastErr[:0], s.buf[s.recBody:end]...)
+			body := s.buf[s.recBody:end]
+			if s.keepRec {
+				if s.borrowed {
+					// A borrowed buffer never compacts, so the body slice
+					// stays valid: no copy.
+					s.lastRec = body
+				} else {
+					s.lastRec = append(s.lastRec[:0], body...)
+				}
+			}
+			if s.keepErr && pd != nil && pd.Nerr > 0 {
+				s.lastErr = append(s.lastErr[:0], body...)
+			}
 		}
 	}
 	if s.recEnd >= 0 {
@@ -622,10 +680,19 @@ func (s *Source) limit(n int) int {
 
 // Avail reports how many bytes remain in the current record (or input when
 // unbounded), making at least n available if possible.
+//
+// Avail, PeekByte, Peek, Skip, and Window keep their bounded-record case —
+// the state every per-field read runs in — small enough to inline at call
+// sites, deferring the unbounded case to a *Slow helper.
 func (s *Source) Avail(n int) int {
 	if s.recDepth > 0 && s.recEnd >= 0 {
 		return s.recEnd - s.pos
 	}
+	return s.availSlow(n)
+}
+
+//go:noinline
+func (s *Source) availSlow(n int) int {
 	s.ensure(n)
 	return len(s.buf) - s.pos
 }
@@ -633,6 +700,14 @@ func (s *Source) Avail(n int) int {
 // PeekByte returns the byte at the cursor without consuming it. ok is false
 // at end of record or end of input.
 func (s *Source) PeekByte() (byte, bool) {
+	if s.recDepth > 0 && s.pos < s.recEnd {
+		return s.buf[s.pos], true
+	}
+	return s.peekByteSlow()
+}
+
+//go:noinline
+func (s *Source) peekByteSlow() (byte, bool) {
 	if s.limit(1) <= s.pos {
 		return 0, false
 	}
@@ -652,6 +727,18 @@ func (s *Source) Peek(n int) []byte {
 
 // Skip advances the cursor by n bytes (clamped to the record/input end).
 func (s *Source) Skip(n int) {
+	// The unsigned compare rejects a negative s.pos+n (overflow) along with
+	// the unbounded recEnd == -1, so the fast path never moves the cursor
+	// outside the record.
+	if s.recDepth > 0 && s.recEnd >= 0 && uint(s.pos+n) <= uint(s.recEnd) {
+		s.pos += n
+		return
+	}
+	s.skipSlow(n)
+}
+
+//go:noinline
+func (s *Source) skipSlow(n int) {
 	lim := s.limit(n)
 	s.pos += n
 	if s.pos > lim {
@@ -729,11 +816,15 @@ func (s *Source) countResync(n int) {
 // buffered), for regexp matching and diagnostics. In an unbounded record it
 // buffers up to max bytes (max<=0 means 64 KiB).
 func (s *Source) Window(max int) []byte {
-	if max <= 0 {
-		max = 64 * 1024
-	}
 	if s.recDepth > 0 && s.recEnd >= 0 {
 		return s.buf[s.pos:s.recEnd]
+	}
+	return s.windowSlow(max)
+}
+
+func (s *Source) windowSlow(max int) []byte {
+	if max <= 0 {
+		max = 64 * 1024
 	}
 	w, _, _ := s.ensure(max)
 	if len(w) > max {

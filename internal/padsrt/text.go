@@ -60,9 +60,10 @@ func ReadStringTerm(s *Source, term byte) (string, ErrCode) {
 		raw = ASCIIToEBCDIC(term)
 	}
 	n := 0
+	var w []byte
 	for {
 		want := n + 4096
-		w := s.Window(want)
+		w = s.Window(want)
 		if i := bytes.IndexByte(w[n:], raw); i >= 0 {
 			n += i
 			break
@@ -72,7 +73,7 @@ func ReadStringTerm(s *Source, term byte) (string, ErrCode) {
 			break // record or input boundary reached
 		}
 	}
-	w := s.Peek(n)
+	w = w[:n] // the final window already covers the match; no re-peek
 	var out string
 	if s.coding == EBCDIC {
 		out = EBCDICBytesToString(w)

@@ -228,6 +228,92 @@ func TotalErrors(v Value) uint32 {
 	return v.PD().Nerr
 }
 
+// EqualFull reports whether two value trees are indistinguishable: same
+// shapes, same data, same type names, and bit-identical parse descriptors
+// (state, error count, first error code and location) at every node. The
+// bytecode VM is held to this standard against the reference AST walk —
+// where the looser Equal tolerates descriptor drift, EqualFull does not.
+func EqualFull(a, b Value) bool { return DiffFull(a, b) == "" }
+
+// DiffFull explains the first difference EqualFull would reject, as a dotted
+// path with a description, or "" when the trees are indistinguishable.
+func DiffFull(a, b Value) string { return diffFull(a, b, "$") }
+
+func diffFull(a, b Value, path string) string {
+	if a == nil || b == nil {
+		if a == b {
+			return ""
+		}
+		return fmt.Sprintf("%s: nil mismatch (%T vs %T)", path, a, b)
+	}
+	if a.TypeName() != b.TypeName() {
+		return fmt.Sprintf("%s: type name %q vs %q", path, a.TypeName(), b.TypeName())
+	}
+	if apd, bpd := a.PD(), b.PD(); *apd != *bpd {
+		return fmt.Sprintf("%s: pd %+v vs %+v", path, *apd, *bpd)
+	}
+	switch a := a.(type) {
+	case *Struct:
+		bb, ok := b.(*Struct)
+		if !ok || len(a.Fields) != len(bb.Fields) {
+			return fmt.Sprintf("%s: struct shape differs", path)
+		}
+		for i := range a.Fields {
+			if a.Names[i] != bb.Names[i] {
+				return fmt.Sprintf("%s: field %d named %q vs %q", path, i, a.Names[i], bb.Names[i])
+			}
+			if d := diffFull(a.Fields[i], bb.Fields[i], path+"."+a.Names[i]); d != "" {
+				return d
+			}
+		}
+	case *Union:
+		bb, ok := b.(*Union)
+		if !ok || a.Tag != bb.Tag || a.TagIdx != bb.TagIdx {
+			return fmt.Sprintf("%s: union tag %q/%d vs %q/%d", path, a.Tag, a.TagIdx, bb.Tag, bb.TagIdx)
+		}
+		if a.Val == nil || bb.Val == nil {
+			if a.Val != bb.Val {
+				return fmt.Sprintf("%s: union value presence differs", path)
+			}
+			return ""
+		}
+		return diffFull(a.Val, bb.Val, path+"."+a.Tag)
+	case *Array:
+		bb, ok := b.(*Array)
+		if !ok || len(a.Elems) != len(bb.Elems) {
+			return fmt.Sprintf("%s: array length differs", path)
+		}
+		for i := range a.Elems {
+			if d := diffFull(a.Elems[i], bb.Elems[i], fmt.Sprintf("%s[%d]", path, i)); d != "" {
+				return d
+			}
+		}
+	case *Opt:
+		bb, ok := b.(*Opt)
+		if !ok || a.Present != bb.Present {
+			return fmt.Sprintf("%s: opt presence differs", path)
+		}
+		if a.Present {
+			return diffFull(a.Val, bb.Val, path+".val")
+		}
+	case *Enum:
+		bb, ok := b.(*Enum)
+		if !ok || a.Member != bb.Member || a.Index != bb.Index {
+			return fmt.Sprintf("%s: enum differs", path)
+		}
+	case *Date:
+		bb, ok := b.(*Date)
+		if !ok || a.Sec != bb.Sec || a.Raw != bb.Raw {
+			return fmt.Sprintf("%s: date differs", path)
+		}
+	default:
+		if !Equal(a, b) {
+			return fmt.Sprintf("%s: value %s vs %s", path, String(a), String(b))
+		}
+	}
+	return ""
+}
+
 // Equal compares two value trees structurally, ignoring parse descriptors.
 // The differential tests use it to confirm the interpreter and the generated
 // parsers agree.

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Perf-regression gate: run the Figure 10 benchmark and compare bytes/sec
+# per task against the newest committed BENCH_*.json trajectory point
+# (scripts/bench.sh). Fails when any pads task regresses by more than the
+# threshold (default 15%), so an accidental hot-path pessimization is
+# caught before it lands rather than excavated from the trajectory later.
+#
+# Benchmarks need a quiet machine: this gate is opt-in (PADS_BENCHGATE=1 in
+# scripts/ci.sh, or run directly). Knobs:
+#   PADS_BENCHGATE_THRESHOLD  allowed regression percent (default 15)
+#   PADS_BENCHGATE_RECORDS    corpus size (default 20000, matching bench.sh
+#                             trajectory points)
+#   PADS_BENCHGATE_RUNS       timed runs per task (default 3)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+threshold="${PADS_BENCHGATE_THRESHOLD:-15}"
+baseline="$(git ls-files 'BENCH_*.json' | sort | tail -1)"
+if [[ -z "$baseline" ]]; then
+    echo "benchgate: no committed BENCH_*.json baseline; nothing to gate" >&2
+    exit 0
+fi
+
+n="${PADS_BENCHGATE_RECORDS:-20000}"
+runs="${PADS_BENCHGATE_RUNS:-3}"
+out="$(mktemp)"
+trap 'rm -f "$out"' EXIT
+go run ./cmd/padsbench -json -noperl -n "$n" -runs "$runs" >"$out"
+
+python3 - "$baseline" "$out" "$threshold" <<'EOF'
+import json
+import sys
+
+base = json.load(open(sys.argv[1]))
+cur = json.load(open(sys.argv[2]))
+threshold = float(sys.argv[3])
+
+rate = {(r["task"], r["prog"]): r["bytes_per_sec"] for r in cur["rows"]}
+fail = False
+for r in base["rows"]:
+    if r["prog"] != "pads":
+        continue
+    key = (r["task"], r["prog"])
+    if key not in rate:
+        print(f"benchgate: task {r['task']!r} missing from current run")
+        fail = True
+        continue
+    old, new = r["bytes_per_sec"], rate[key]
+    delta = (new - old) / old * 100
+    bad = delta < -threshold
+    mark = "REGRESSION" if bad else "ok"
+    print(f"benchgate: {r['task']:<14} {old/1e6:8.1f} -> {new/1e6:8.1f} MB/s  {delta:+6.1f}%  {mark}")
+    fail = fail or bad
+
+sys.exit(1 if fail else 0)
+EOF
+
+echo "benchgate: OK (baseline $baseline, threshold ${threshold}%)"

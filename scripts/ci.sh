@@ -6,6 +6,13 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+unformatted="$(gofmt -l cmd internal examples ./*.go)"
+if [[ -n "$unformatted" ]]; then
+    echo "ci: gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
 go vet ./...
 go test -race ./...
 
@@ -52,8 +59,11 @@ grep -q 'parse telemetry' "$tmp/stats-fmt.txt"
     -profile-folded "$tmp/folded.txt" \
     "$tmp/sirius.data" >/dev/null 2>"$tmp/prof.txt"
 grep -q 'parse profile' "$tmp/prof.txt"
-grep -q 'entry_t.header' "$tmp/prof.txt"
-grep -q 'entry_t;header' "$tmp/folded.txt"
+# The attribution table and folded stacks must name description node paths
+# (dot- and semicolon-joined respectively) without hard-coding any one
+# description's field names.
+grep -Eq '[a-z_][a-z_0-9]*(\.[a-z_0-9]+)+$' "$tmp/prof.txt"
+grep -Eq '^[a-z_][a-z_0-9]*(;[a-z_0-9]+)+ [0-9]+$' "$tmp/folded.txt"
 
 # Disabled profiling must stay off the allocation hot path: the regression
 # test pins a parse with an attached-but-idle profiler to 0 extra allocs/op.
@@ -86,5 +96,11 @@ set +e
 status=$?
 set -e
 test "$status" -eq 3
+
+# Perf-regression gate (scripts/benchgate.sh): opt-in, because benchmark
+# numbers from a noisy shared machine would fail the build for no reason.
+if [[ "${PADS_BENCHGATE:-0}" == "1" ]]; then
+    scripts/benchgate.sh
+fi
 
 echo "ci: OK"
