@@ -107,11 +107,18 @@ func (g *gen) readCall(nid ir.NodeID, tr dsl.TypeRef, target, mExpr, pdExpr stri
 		inner := tr
 		inner.Opt = false
 		g.p("%s%s = padsrt.PD{}", ind, pdExpr)
-		// Atomicity was folded at lowering time (ir.FAtomic): an atomic
-		// inner type consumes nothing on failure, so the trial needs no
-		// checkpoint — the same elision the VM applies.
+		// Trial cost was folded at lowering time: an atomic inner type
+		// (ir.FAtomic) consumes nothing on failure so the trial needs no
+		// checkpoint, and a rewindable one (ir.FRewind) only advances the
+		// cursor in-record so a Mark/Rewind pair suffices — the same
+		// elisions the VM applies.
 		atomic := g.prog.Nodes[n.A].Flags&ir.FAtomic != 0
-		if !atomic {
+		rewind := g.prog.Nodes[n.A].Flags&ir.FRewind != 0
+		switch {
+		case atomic:
+		case rewind:
+			g.p("%smark%s := s.Mark()", ind, uniq)
+		default:
 			g.p("%ss.Checkpoint()", ind)
 		}
 		g.p("%s{", ind)
@@ -126,9 +133,17 @@ func (g *gen) readCall(nid ir.NodeID, tr dsl.TypeRef, target, mExpr, pdExpr stri
 			innerMask = "optM" + uniq
 		}
 		g.readCallNonOpt(n.A, inner, target+".Val", innerMask, innerPD, sc, depth+1, uniq+"i")
-		if atomic {
+		switch {
+		case atomic:
 			g.p("%s\t%s.Present = %s.Nerr == 0", ind, target, g.pdHeader(inner, innerPD))
-		} else {
+		case rewind:
+			g.p("%s\tif %s.Nerr == 0 {", ind, g.pdHeader(inner, innerPD))
+			g.p("%s\t\t%s.Present = true", ind, target)
+			g.p("%s\t} else {", ind)
+			g.p("%s\t\ts.Rewind(mark%s)", ind, uniq)
+			g.p("%s\t\t%s.Present = false", ind, target)
+			g.p("%s\t}", ind)
+		default:
 			g.p("%s\tif %s.Nerr == 0 {", ind, g.pdHeader(inner, innerPD))
 			g.p("%s\t\ts.Commit()", ind)
 			g.p("%s\t\t%s.Present = true", ind, target)
@@ -601,6 +616,7 @@ func (g *gen) emitUnion(d *dsl.UnionDecl) {
 			fn := goFieldName(branches[i].Name)
 			pdh := g.pdHeader(branches[i].Type, "pd."+fn)
 			atomic := g.prog.Nodes[k.A].Flags&ir.FAtomic != 0 && k.B == ir.None
+			rewind := g.prog.Nodes[k.A].Flags&ir.FRewind != 0 && k.B == ir.None
 			depth := 1
 			if k.D != ir.None {
 				// ASCII-conditional classes hold only under the default
@@ -613,12 +629,16 @@ func (g *gen) emitUnion(d *dsl.UnionDecl) {
 				depth = 2
 			}
 			ind := strings.Repeat("\t", depth)
-			if !atomic {
+			switch {
+			case atomic:
+			case rewind:
+				g.p("%smark%d := s.Mark()", ind, i)
+			default:
 				g.p("%ss.Checkpoint()", ind)
 			}
 			emitBranchRead(i, depth)
 			g.p("%sif %s.Nerr == 0 {", ind, pdh)
-			if !atomic {
+			if !atomic && !rewind {
 				g.p("%s\ts.Commit()", ind)
 			}
 			g.p("%s\trep.Tag = %sTag%s", ind, name, GoName(branches[i].Name))
@@ -627,7 +647,11 @@ func (g *gen) emitUnion(d *dsl.UnionDecl) {
 			}
 			g.p("%s\treturn", ind)
 			g.p("%s}", ind)
-			if !atomic {
+			switch {
+			case atomic:
+			case rewind:
+				g.p("%ss.Rewind(mark%d)", ind, i)
+			default:
 				g.p("%ss.Restore()", ind)
 			}
 			if k.D != ir.None {

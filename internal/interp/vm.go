@@ -154,22 +154,36 @@ func (in *Interp) execRef(id ir.NodeID, s *padsrt.Source, mask *padsrt.MaskNode,
 	case ir.OpOpt:
 		child := n.A
 		opt := &value.Opt{Common: value.NewCommon("Popt " + n.Name)}
-		// An atomic inner type consumes nothing on failure, so the trial
-		// needs no checkpoint (the generated code makes the same move).
-		atomic := p.Nodes[child].Flags&ir.FAtomic != 0
-		if !atomic {
+		// Trial protection by tier (the generated code makes the same
+		// moves): an atomic inner type consumes nothing on failure, so the
+		// trial needs no checkpoint; a rewindable one consumes only by
+		// advancing the cursor in-record, so a Mark/Rewind pair suffices;
+		// everything else pays a full checkpoint.
+		flags := p.Nodes[child].Flags
+		atomic := flags&ir.FAtomic != 0
+		rewind := flags&ir.FRewind != 0
+		var mark int
+		switch {
+		case atomic:
+		case rewind:
+			mark = s.Mark()
+		default:
 			s.Checkpoint()
 		}
 		v := in.execRef(child, s, mask, env)
 		if v.PD().Nerr == 0 {
-			if !atomic {
+			if !atomic && !rewind {
 				s.Commit()
 			}
 			opt.Present = true
 			opt.Val = v
 			return opt
 		}
-		if !atomic {
+		switch {
+		case atomic:
+		case rewind:
+			s.Rewind(mark)
+		default:
 			s.Restore()
 		}
 		opt.Present = false
@@ -297,8 +311,15 @@ func (in *Interp) execUnion(n *ir.Node, s *padsrt.Source, mask *padsrt.MaskNode,
 				continue // no byte this branch could start from
 			}
 		}
-		atomic := p.Nodes[k.A].Flags&ir.FAtomic != 0 && k.B == ir.None
-		if !atomic {
+		flags := p.Nodes[k.A].Flags
+		atomic := flags&ir.FAtomic != 0 && k.B == ir.None
+		rewind := flags&ir.FRewind != 0 && k.B == ir.None
+		var mark int
+		switch {
+		case atomic:
+		case rewind:
+			mark = s.Mark()
+		default:
 			s.Checkpoint()
 		}
 		if in.Tracer != nil {
@@ -313,7 +334,7 @@ func (in *Interp) execUnion(n *ir.Node, s *padsrt.Source, mask *padsrt.MaskNode,
 		}
 		bv := in.execBranch(k, s, mask, env)
 		if bv.PD().Nerr == 0 {
-			if !atomic {
+			if !atomic && !rewind {
 				s.Commit()
 			}
 			if profOpen {
@@ -332,7 +353,11 @@ func (in *Interp) execUnion(n *ir.Node, s *padsrt.Source, mask *padsrt.MaskNode,
 			in.Prof.ExitSpeculative(s.Pos().Byte)
 		}
 		in.traceSpan(telemetry.EvBranchBacktrack, n.Name, k.Name, begin, s, bv.PD().ErrCode)
-		if !atomic {
+		switch {
+		case atomic:
+		case rewind:
+			s.Rewind(mark)
+		default:
 			s.Restore()
 		}
 	}

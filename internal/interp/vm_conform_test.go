@@ -13,6 +13,7 @@ package interp_test
 
 import (
 	"bytes"
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
@@ -143,6 +144,43 @@ func TestVMConformKitchen(t *testing.T) {
 	}
 }
 
+// TestVMConformRangeOverflowUnion pins the FAtomic soundness rule
+// (ir.ReadOp.Atomic): ReadAUint consumes the digit run before reporting
+// ErrRange, so a union branch trying Puint8 against "300" must run under a
+// checkpoint, or the next branch would start three bytes late and read ""
+// instead of "300".
+func TestVMConformRangeOverflowUnion(t *testing.T) {
+	src := `Punion u { Puint8 a; Pstring(:' ':) s; }; Precord Pstruct r { u v; ' '; Peor; }; Psource Parray rs { r[]; };`
+	prog, errs := dsl.Parse(src)
+	if len(errs) > 0 {
+		t.Fatalf("parse: %v", errs[0])
+	}
+	desc, serrs := sema.Check(prog)
+	if len(serrs) > 0 {
+		t.Fatalf("check: %v", serrs[0])
+	}
+	data := []byte("300 \n7 \n99999999999999999999 \n")
+	av, err := interp.NewAST(desc).ParseSource(padsrt.NewBytesSource(data))
+	if err != nil {
+		t.Fatalf("AST: %v", err)
+	}
+	vv, err := interp.New(desc).ParseSource(padsrt.NewBytesSource(data))
+	if err != nil {
+		t.Fatalf("VM: %v", err)
+	}
+	if d := value.DiffFull(av, vv); d != "" {
+		t.Fatalf("AST walk and VM differ: %s\nAST: %s\nVM:  %s", d, value.String(av), value.String(vv))
+	}
+	// Both engines must have taken the string branch with the full text.
+	rec := av.(*value.Array).Elems[0].(*value.Struct).Field("v").(*value.Union)
+	if rec.Tag != "s" {
+		t.Fatalf("record 0 tag = %s, want s", rec.Tag)
+	}
+	if got := rec.Val.(*value.Str).Val; got != "300" {
+		t.Fatalf("record 0 s = %q, want \"300\" (range-failing Puint8 branch leaked consumed digits)", got)
+	}
+}
+
 // TestVMConformSamples pins the checked-in sample files.
 func TestVMConformSamples(t *testing.T) {
 	for _, pair := range [][2]string{{"clf.pads", "clf.sample"}, {"sirius.pads", "sirius.sample"}} {
@@ -181,6 +219,11 @@ func FuzzVMAgainstInterp(f *testing.F) {
 		[]byte("red7\nblue\nmauve\n"))
 	f.Add(`Parray inner { Puint8 : Psep(',') && Pterm(';'); }; Psource Precord Pstruct r { inner v; ';'; Peor; };`,
 		[]byte("1,2,3;\n;\n1,,2;\n"))
+	// Range overflow inside a speculative branch: ReadAUint consumes the
+	// digits before reporting ErrRange, so the Puint8 trial must be
+	// checkpointed (the FAtomic soundness repro, caught deterministically).
+	f.Add(`Punion u { Puint8 a; Pstring(:' ':) s; }; Precord Pstruct r { u v; ' '; Peor; }; Psource Parray rs { r[]; };`,
+		[]byte("300 \n7 \n99999999999999999999 \n"))
 
 	f.Fuzz(func(t *testing.T, descSrc string, data []byte) {
 		if len(descSrc) > 4096 || len(data) > 4096 {
@@ -194,13 +237,25 @@ func FuzzVMAgainstInterp(f *testing.F) {
 		if len(serrs) > 0 {
 			return
 		}
-		// MaxRecordLen keeps damaged-record scans bounded. The speculation
-		// caps stay unarmed: the VM legitimately uses fewer checkpoints than
-		// the walk (atomic trials are checkpoint-free), so a spec limit can
-		// trip in one engine and not the other by design.
-		limits := padsrt.WithLimits(padsrt.Limits{MaxRecordLen: 1 << 16})
-		av, aerr := interp.NewAST(desc).ParseSource(padsrt.NewBytesSource(data, limits))
-		vv, verr := interp.New(desc).ParseSource(padsrt.NewBytesSource(data, limits))
+		// MaxRecordLen keeps damaged-record scans bounded, and MaxBacktracks
+		// keeps fuzzed descriptions with exponential trial trees from
+		// hanging the worker (nested unions/options can re-scan a 4 KiB
+		// input for minutes otherwise). The other speculation caps stay
+		// unarmed: the VM legitimately uses fewer checkpoints than the walk
+		// (atomic trials are checkpoint-free), so a spec limit can trip in
+		// one engine and not the other by design.
+		limits := padsrt.WithLimits(padsrt.Limits{MaxRecordLen: 1 << 16, MaxBacktracks: 10_000})
+		sa := padsrt.NewBytesSource(data, limits)
+		sv := padsrt.NewBytesSource(data, limits)
+		av, aerr := interp.NewAST(desc).ParseSource(sa)
+		vv, verr := interp.New(desc).ParseSource(sv)
+		var le *padsrt.LimitError
+		if errors.As(sa.Err(), &le) || errors.As(sv.Err(), &le) {
+			// A budget tripped. The engines spend rollbacks at different
+			// rates (checkpoint elision), so their wind-down states are not
+			// comparable — the run only proves both terminated.
+			return
+		}
 		if (aerr == nil) != (verr == nil) {
 			t.Fatalf("source errors differ: AST=%v VM=%v", aerr, verr)
 		}

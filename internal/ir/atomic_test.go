@@ -1,0 +1,174 @@
+package ir
+
+// TestAtomicReadsConsumeNothingOnFailure pins ReadOp.Atomic against the
+// padsrt reader implementations: every read the table marks atomic must
+// leave the cursor exactly where it was on every failure path we can
+// provoke, because the VM and the generated code elide Checkpoint/Restore
+// around atomic speculative trials (Popt, union branches). The inverse
+// cases document why the excluded reads stay excluded: a reader that
+// consumes input before reporting failure (text integers on ErrRange,
+// fixed-width reads on invalid content) would corrupt the cursor for the
+// next union branch if it were trialed checkpoint-free.
+
+import (
+	"testing"
+
+	"pads/internal/padsrt"
+)
+
+type readCase struct {
+	op    ReadOp
+	input []byte
+	opts  []padsrt.SourceOption
+	read  func(s *padsrt.Source) padsrt.ErrCode
+}
+
+func runRead(t *testing.T, c readCase) (consumed int64, code padsrt.ErrCode) {
+	t.Helper()
+	s := padsrt.NewBytesSource(c.input, c.opts...)
+	before := s.Pos().Byte
+	code = c.read(s)
+	return s.Pos().Byte - before, code
+}
+
+func TestAtomicReadsConsumeNothingOnFailure(t *testing.T) {
+	me := padsrt.MustCompileRegexp(`[0-9]+`)
+	cases := []readCase{
+		{op: RChar, input: nil, read: func(s *padsrt.Source) padsrt.ErrCode {
+			_, c := padsrt.ReadChar(s)
+			return c
+		}},
+		{op: RAChar, input: nil, read: func(s *padsrt.Source) padsrt.ErrCode {
+			_, c := padsrt.ReadAChar(s)
+			return c
+		}},
+		{op: REChar, input: nil, read: func(s *padsrt.Source) padsrt.ErrCode {
+			_, c := padsrt.ReadEChar(s)
+			return c
+		}},
+		{op: RBChar, input: nil, read: func(s *padsrt.Source) padsrt.ErrCode {
+			_, c := padsrt.ReadBChar(s)
+			return c
+		}},
+		// Binary integers fail only when fewer than nbytes bytes remain.
+		{op: RBUint, input: []byte{0x01, 0x02}, read: func(s *padsrt.Source) padsrt.ErrCode {
+			_, c := padsrt.ReadBUint(s, 4)
+			return c
+		}},
+		{op: RBInt, input: []byte{0x01}, read: func(s *padsrt.Source) padsrt.ErrCode {
+			_, c := padsrt.ReadBInt(s, 2)
+			return c
+		}},
+		// Packed and zoned decimals validate the peeked window first.
+		{op: RBCD, input: []byte{0xAA, 0xAA}, read: func(s *padsrt.Source) padsrt.ErrCode {
+			_, c := padsrt.ReadBCD(s, 3)
+			return c
+		}},
+		{op: RZoned, input: []byte("AB"), read: func(s *padsrt.Source) padsrt.ErrCode {
+			_, c := padsrt.ReadZoned(s, 2)
+			return c
+		}},
+		{op: RAFloat, input: []byte("abc"), read: func(s *padsrt.Source) padsrt.ErrCode {
+			_, c := padsrt.ReadAFloat(s, 64)
+			return c
+		}},
+		// RStringTerm and RStringEOR have no failure path at all; the
+		// regexp forms fail (no match / bad pattern) before skipping.
+		{op: RStringME, input: []byte("abc"), read: func(s *padsrt.Source) padsrt.ErrCode {
+			_, c := padsrt.ReadStringME(s, me)
+			return c
+		}},
+		{op: RStringSE, input: []byte("abc"), read: func(s *padsrt.Source) padsrt.ErrCode {
+			_, c := padsrt.ReadStringSE(s, nil)
+			return c
+		}},
+		{op: RHostname, input: []byte("1234 "), read: func(s *padsrt.Source) padsrt.ErrCode {
+			_, c := padsrt.ReadHostname(s)
+			return c
+		}},
+		{op: RZip, input: []byte("12a45"), read: func(s *padsrt.Source) padsrt.ErrCode {
+			_, c := padsrt.ReadZip(s)
+			return c
+		}},
+		{op: RIP, input: []byte("1.2.3"), read: func(s *padsrt.Source) padsrt.ErrCode {
+			_, c := padsrt.ReadIP(s)
+			return c
+		}},
+	}
+	for _, c := range cases {
+		if !c.op.Atomic() {
+			t.Errorf("%s: exercised here but not marked atomic", c.op)
+			continue
+		}
+		consumed, code := runRead(t, c)
+		if code == padsrt.ErrNone {
+			t.Errorf("%s: test input %q unexpectedly parsed", c.op, c.input)
+			continue
+		}
+		if consumed != 0 {
+			t.Errorf("%s: consumed %d bytes on failure (%v); must not be marked atomic",
+				c.op, consumed, code)
+		}
+	}
+}
+
+// TestNonAtomicReadsConsumeOnFailure documents the exclusions: these
+// readers advance the cursor before reporting failure, which is exactly
+// why ReadOp.Atomic must return false for them (the REVIEW repro: a union
+// branch trying Puint8 against "300" must be checkpointed, or the next
+// branch starts three bytes late).
+func TestNonAtomicReadsConsumeOnFailure(t *testing.T) {
+	ebcdic := []padsrt.SourceOption{padsrt.WithCoding(padsrt.EBCDIC)}
+	cases := []readCase{
+		{op: RAUint, input: []byte("300"), read: func(s *padsrt.Source) padsrt.ErrCode {
+			_, c := padsrt.ReadAUint(s, 8)
+			return c
+		}},
+		{op: RAInt, input: []byte("-300"), read: func(s *padsrt.Source) padsrt.ErrCode {
+			_, c := padsrt.ReadAInt(s, 8)
+			return c
+		}},
+		{op: RUint, input: []byte("300"), read: func(s *padsrt.Source) padsrt.ErrCode {
+			_, c := padsrt.ReadUint(s, 8)
+			return c
+		}},
+		{op: RInt, input: []byte("300"), read: func(s *padsrt.Source) padsrt.ErrCode {
+			_, c := padsrt.ReadInt(s, 8)
+			return c
+		}},
+		{op: REUint, input: []byte{0xF3, 0xF0, 0xF0}, opts: ebcdic, read: func(s *padsrt.Source) padsrt.ErrCode {
+			_, c := padsrt.ReadEUint(s, 8)
+			return c
+		}},
+		{op: REInt, input: []byte{0xF3, 0xF0, 0xF0}, opts: ebcdic, read: func(s *padsrt.Source) padsrt.ErrCode {
+			_, c := padsrt.ReadEInt(s, 8)
+			return c
+		}},
+		{op: RAUintFW, input: []byte("abc"), read: func(s *padsrt.Source) padsrt.ErrCode {
+			_, c := padsrt.ReadAUintFW(s, 3, 64)
+			return c
+		}},
+		{op: RAIntFW, input: []byte("abc"), read: func(s *padsrt.Source) padsrt.ErrCode {
+			_, c := padsrt.ReadAIntFW(s, 3, 64)
+			return c
+		}},
+		{op: RUintFW, input: []byte("999"), read: func(s *padsrt.Source) padsrt.ErrCode {
+			_, c := padsrt.ReadUintFW(s, 3, 8)
+			return c
+		}},
+	}
+	for _, c := range cases {
+		if c.op.Atomic() {
+			t.Errorf("%s: consumes input on failure but is marked atomic", c.op)
+			continue
+		}
+		consumed, code := runRead(t, c)
+		if code == padsrt.ErrNone {
+			t.Errorf("%s: test input %q unexpectedly parsed", c.op, c.input)
+			continue
+		}
+		if consumed == 0 {
+			t.Logf("%s: no longer consumes input on this failure path; Atomic() could be revisited", c.op)
+		}
+	}
+}

@@ -84,6 +84,14 @@ const (
 	// carries no constraint, so speculative trials (Popt, union branches)
 	// need no checkpoint around it.
 	FAtomic
+	// FRewind marks a node whose parse consumes input only by advancing
+	// the cursor inside the current record — no record framing, no
+	// constraint — but can consume on failure (text integers Skip the
+	// digit run before reporting ErrRange). Speculative trials restore it
+	// with a Source.Mark/Rewind pair, one saved int, instead of a full
+	// checkpoint. FAtomic is the stronger tier (no protection at all);
+	// the two flags are mutually exclusive.
+	FRewind
 )
 
 // Node is one instruction. Operands A..D index the program pools as
@@ -169,6 +177,36 @@ func (r ReadOp) String() string {
 		return readOpNames[r]
 	}
 	return fmt.Sprintf("readop(%d)", int(r))
+}
+
+// Atomic reports whether the read provably consumes no input on every
+// failure path, so a speculative trial (Popt, union branch) needs no
+// checkpoint around it. The table mirrors the padsrt readers and is pinned
+// against them by TestAtomicReadsConsumeNothingOnFailure:
+//
+//   - character reads and binary integers fail only at a record or input
+//     boundary, before any Skip;
+//   - BCD, zoned, float, string, hostname, zip, and IP reads validate a
+//     peeked window and return their error code before skipping;
+//   - void reads never touch the cursor.
+//
+// Variable-width text integers (ReadAUint/AInt, their EBCDIC forms, and
+// the coding-generic ReadUint/Int) are NOT atomic: they Skip the digit run
+// first and only then report ErrRange, so a range overflow consumes the
+// digits. Fixed-width reads consume exactly their width on invalid
+// content, and Pdate consumes text before rejecting it.
+func (r ReadOp) Atomic() bool {
+	switch r {
+	case RChar, RAChar, REChar, RBChar,
+		RBUint, RBInt,
+		RBCD, RZoned,
+		RAFloat,
+		RStringTerm, RStringEOR, RStringME, RStringSE,
+		RHostname, RZip, RIP,
+		RVoid:
+		return true
+	}
+	return false
 }
 
 // Arg is a base-type argument, constant-folded when the description supplies
@@ -454,6 +492,9 @@ func (p *Program) dumpNode(w io.Writer, id NodeID, depth int, ctx Op) {
 	if n.Flags&FAtomic != 0 {
 		flags += " atomic"
 	}
+	if n.Flags&FRewind != 0 {
+		flags += " rewind"
+	}
 	width := ""
 	if p.Widths[id] >= 0 {
 		width = fmt.Sprintf(" width=%d", p.Widths[id])
@@ -516,7 +557,7 @@ func (p *Program) dumpNode(w io.Writer, id NodeID, depth int, ctx Op) {
 		p.dumpNode(w, n.B, depth+1, OpArray)
 	case OpEnum:
 		e := &p.Enums[n.A]
-		fmt.Fprintf(w, "%s%%%d enum %s peek=%d alts=%d (longest-first)\n", ind, id, n.Name, e.MaxLen, len(e.Alts))
+		fmt.Fprintf(w, "%s%%%d enum %s peek=%d alts=%d (longest-first)%s\n", ind, id, n.Name, e.MaxLen, len(e.Alts), flags)
 	case OpTypedef:
 		fmt.Fprintf(w, "%s%%%d typedef %s constraint=E%d%s\n", ind, id, n.Name, n.B, flags)
 		p.dumpNode(w, n.A, depth+1, OpTypedef)
@@ -524,7 +565,7 @@ func (p *Program) dumpNode(w io.Writer, id NodeID, depth int, ctx Op) {
 		fmt.Fprintf(w, "%s%%%d opt%s\n", ind, id, flags)
 		p.dumpNode(w, n.A, depth+1, OpOpt)
 	case OpCall:
-		fmt.Fprintf(w, "%s%%%d call decl=%d (%s)\n", ind, id, n.A, p.Decls[n.A].Name)
+		fmt.Fprintf(w, "%s%%%d call decl=%d (%s)%s\n", ind, id, n.A, p.Decls[n.A].Name, flags)
 	case OpBase:
 		b := &p.Bases[n.A]
 		extra := ""
@@ -540,7 +581,7 @@ func (p *Program) dumpNode(w io.Writer, id NodeID, depth int, ctx Op) {
 		if b.BadParam {
 			extra += " badparam"
 		}
-		fmt.Fprintf(w, "%s%%%d %s bits=%d%s%s\n", ind, id, b.Read, b.Bits, extra, width)
+		fmt.Fprintf(w, "%s%%%d %s bits=%d%s%s%s\n", ind, id, b.Read, b.Bits, extra, width, flags)
 	default:
 		fmt.Fprintf(w, "%s%%%d %s\n", ind, id, n.Op)
 	}

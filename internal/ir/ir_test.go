@@ -178,27 +178,38 @@ Psource Precord Pstruct r { u(:1:) v; Peor; };`)
 
 func TestAtomicFolding(t *testing.T) {
 	p := lower(t, `
+Ptypedef Pchar ch;
+Ptypedef Pchar dash : dash == '-';
 Ptypedef Puint64 pn;
-Ptypedef Puint64 small : small < 100;
-Psource Precord Pstruct r { Popt pn a; '|'; Popt small b; Peor; };`)
-	pnRoot := rootNode(t, p, "pn")
-	if pnRoot.Flags&FAtomic == 0 {
-		t.Error("unconstrained Puint64 typedef must be atomic")
+Psource Precord Pstruct r { Popt ch a; '|'; Popt dash b; '|'; Popt pn c; Peor; };`)
+	chRoot := rootNode(t, p, "ch")
+	if chRoot.Flags&FAtomic == 0 {
+		t.Error("unconstrained Pchar typedef must be atomic")
 	}
-	smallRoot := rootNode(t, p, "small")
-	if smallRoot.Flags&FAtomic != 0 {
+	dashRoot := rootNode(t, p, "dash")
+	if dashRoot.Flags&FAtomic != 0 {
 		t.Error("constrained typedef must not be atomic")
 	}
-	// Date and fixed-width reads are not atomic.
-	p2 := lower(t, `Psource Precord Pstruct r { Pdate(:'|':) d; '|'; Pstring_FW(:3:) s; Peor; };`)
-	for _, b := range p2.Bases {
-		bid := None
-		for i := range p2.Nodes {
-			if p2.Nodes[i].Op == OpBase && p2.Nodes[i].A == bid {
-				if p2.Nodes[i].Flags&FAtomic != 0 {
-					t.Errorf("%s should not be atomic", b.Info.Name)
-				}
-			}
+	// Variable-width text integers Skip the digit run before reporting
+	// ErrRange, so even an unconstrained Puint64 typedef is not atomic.
+	pnRoot := rootNode(t, p, "pn")
+	if pnRoot.Flags&FAtomic != 0 {
+		t.Error("Puint64 typedef must not be atomic: ReadAUint consumes digits on range overflow")
+	}
+	// ... but it only advances the cursor in-record, so it gets the
+	// cheaper Mark/Rewind trial tier instead.
+	if pnRoot.Flags&FRewind == 0 {
+		t.Error("unconstrained Puint64 typedef must be rewindable")
+	}
+	if chRoot.Flags&FRewind != 0 || dashRoot.Flags&FRewind != 0 {
+		t.Error("FAtomic and FRewind must be mutually exclusive; constrained nodes get neither")
+	}
+	// Date, fixed-width, and text-integer reads are not atomic.
+	p2 := lower(t, `Psource Precord Pstruct r { Pdate(:'|':) d; '|'; Pstring_FW(:3:) s; '|'; Puint8 n; Peor; };`)
+	for i := range p2.Nodes {
+		n := &p2.Nodes[i]
+		if n.Op == OpBase && n.Flags&FAtomic != 0 {
+			t.Errorf("%s should not be atomic", p2.Bases[n.A].Read)
 		}
 	}
 }

@@ -35,10 +35,10 @@ func Lower(desc *sema.Desc) (*Program, error) {
 		p.Decls[id].Root = root
 	}
 
-	// Analysis passes over the finished node array: atomicity, folded
-	// widths, per-declaration environment needs, and first-byte classes for
-	// speculative union branches.
-	l.foldAtomic()
+	// Analysis passes over the finished node array: trial-protection
+	// tiers, folded widths, per-declaration environment needs, and
+	// first-byte classes for speculative union branches.
+	l.foldTrialFlags()
 	l.foldWidths()
 	l.foldNeedEnv()
 	l.foldFirstClasses()
@@ -429,36 +429,67 @@ func (l *lowerer) lowerLit(lit *dsl.Literal) (LitID, error) {
 
 // ---- analysis passes ----
 
-// foldAtomic marks nodes whose parse consumes no input on failure and
-// carries no constraint, mirroring codegen's atomicRef rule: speculative
-// trials need no checkpoint around them.
-func (l *lowerer) foldAtomic() {
-	memo := make(map[NodeID]int8) // 0 unknown/in-progress, 1 atomic, -1 not
-	var visit func(id NodeID) bool
-	visit = func(id NodeID) bool {
+// Trial-protection tiers for speculative parses (Popt, union branches),
+// strongest first. foldTrialFlags assigns each node the strongest tier it
+// provably supports; engines protect a trial with the cheapest mechanism
+// its tier allows.
+const (
+	trialNone   = int8(0) // full Checkpoint/Restore required
+	trialRewind = int8(1) // Mark/Rewind pair suffices (FRewind)
+	trialAtomic = int8(2) // no protection needed (FAtomic)
+)
+
+// foldTrialFlags marks constraint-free nodes whose speculative trials need
+// less than a full checkpoint. FAtomic: the parse consumes no input on any
+// failure path, so the trial needs no protection at all — base reads
+// qualify only when their padsrt reader provably leaves the cursor
+// untouched on failure (ReadOp.Atomic). FRewind: the parse consumes input
+// only by advancing the cursor inside the current record (every base read:
+// no record framing, no compaction mid-read), so a Source.Mark/Rewind pair
+// restores a failed trial exactly — this covers text integers, which Skip
+// the digit run before reporting ErrRange. Compound nodes and calls into
+// Precord declarations stay at trialNone: record framing mutates source
+// state a bare cursor rewind cannot undo.
+func (l *lowerer) foldTrialFlags() {
+	memo := make(map[NodeID]int8) // -1 in progress, else trial* tier
+	var visit func(id NodeID) int8
+	visit = func(id NodeID) int8 {
 		if v, ok := memo[id]; ok {
-			return v == 1
+			if v < 0 {
+				return trialNone // cycles get no trial shortcut
+			}
+			return v
 		}
-		memo[id] = -1 // cycles and unfinished nodes are non-atomic
+		memo[id] = -1
 		n := &l.p.Nodes[id]
-		atomic := false
+		tier := trialNone
 		switch n.Op {
 		case OpBase:
-			b := &l.p.Bases[n.A]
-			atomic = !b.Info.FW && b.Info.Kind != sema.KDate
+			if l.p.Bases[n.A].Read.Atomic() {
+				tier = trialAtomic
+			} else {
+				tier = trialRewind
+			}
 		case OpEnum:
-			atomic = true
+			tier = trialAtomic // peeks members, skips only on a match
 		case OpTypedef:
-			atomic = n.B == None && visit(n.A)
+			if n.B == None {
+				tier = visit(n.A)
+			}
 		case OpCall:
 			root := l.p.Decls[n.A].Root
-			atomic = root != None && visit(root)
+			if root != None && l.p.Nodes[root].Flags&FRecord == 0 {
+				tier = visit(root)
+			}
 		}
-		if atomic {
-			memo[id] = 1
+		memo[id] = tier
+		switch tier {
+		case trialAtomic:
 			n.Flags |= FAtomic
+		case trialRewind:
+			n.Flags |= FRewind
 		}
-		return atomic
+		return tier
 	}
 	for id := range l.p.Nodes {
 		visit(NodeID(id))

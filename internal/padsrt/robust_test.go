@@ -381,6 +381,48 @@ func TestMaxSpecBytesSticky(t *testing.T) {
 	}
 }
 
+func TestMaxBacktracks(t *testing.T) {
+	s := NewSource(strings.NewReader("abcdef\n"),
+		WithLimits(Limits{MaxBacktracks: 3}))
+	mustBegin(t, s)
+	// Two full-checkpoint rollbacks plus one Mark/Rewind land on the cap.
+	for i := 0; i < 2; i++ {
+		s.Checkpoint()
+		s.Skip(2)
+		s.Restore()
+	}
+	m := s.Mark()
+	s.Skip(1)
+	s.Rewind(m)
+	if err := s.Err(); err != nil {
+		t.Fatalf("Err() = %v at the cap", err)
+	}
+	if b, ok := s.PeekByte(); !ok || b != 'a' {
+		t.Fatalf("PeekByte = %q %v under the cap, want 'a'", b, ok)
+	}
+	// The rollback past the cap trips the sticky error and hard-stops
+	// reads: buffered bytes are withheld so a backtracking parse cannot
+	// keep re-scanning them.
+	s.Rewind(s.Mark())
+	var le *LimitError
+	if err := s.Err(); !errors.As(err, &le) {
+		t.Fatalf("Err() = %T %v, want *LimitError past MaxBacktracks", err, err)
+	}
+	if _, ok := s.PeekByte(); ok {
+		t.Fatal("PeekByte delivered buffered input after the backtrack budget tripped")
+	}
+	if s.Avail(1) > 0 {
+		t.Fatal("Avail > 0 after the backtrack budget tripped")
+	}
+	// Checkpoint pairing still holds past the trip — Restore re-clamps
+	// whatever window the checkpoint reinstates instead of panicking.
+	s.Checkpoint()
+	s.Restore()
+	if _, ok := s.PeekByte(); ok {
+		t.Fatal("Restore past the trip re-opened the read window")
+	}
+}
+
 // --- error-record capture ---
 
 func TestLastErrRecordSnapshot(t *testing.T) {

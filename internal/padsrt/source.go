@@ -40,7 +40,9 @@ type Source struct {
 	recTrail int // delimiter bytes that follow the body
 	recNum   int // 1-based record count
 
-	cps []checkpoint
+	cps     []checkpoint
+	nback   int  // rollbacks charged against Limits.MaxBacktracks
+	stopped bool // backtrack budget exhausted: all reads fail
 
 	// Fault tolerance and resource guards (docs/ROBUSTNESS.md).
 	retries  int           // max consecutive retries of a transient read error
@@ -162,6 +164,13 @@ type Limits struct {
 	MaxSpecBytes int
 	// MaxSpecDepth caps checkpoint nesting the same way.
 	MaxSpecDepth int
+	// MaxBacktracks caps total speculation rollbacks (Restore plus
+	// Rewind) over the life of the Source. Nested trials can backtrack
+	// exponentially over already-buffered input, which no byte-oriented
+	// cap observes; exceeding this one sets the sticky *LimitError and
+	// hard-stops reads, so every retried trial fails at its first read
+	// and the parse winds down in time linear in the description.
+	MaxBacktracks int
 }
 
 // LimitError is the sticky error produced when a Limits cap is exceeded.
@@ -331,6 +340,11 @@ func (s *Source) Err() error { return s.err }
 // them, returning the window from the cursor onward and whether the input
 // is exhausted. It never blocks for more than the input provides.
 func (s *Source) ensure(n int) ([]byte, bool, error) {
+	if s.stopped {
+		// Backtrack budget exhausted: withhold even buffered bytes so the
+		// parse cannot keep re-scanning them (see Limits.MaxBacktracks).
+		return nil, true, s.err
+	}
 	for len(s.buf)-s.pos < n && !s.eof && s.err == nil {
 		s.fill()
 	}
@@ -885,10 +899,54 @@ func (s *Source) Restore() {
 	s.recNum = cp.recNum
 	s.ov = cp.ov
 	s.recTrunc = cp.recTrunc
+	if s.limits.MaxBacktracks > 0 {
+		s.backtracked()
+	}
+}
+
+// backtracked charges one rollback against Limits.MaxBacktracks. Once over
+// the cap it pins the sticky LimitError and empties the readable window —
+// ensure withholds buffered bytes and the in-record read fast paths see a
+// zero-length record body — so every retried trial fails at its first read
+// instead of re-scanning buffered input. It runs after the rollback has
+// restored cursor and record state, so the clamp holds at each rollback no
+// matter what window an outer checkpoint reinstates.
+func (s *Source) backtracked() {
+	s.nback++
+	if s.nback <= s.limits.MaxBacktracks {
+		return
+	}
+	if s.err == nil {
+		s.err = &LimitError{What: "backtrack budget", Limit: s.limits.MaxBacktracks}
+	}
+	s.eof = true
+	s.stopped = true
+	if s.recDepth > 0 {
+		s.recEnd = s.pos
+	}
 }
 
 // Speculating reports whether any checkpoint is active.
 func (s *Source) Speculating() bool { return len(s.cps) > 0 }
+
+// Mark returns the cursor index for a later Rewind: the lightweight
+// speculation pair engines use around trials of rewindable parses
+// (ir.FRewind) — ones that consume input only by advancing the cursor
+// inside the current record. Unlike Checkpoint it pins nothing and copies
+// no record state, so the pair is sound only when no record is begun or
+// ended (and hence no consumed data is discarded) between Mark and Rewind.
+// Every base-type read satisfies this: compaction runs only at record
+// boundaries, and fills append without shifting the buffer.
+func (s *Source) Mark() int { return s.pos }
+
+// Rewind moves the cursor back to a position returned by Mark. See Mark
+// for the soundness contract.
+func (s *Source) Rewind(mark int) {
+	s.pos = mark
+	if s.limits.MaxBacktracks > 0 {
+		s.backtracked()
+	}
+}
 
 // RecordBytes returns the bytes of the current record consumed so far plus
 // the unconsumed remainder — i.e. the whole record body when called right

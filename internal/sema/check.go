@@ -38,6 +38,7 @@ func Check(prog *dsl.Program) (*Desc, []*dsl.Error) {
 			EnumIndex: make(map[string]int),
 			Regexps:   make(map[string]*padsrt.Regexp),
 		},
+		resolving: make(map[string]bool),
 	}
 	c.run()
 	return c.desc, c.errs
@@ -46,6 +47,13 @@ func Check(prog *dsl.Program) (*Desc, []*dsl.Error) {
 type checker struct {
 	desc *Desc
 	errs []*dsl.Error
+	// resolving holds declaration names whose semantic type is being
+	// computed, to break reference cycles in declType. A cycle is only
+	// reachable for a declaration that (transitively) names itself, which
+	// its own check already rejected — names register only after checking,
+	// so a self-reference reports "undeclared type" there. The guard keeps
+	// later resolutions of the registered name from recursing forever.
+	resolving map[string]bool
 }
 
 func (c *checker) errorf(pos dsl.Pos, format string, args ...interface{}) {
@@ -164,17 +172,25 @@ func (c *checker) namedType(name string, pos dsl.Pos) *Type {
 }
 
 func (c *checker) declType(d dsl.Decl) *Type {
+	if name := d.DeclName(); c.resolving[name] {
+		return &Type{Kind: KInvalid, Name: name}
+	}
 	switch d := d.(type) {
 	case *dsl.StructDecl:
 		return &Type{Kind: KStruct, Name: d.Name}
 	case *dsl.UnionDecl:
 		return &Type{Kind: KUnion, Name: d.Name}
 	case *dsl.ArrayDecl:
-		return &Type{Kind: KArray, Name: d.Name, Elem: c.refTypeShallow(d.Elem)}
+		c.resolving[d.Name] = true
+		elem := c.refTypeShallow(d.Elem)
+		delete(c.resolving, d.Name)
+		return &Type{Kind: KArray, Name: d.Name, Elem: elem}
 	case *dsl.EnumDecl:
 		return &Type{Kind: KEnum, Name: d.Name}
 	case *dsl.TypedefDecl:
+		c.resolving[d.Name] = true
 		under := c.refTypeShallow(d.Base)
+		delete(c.resolving, d.Name)
 		return &Type{Kind: KTypedef, Name: d.Name, Elem: under}
 	}
 	return &Type{Kind: KInvalid}

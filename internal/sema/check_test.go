@@ -113,6 +113,23 @@ func TestSelfReferenceRejected(t *testing.T) {
 	wantErr(t, "Pstruct s { s x; };", "undeclared type s")
 }
 
+// A self-referential typedef or array errors at its own check (the name
+// registers only afterwards), but the erroneous declaration still lands in
+// the registry for later lookups. Resolving it again — here via a second
+// declaration using the name — must report the original error, not recurse
+// forever computing the typedef's underlying type (this once overflowed
+// the checker's stack; found by FuzzVMAgainstInterp).
+func TestSelfReferentialTypedefNoOverflow(t *testing.T) {
+	wantErr(t, `
+Ptypedef t t;
+Pstruct s { t x; };
+`, "undeclared type t")
+	wantErr(t, `
+Parray a { a[]; };
+Pstruct s { a x; };
+`, "undeclared type a")
+}
+
 func TestRedeclaration(t *testing.T) {
 	wantErr(t, "Pstruct s { Puint8 x; };\nPenum s { A };", "redeclared")
 	wantErr(t, "Pstruct Pip { Puint8 x; };", "shadows a base type")

@@ -35,6 +35,11 @@ func FuzzParseDescription(f *testing.F) {
 	f.Add(`Parray a { Puint8[3..1] : Psep(','); };`)            // inverted bounds
 	f.Add("Pstruct s { Puint8 x : x \x00 > 0; };")              // NUL in a constraint
 	f.Add(`Ptypedef Puint8 t : t x => { y > 0 }; Psource t q;`) // unbound name
+	// Self-referential typedef resolved through a later declaration: the
+	// registered-but-erroneous decl must not send declType into infinite
+	// recursion (this once overflowed the stack).
+	f.Add(`Ptypedef t t; Pstruct s { t x; t y; };`)
+	f.Add(`Parray a { a[]; }; Psource Pstruct s { a x; };`)
 
 	f.Fuzz(func(t *testing.T, src string) {
 		prog, errs := dsl.Parse(src)
