@@ -1,0 +1,141 @@
+// Command padsd is the PADS parse daemon: a long-running, multi-tenant HTTP
+// service that compiles uploaded descriptions once and parses concurrent
+// data streams against them with the full robustness discipline of
+// docs/ROBUSTNESS.md — admission control before buffering, per-tenant rate
+// limits and error budgets, deadline propagation into the parse loop,
+// per-request panic containment, bounded dead-letter tails, and graceful
+// drain on SIGTERM.
+//
+// Usage:
+//
+//	padsd -addr 127.0.0.1:8707
+//	padsd -addr :8707 -max-concurrent 8 -rate 10 -burst 20 -max-errors 1000 \
+//	      -timeout 30s -drain 10s -quarantine dead.jsonl
+//	padsd -chaos   # honor X-Pads-Fault headers (staging/tests only)
+//
+// Endpoints (see docs/ROBUSTNESS.md for the degradation matrix):
+//
+//	POST /v1/descriptions[?name=N]      upload + compile (content-addressed)
+//	GET  /v1/descriptions[/ID]          registry listing / metadata
+//	POST /v1/parse/accum?desc=ID        accumulator report over the body
+//	POST /v1/parse/xml?desc=ID          XML conversion (streaming)
+//	POST /v1/parse/csv?desc=ID          delimited conversion (streaming)
+//	GET  /v1/quarantine                 tenant's dead-letter tail (JSONL)
+//	GET  /v1/tenants                    per-tenant counters
+//	GET  /metrics | /healthz | /readyz  operations surface
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pads/internal/cliutil"
+	"pads/internal/padsd"
+	"pads/internal/padsrt"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8707", "listen address")
+	maxConc := flag.Int("max-concurrent", 0, "concurrent parse streams across all tenants (0 = 2*GOMAXPROCS)")
+	maxBody := flag.Int64("max-body", 1<<30, "per-request body cap in bytes")
+	maxDescs := flag.Int("max-descriptions", 256, "compiled description registry cap")
+	rate := flag.Float64("rate", 0, "per-tenant parse requests per second (0 = unlimited)")
+	burst := flag.Int("burst", 0, "per-tenant burst size (0 = max(1, rate))")
+	maxActive := flag.Int("tenant-max-active", 0, "per-tenant concurrent stream cap (0 = unlimited)")
+	maxErrors := flag.Int("max-errors", 0, "per-request error budget: abort a parse after this many damaged records (0 = unlimited)")
+	maxErrRate := flag.Float64("max-error-rate", 0, "per-request error-rate budget in [0,1] (0 = disabled)")
+	failFast := flag.Bool("fail-fast", false, "abort each parse on its first damaged record")
+	maxRecord := flag.Int("max-record-len", 1<<20, "per-record length cap in bytes")
+	maxBacktracks := flag.Int("max-backtracks", 1<<20, "per-parse speculation retreat budget (0 = default)")
+	timeout := flag.Duration("timeout", 60*time.Second, "default per-request parse deadline")
+	maxTimeout := flag.Duration("max-timeout", 10*time.Minute, "ceiling for client-requested deadlines")
+	drain := flag.Duration("drain", 10*time.Second, "SIGTERM drain budget before in-flight parses are cancelled")
+	quarPath := flag.String("quarantine", "", "append every dead-lettered record to this JSONL file (all tenants)")
+	quarTail := flag.Int("quarantine-tail", 1024, "per-tenant in-memory dead-letter ring size")
+	chaos := flag.Bool("chaos", false, "honor X-Pads-Fault fault-injection headers (staging/tests only)")
+	flag.Parse()
+
+	cfg := padsd.Config{
+		MaxConcurrent:   *maxConc,
+		MaxBodyBytes:    *maxBody,
+		MaxDescriptions: *maxDescs,
+		Limits: padsrt.Limits{
+			MaxRecordLen:  *maxRecord,
+			MaxBacktracks: *maxBacktracks,
+		},
+		ParseTimeout: *timeout,
+		MaxTimeout:   *maxTimeout,
+		Tenant: padsd.TenantConfig{
+			RatePerSec:   *rate,
+			Burst:        *burst,
+			MaxActive:    *maxActive,
+			MaxErrors:    *maxErrors,
+			MaxErrorRate: *maxErrRate,
+			FailFast:     *failFast,
+		},
+		QuarantineTail: *quarTail,
+		Chaos:          *chaos,
+	}
+	var quarFile *os.File
+	if *quarPath != "" {
+		f, err := os.OpenFile(*quarPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			cliutil.Fatal(err)
+		}
+		quarFile = f
+		cfg.Quarantine = f
+	}
+
+	srv := padsd.New(cfg)
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "padsd: listening on %s (drain budget %s)\n", *addr, *drain)
+		errc <- hs.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+
+	select {
+	case err := <-errc:
+		cliutil.Fatal(err)
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "padsd: %s: draining (budget %s)\n", sig, *drain)
+	}
+
+	// SIGTERM discipline: stop admitting (readyz flips 503 so load balancers
+	// route away), give in-flight parses the drain budget, then cancel the
+	// stragglers through the runtime's deadline hook. The listener shuts
+	// down after the parses so their responses can still be written.
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	derr := srv.Drain(ctx)
+	hctx, hcancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer hcancel()
+	if err := hs.Shutdown(hctx); err != nil {
+		hs.Close()
+	}
+	if quarFile != nil {
+		if err := quarFile.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "padsd: closing quarantine: %v\n", err)
+		}
+	}
+	if derr != nil && !errors.Is(derr, context.Canceled) {
+		fmt.Fprintf(os.Stderr, "padsd: drain budget expired; in-flight parses cancelled\n")
+		os.Exit(4)
+	}
+	fmt.Fprintln(os.Stderr, "padsd: drained cleanly")
+}

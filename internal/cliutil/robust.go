@@ -19,13 +19,14 @@ import (
 
 // RobustFlags holds the shared fault-tolerance flag values.
 type RobustFlags struct {
-	MaxErrors    int
-	MaxErrorRate float64
-	FailFast     bool
-	Quarantine   string
-	Retry        int
-	RetryBackoff time.Duration
-	MaxRecord    int
+	MaxErrors     int
+	MaxErrorRate  float64
+	FailFast      bool
+	Quarantine    string
+	Retry         int
+	RetryBackoff  time.Duration
+	MaxRecord     int
+	MaxBacktracks int
 }
 
 // NewRobustFlags registers the shared fault-tolerance flags.
@@ -38,17 +39,23 @@ func NewRobustFlags() *RobustFlags {
 	flag.IntVar(&rf.Retry, "retry", 0, "retry transient input read errors up to `N` times before giving up")
 	flag.DurationVar(&rf.RetryBackoff, "retry-backoff", 10*time.Millisecond, "initial `DELAY` between read retries, doubling per attempt")
 	flag.IntVar(&rf.MaxRecord, "max-record", 0, "clamp records longer than `N` bytes and flag them ErrRecordTooLong (0 = unlimited)")
+	flag.IntVar(&rf.MaxBacktracks, "max-backtracks", 0, "abort the parse after `N` speculation retreats — a runaway-ambiguity guard (0 = unlimited)")
 	return rf
 }
 
 // SourceOptions extends opts with the resource-guard options the flags ask
-// for: read retries and the record length cap.
+// for: read retries, the record length cap, and the backtrack budget. The
+// limits merge into one padsrt.Limits so the options don't overwrite each
+// other.
 func (rf *RobustFlags) SourceOptions(opts []padsrt.SourceOption) []padsrt.SourceOption {
 	if rf.Retry > 0 {
 		opts = append(opts, padsrt.WithRetry(rf.Retry, rf.RetryBackoff))
 	}
-	if rf.MaxRecord > 0 {
-		opts = append(opts, padsrt.WithLimits(padsrt.Limits{MaxRecordLen: rf.MaxRecord}))
+	if rf.MaxRecord > 0 || rf.MaxBacktracks > 0 {
+		opts = append(opts, padsrt.WithLimits(padsrt.Limits{
+			MaxRecordLen:  rf.MaxRecord,
+			MaxBacktracks: rf.MaxBacktracks,
+		}))
 	}
 	return opts
 }
@@ -79,6 +86,9 @@ func (rf *RobustFlags) Open(stats *telemetry.Stats) (*Robustness, error) {
 	}
 	if rf.MaxRecord < 0 {
 		return nil, fmt.Errorf("bad -max-record %d (must be >= 0)", rf.MaxRecord)
+	}
+	if rf.MaxBacktracks < 0 {
+		return nil, fmt.Errorf("bad -max-backtracks %d (must be >= 0)", rf.MaxBacktracks)
 	}
 	r := &Robustness{stats: stats}
 	pol := &interp.Policy{MaxErrors: rf.MaxErrors, MaxErrorRate: rf.MaxErrorRate, FailFast: rf.FailFast}

@@ -100,6 +100,17 @@ func NewAST(desc *sema.Desc) *Interp {
 	return &Interp{Desc: desc, Ev: expr.New(desc)}
 }
 
+// Clone returns an interpreter over the same checked description and lowered
+// program but with private mutable state: a fresh expression evaluator
+// (evaluation carries call-depth state) and detached observers. It is the
+// compile-once, parse-many primitive — internal/parallel shards and the
+// padsd registry both clone one compiled description per concurrent parse
+// instead of re-lowering it. A NewAST interpreter's clones stay on the AST
+// walk.
+func (in *Interp) Clone() *Interp {
+	return &Interp{Desc: in.Desc, Ev: expr.New(in.Desc), prog: in.prog}
+}
+
 // ParseSource parses the entire data source according to the description's
 // Psource declaration, with full checking. For large inputs prefer the
 // record-at-a-time entry points (NewRecordReader).

@@ -162,9 +162,9 @@ func (rr *RecordReader) note(v value.Value) value.Value {
 // parse emits every worker's events into one stream.
 func (rr *RecordReader) Shard(s *padsrt.Source) *RecordReader {
 	// The lowered program is immutable at parse time, so shards share the
-	// parent's instead of re-lowering per chunk (and a NewAST parent's
+	// parent's instead of re-lowering per chunk (Clone; a NewAST parent's
 	// shards stay on the AST walk).
-	in := &Interp{Desc: rr.in.Desc, Ev: expr.New(rr.in.Desc), prog: rr.in.prog}
+	in := rr.in.Clone()
 	in.Stats = s.Stats()
 	in.Prof = s.Prof()
 	in.Tracer = rr.in.Tracer

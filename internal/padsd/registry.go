@@ -1,0 +1,142 @@
+package padsd
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"sort"
+	"sync"
+	"time"
+
+	"pads/internal/core"
+)
+
+// ErrRegistryFull is returned when an upload would exceed the registry's
+// entry cap: the daemon's memory for compiled descriptions is bounded, and
+// over the bound it refuses (503) rather than grows.
+var ErrRegistryFull = errors.New("padsd: description registry full")
+
+// DescInfo is the public metadata of one registered description.
+type DescInfo struct {
+	ID         string    `json:"id"`
+	Name       string    `json:"name"`
+	SourceType string    `json:"source_type"`
+	Bytes      int       `json:"bytes"`
+	Uses       uint64    `json:"uses"`
+	Uploaded   time.Time `json:"uploaded"`
+}
+
+// descEntry is one compiled description. The *core.Description is compiled
+// (parse, sema-check, lower to IR) exactly once per distinct source text and
+// shared read-only by every request; each parse clones the interpreter
+// (interp.Clone) so concurrent streams never share mutable state.
+type descEntry struct {
+	info DescInfo
+	desc *core.Description
+
+	mu   sync.Mutex // guards info.Uses
+	uses uint64
+}
+
+func (e *descEntry) used() {
+	e.mu.Lock()
+	e.uses++
+	e.mu.Unlock()
+}
+
+func (e *descEntry) snapshot() DescInfo {
+	e.mu.Lock()
+	in := e.info
+	in.Uses = e.uses
+	e.mu.Unlock()
+	return in
+}
+
+// registry is the content-addressed description store: the ID is a digest
+// of the source text, so re-uploading an identical description — the common
+// case for fleets of clients shipping the same schema — hits the compile
+// cache instead of compiling again.
+type registry struct {
+	max int
+
+	mu      sync.Mutex
+	entries map[string]*descEntry
+}
+
+func newRegistry(max int) *registry {
+	return &registry{max: max, entries: make(map[string]*descEntry)}
+}
+
+// descID is the content address: the first 16 hex digits of the SHA-256 of
+// the source text.
+func descID(src []byte) string {
+	sum := sha256.Sum256(src)
+	return hex.EncodeToString(sum[:8])
+}
+
+// add registers (or finds) the description with this source text. cached
+// reports whether an identical description was already compiled. Compile
+// errors pass through as-is (*core.CompileError) for the 422 path.
+func (r *registry) add(src []byte, name string, now time.Time) (e *descEntry, cached bool, err error) {
+	id := descID(src)
+	r.mu.Lock()
+	if e, ok := r.entries[id]; ok {
+		r.mu.Unlock()
+		return e, true, nil
+	}
+	full := len(r.entries) >= r.max
+	r.mu.Unlock()
+	if full {
+		return nil, false, ErrRegistryFull
+	}
+
+	// Compile outside the lock: sema-checking a large description must not
+	// stall every other tenant's lookup. A concurrent identical upload may
+	// compile twice; the second insert loses and is discarded.
+	d, cerr := core.Compile(string(src), name)
+	if cerr != nil {
+		return nil, false, cerr
+	}
+	e = &descEntry{
+		info: DescInfo{ID: id, Name: name, SourceType: d.SourceType(), Bytes: len(src), Uploaded: now},
+		desc: d,
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if prev, ok := r.entries[id]; ok {
+		return prev, true, nil
+	}
+	if len(r.entries) >= r.max {
+		return nil, false, ErrRegistryFull
+	}
+	r.entries[id] = e
+	return e, false, nil
+}
+
+func (r *registry) get(id string) (*descEntry, bool) {
+	r.mu.Lock()
+	e, ok := r.entries[id]
+	r.mu.Unlock()
+	return e, ok
+}
+
+func (r *registry) list() []DescInfo {
+	r.mu.Lock()
+	es := make([]*descEntry, 0, len(r.entries))
+	for _, e := range r.entries {
+		es = append(es, e)
+	}
+	r.mu.Unlock()
+	out := make([]DescInfo, len(es))
+	for i, e := range es {
+		out[i] = e.snapshot()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+func (r *registry) size() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.entries)
+}

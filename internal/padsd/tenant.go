@@ -1,0 +1,187 @@
+package padsd
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+
+	"pads/internal/interp"
+)
+
+// TenantConfig is the per-tenant admission and degradation policy. The
+// daemon applies one config to every tenant (per-tenant overrides would be
+// a small extension: the enforcement below is already per-tenant state).
+type TenantConfig struct {
+	// RatePerSec refills the tenant's token bucket (0 = unlimited): each
+	// parse request consumes one token, and an empty bucket is a 429 with
+	// Retry-After, never a queue that buffers the body.
+	RatePerSec float64
+	// Burst is the bucket depth (default: max(1, RatePerSec)).
+	Burst int
+	// MaxActive caps one tenant's concurrent parse streams, so a single
+	// tenant cannot monopolize the global parse slots (429 when exceeded).
+	MaxActive int
+	// MaxErrors / MaxErrorRate / FailFast are the per-request error budget,
+	// applied through interp.Policy exactly as the CLI flags apply it: a
+	// tripped budget aborts that request with 422 and a BudgetError body.
+	MaxErrors    int
+	MaxErrorRate float64
+	FailFast     bool
+}
+
+func (tc TenantConfig) burst() float64 {
+	if tc.Burst > 0 {
+		return float64(tc.Burst)
+	}
+	if tc.RatePerSec > 1 {
+		return tc.RatePerSec
+	}
+	return 1
+}
+
+// tenant is the daemon-side state of one tenant: a token bucket, an active
+// stream count, cumulative counters, and a bounded dead-letter tail.
+type tenant struct {
+	name string
+
+	mu        sync.Mutex
+	tokens    float64
+	lastT     time.Time
+	active    int
+	records   uint64
+	errored   uint64
+	throttled uint64
+
+	quar *quarTail
+}
+
+func newTenant(name string, cfg TenantConfig, tail int, now time.Time) *tenant {
+	return &tenant{name: name, tokens: cfg.burst(), lastT: now, quar: newQuarTail(tail)}
+}
+
+// admit charges one request against the tenant's bucket and stream cap,
+// reporting whether it may proceed and, if not, how long to back off.
+func (t *tenant) admit(cfg TenantConfig, now time.Time) (ok bool, retryAfter time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if cfg.RatePerSec > 0 {
+		elapsed := now.Sub(t.lastT).Seconds()
+		if elapsed > 0 {
+			t.tokens += elapsed * cfg.RatePerSec
+			if max := cfg.burst(); t.tokens > max {
+				t.tokens = max
+			}
+			t.lastT = now
+		}
+		if t.tokens < 1 {
+			t.throttled++
+			need := (1 - t.tokens) / cfg.RatePerSec
+			return false, time.Duration(need * float64(time.Second))
+		}
+	}
+	if cfg.MaxActive > 0 && t.active >= cfg.MaxActive {
+		t.throttled++
+		return false, time.Second
+	}
+	if cfg.RatePerSec > 0 {
+		t.tokens--
+	}
+	t.active++
+	return true, 0
+}
+
+// release ends one admitted stream, folding its scan counts in.
+func (t *tenant) release(records, errored int) {
+	t.mu.Lock()
+	t.active--
+	t.records += uint64(records)
+	t.errored += uint64(errored)
+	t.mu.Unlock()
+}
+
+// TenantInfo is the public snapshot of one tenant's state.
+type TenantInfo struct {
+	Name        string `json:"name"`
+	Active      int    `json:"active"`
+	Records     uint64 `json:"records"`
+	Errored     uint64 `json:"errored"`
+	Throttled   uint64 `json:"throttled"`
+	Quarantined uint64 `json:"quarantined"`
+}
+
+func (t *tenant) snapshot() TenantInfo {
+	t.mu.Lock()
+	in := TenantInfo{Name: t.name, Active: t.active, Records: t.records,
+		Errored: t.errored, Throttled: t.throttled}
+	t.mu.Unlock()
+	in.Quarantined = t.quar.total()
+	return in
+}
+
+// quarTail is a bounded, concurrency-safe dead-letter tail: the most recent
+// cap quarantine entries of one tenant, downloadable as JSONL. It implements
+// interp.Recorder, so record readers feed it exactly like a file sink; the
+// bound converts "a tenant streamed a billion poison records" into an O(cap)
+// ring instead of an OOM.
+type quarTail struct {
+	mu    sync.Mutex
+	cap   int
+	n     uint64 // total entries ever quarantined (kept or evicted)
+	buf   []interp.Entry
+	start int // ring head
+}
+
+func newQuarTail(cap int) *quarTail {
+	if cap <= 0 {
+		cap = 1024
+	}
+	return &quarTail{cap: cap}
+}
+
+// Quarantine implements interp.Recorder.
+func (q *quarTail) Quarantine(e interp.Entry) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.n++
+	if len(q.buf) < q.cap {
+		q.buf = append(q.buf, e)
+		return
+	}
+	q.buf[q.start] = e
+	q.start = (q.start + 1) % q.cap
+}
+
+func (q *quarTail) total() uint64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.n
+}
+
+// writeJSONL renders the retained tail, oldest first, one JSON object per
+// line — the same schema as the -quarantine file of the CLI tools.
+func (q *quarTail) writeJSONL(w io.Writer) error {
+	q.mu.Lock()
+	entries := make([]interp.Entry, 0, len(q.buf))
+	for i := 0; i < len(q.buf); i++ {
+		entries = append(entries, q.buf[(q.start+i)%len(q.buf)])
+	}
+	q.mu.Unlock()
+	enc := json.NewEncoder(w)
+	for i := range entries {
+		if err := enc.Encode(&entries[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// multiRecorder fans one dead-letter stream out to several sinks (the
+// tenant's tail plus the daemon's optional write-through file).
+type multiRecorder []interp.Recorder
+
+func (m multiRecorder) Quarantine(e interp.Entry) {
+	for _, r := range m {
+		r.Quarantine(e)
+	}
+}

@@ -1,0 +1,176 @@
+package padsrt
+
+import (
+	"context"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+// dribbleReader delivers one byte per Read, counting calls: the slow-client
+// shape the daemon's deadline hook exists for.
+type dribbleReader struct {
+	data  string
+	off   int
+	reads int
+}
+
+func (d *dribbleReader) Read(p []byte) (int, error) {
+	d.reads++
+	if d.off >= len(d.data) {
+		return 0, io.EOF
+	}
+	p[0] = d.data[d.off]
+	d.off++
+	return 1, nil
+}
+
+func TestCancelAbortsMidRecord(t *testing.T) {
+	// An unbounded record streams through fill as it parses (a bounded one
+	// is fully buffered at BeginRecord), so the fill poll is what aborts it
+	// mid-record.
+	ctx, cancel := context.WithCancel(context.Background())
+	s := NewSource(&dribbleReader{data: "0123456789abcdef"},
+		WithDiscipline(NoRecords()), WithCancel(ctx.Err))
+	mustBegin(t, s)
+	// Consume part of the record, then cancel: the very next fill-backed
+	// read must fail, mid-record, with the sticky cause-carrying error.
+	w := s.Peek(4)
+	if string(w) != "0123" {
+		t.Fatalf("Peek = %q before cancel", w)
+	}
+	s.Skip(4)
+	cancel()
+	if got := s.Peek(8); len(got) != 0 {
+		t.Fatalf("Peek delivered %q after cancel", got)
+	}
+	var le *LimitError
+	if err := s.Err(); !errors.As(err, &le) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("Err() = %T %v, want *LimitError wrapping context.Canceled", err, err)
+	}
+	if !s.InRecord() {
+		t.Fatal("cancel should abort mid-record, not unwind record state")
+	}
+	// The parse winds down through the normal paths: EndRecord and
+	// BeginRecord keep working, but no further records open.
+	s.EndRecord(&PD{})
+	if ok, err := s.BeginRecord(); ok || err == nil {
+		t.Fatalf("BeginRecord after cancel = %v, %v; want refusal with sticky error", ok, err)
+	}
+}
+
+func TestDeadlineExpiresDuringParse(t *testing.T) {
+	s := NewSource(&dribbleReader{data: strings.Repeat("x", 64) + "\n"})
+	s.SetDeadline(time.Now().Add(-time.Millisecond)) // already past
+	if ok, _ := s.BeginRecord(); ok {
+		t.Fatal("BeginRecord opened a record past the deadline")
+	}
+	var le *LimitError
+	if err := s.Err(); !errors.As(err, &le) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Err() = %v, want *LimitError wrapping context.DeadlineExceeded", s.Err())
+	}
+}
+
+func TestCancelNoticedBySpeculation(t *testing.T) {
+	// Fully-buffered input never fills, so the checkpoint poll is what
+	// bounds a backtracking loop on a cancelled source.
+	cancelled := errors.New("tenant evicted")
+	var stop error
+	s := NewBytesSource([]byte("aaaa\n"), WithCancel(func() error { return stop }))
+	mustBegin(t, s)
+	s.Checkpoint()
+	s.Skip(2)
+	s.Restore()
+	if s.Err() != nil {
+		t.Fatalf("Err() = %v before cancel", s.Err())
+	}
+	stop = cancelled
+	s.Checkpoint()
+	s.Restore()
+	if err := s.Err(); !errors.Is(err, cancelled) {
+		t.Fatalf("Err() = %v, want the hook's cause", err)
+	}
+	if _, ok := s.PeekByte(); ok {
+		t.Fatal("PeekByte delivered buffered input after cancellation")
+	}
+}
+
+// stickyAfterBudget counts reads and always has more data to offer after a
+// transient error — the bait a broken retry path would take.
+type stickyAfterBudget struct {
+	reads int
+}
+
+func (r *stickyAfterBudget) Read(p []byte) (int, error) {
+	r.reads++
+	if r.reads == 1 {
+		n := copy(p, "abcdef\n")
+		return n, nil
+	}
+	if r.reads == 2 {
+		return 0, tempErr{}
+	}
+	n := copy(p, "ghijkl\n")
+	return n, nil
+}
+
+// TestBacktrackBudgetNotRetriedPast pins the sticky-error interplay: once
+// MaxBacktracks trips, an armed WithRetry must not pull more input — the
+// LimitError is sticky, so ensure stops calling fill and the transient-retry
+// machinery never runs again.
+func TestBacktrackBudgetNotRetriedPast(t *testing.T) {
+	r := &stickyAfterBudget{}
+	s := NewSource(r, WithRetry(5, 0), WithLimits(Limits{MaxBacktracks: 1}))
+	mustBegin(t, s)
+	readsBefore := r.reads
+	s.Checkpoint()
+	s.Skip(2)
+	s.Restore() // 1st rollback: at the cap
+	s.Checkpoint()
+	s.Restore() // 2nd rollback: past the cap, sticky LimitError
+	var le *LimitError
+	if err := s.Err(); !errors.As(err, &le) || le.What != "backtrack budget" {
+		t.Fatalf("Err() = %v, want backtrack-budget LimitError", s.Err())
+	}
+	// Hammer the read surface: none of it may reach the reader again.
+	for i := 0; i < 8; i++ {
+		s.Peek(64)
+		s.Avail(64)
+		s.More()
+		s.AtEOF()
+	}
+	s.EndRecord(&PD{})
+	if ok, _ := s.BeginRecord(); ok {
+		t.Fatal("BeginRecord opened a record past the sticky backtrack error")
+	}
+	if r.reads != readsBefore {
+		t.Fatalf("reader saw %d more reads after the sticky LimitError; WithRetry must not retry past it",
+			r.reads-readsBefore)
+	}
+	if !errors.Is(s.Err(), s.Err()) || !errors.As(s.Err(), &le) {
+		t.Fatal("sticky error lost")
+	}
+}
+
+func TestCancelledSourceRestoreKeepsWindowShut(t *testing.T) {
+	// A Restore after cancellation must not reinstate the pre-cancel record
+	// window (clampStopped): otherwise a union loop over buffered input
+	// could keep re-scanning forever.
+	var stop error
+	s := NewBytesSource([]byte("abcdefgh\n"), WithCancel(func() error { return stop }))
+	mustBegin(t, s)
+	s.Checkpoint() // pins the full record window
+	s.Skip(3)
+	stop = errors.New("over budget")
+	s.Checkpoint() // poll notices, clamps at pos=3
+	s.Restore()
+	s.Restore() // outer checkpoint would reinstate recEnd=8
+	if _, ok := s.PeekByte(); ok {
+		t.Fatal("Restore re-opened the record window of a cancelled source")
+	}
+	if s.Avail(8) > 0 {
+		t.Fatal("Avail > 0 on a cancelled source after Restore")
+	}
+}

@@ -2,6 +2,7 @@ package padsrt
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -42,7 +43,17 @@ type Source struct {
 
 	cps     []checkpoint
 	nback   int  // rollbacks charged against Limits.MaxBacktracks
-	stopped bool // backtrack budget exhausted: all reads fail
+	stopped bool // cancelled or budget-exhausted: all reads fail
+
+	// Cancellation (docs/ROBUSTNESS.md). cancel, when non-nil, is polled at
+	// fills, record starts, and checkpoints; a non-nil return (typically
+	// context.Context.Err) cancels the parse. deadline, when non-zero, is a
+	// wall-clock cutoff checked at the same points. Both convert into a
+	// sticky *LimitError carrying the cause, so engines (VM, generated
+	// parsers, parallel workers) abort mid-record through their ordinary
+	// error paths without per-loop deadline plumbing.
+	cancel   func() error
+	deadline time.Time
 
 	// Fault tolerance and resource guards (docs/ROBUSTNESS.md).
 	retries  int           // max consecutive retries of a transient read error
@@ -173,16 +184,27 @@ type Limits struct {
 	MaxBacktracks int
 }
 
-// LimitError is the sticky error produced when a Limits cap is exceeded.
+// LimitError is the sticky error produced when a Limits cap is exceeded or
+// the parse is cancelled (SetDeadline / SetCancel). For cancellations Cause
+// carries the underlying reason — typically context.DeadlineExceeded or
+// context.Canceled — and errors.Is sees through it, so callers distinguish
+// "deadline expired" from "client went away" without string matching.
 type LimitError struct {
 	What  string // which guard tripped
 	Limit int
+	Cause error // underlying cancellation cause; nil for resource caps
 }
 
 // Error implements error.
 func (e *LimitError) Error() string {
+	if e.Cause != nil {
+		return fmt.Sprintf("padsrt: parse %s: %v", e.What, e.Cause)
+	}
 	return fmt.Sprintf("padsrt: %s limit exceeded (cap %d)", e.What, e.Limit)
 }
+
+// Unwrap exposes the cancellation cause to errors.Is / errors.As.
+func (e *LimitError) Unwrap() error { return e.Cause }
 
 // IsTransient reports whether err is a retryable read failure: any error
 // in the chain advertising Temporary() bool, the convention shared by
@@ -227,6 +249,12 @@ func WithRetry(n int, backoff time.Duration) SourceOption {
 
 // WithLimits installs resource guards (docs/ROBUSTNESS.md).
 func WithLimits(l Limits) SourceOption { return func(s *Source) { s.limits = l } }
+
+// WithCancel installs a cancellation hook; see SetCancel.
+func WithCancel(check func() error) SourceOption { return func(s *Source) { s.cancel = check } }
+
+// WithDeadline installs a wall-clock parse deadline; see SetDeadline.
+func WithDeadline(t time.Time) SourceOption { return func(s *Source) { s.deadline = t } }
 
 // NewSource wraps r in a parse cursor. By default records are
 // newline-terminated, the ambient coding is ASCII, and binary integers are
@@ -305,6 +333,56 @@ func (s *Source) SetProf(p *prof.Profiler) { s.prof = p }
 // same way they pick up Stats.
 func (s *Source) Prof() *prof.Profiler { return s.prof }
 
+// SetCancel installs (or, with nil, removes) a cancellation hook: check is
+// polled from the parsing goroutine at fills, record starts, and
+// checkpoints, and its first non-nil return cancels the parse with a sticky
+// *LimitError{What: "cancelled", Cause: check()}. Pass a request context's
+// Err method to propagate HTTP deadlines and client disconnects into the
+// runtime: the cancelled source hard-stops exactly like an exhausted
+// backtrack budget (even buffered bytes are withheld and the current record
+// is clamped at the cursor), so a parse aborts mid-record in time linear in
+// the description, not in the remaining input. check must be safe to call
+// from the parsing goroutine (context.Context.Err is); SetCancel itself
+// must not be called while a parse is running.
+func (s *Source) SetCancel(check func() error) { s.cancel = check }
+
+// SetDeadline installs a wall-clock cutoff for the parse, polled at the
+// same points as SetCancel; a zero time clears it. Past the deadline the
+// source sticks a *LimitError whose Cause is context.DeadlineExceeded.
+func (s *Source) SetDeadline(t time.Time) { s.deadline = t }
+
+// pollCancel evaluates the cancel hook and deadline, if armed. On expiry it
+// pins the sticky *LimitError and hard-stops reads, reporting whether the
+// source is (now or already) cancelled. Poll sites are chosen so every
+// parse shape notices promptly without taxing the per-byte hot path: fill
+// (streaming input, mid-record), BeginRecord (buffered input, between
+// records), and Checkpoint (speculation loops over buffered input).
+func (s *Source) pollCancel() bool {
+	if s.cancel == nil && s.deadline.IsZero() {
+		return false
+	}
+	if s.err != nil || s.stopped {
+		return s.stopped
+	}
+	var cause error
+	if s.cancel != nil {
+		cause = s.cancel()
+	}
+	if cause == nil && !s.deadline.IsZero() && time.Now().After(s.deadline) {
+		cause = context.DeadlineExceeded
+	}
+	if cause == nil {
+		return false
+	}
+	s.err = &LimitError{What: "cancelled", Cause: cause}
+	s.eof = true
+	s.stopped = true
+	if s.recDepth > 0 {
+		s.recEnd = s.pos
+	}
+	return true
+}
+
 // SpecLimited reports whether speculation resource guards (MaxSpecBytes or
 // MaxSpecDepth) are armed. Engines that would elide provably-failing
 // checkpointed trials consult it: with guards armed, even a doomed trial's
@@ -352,6 +430,9 @@ func (s *Source) ensure(n int) ([]byte, bool, error) {
 }
 
 func (s *Source) fill() {
+	if s.pollCancel() {
+		return
+	}
 	if s.r == nil {
 		s.eof = true
 		return
@@ -409,6 +490,12 @@ func (s *Source) fill() {
 				if delay < time.Second {
 					delay *= 2
 				}
+			}
+			// A deadline that expired during the backoff must win over the
+			// retry loop: an input that alternates transient errors with
+			// slow progress could otherwise outlive its budget.
+			if s.pollCancel() {
+				return
 			}
 		default:
 			s.err = err
@@ -472,6 +559,9 @@ func (s *Source) BeginRecord() (ok bool, err error) {
 	if s.recDepth > 0 {
 		s.recDepth++
 		return true, nil
+	}
+	if s.pollCancel() {
+		return false, s.err
 	}
 	s.compact()
 	skip, body, trailer, ok, err := s.disc.locate(s)
@@ -851,6 +941,7 @@ func (s *Source) windowSlow(max int) []byte {
 // matching Commit or Restore. Checkpoints nest, supporting unions inside
 // unions.
 func (s *Source) Checkpoint() {
+	s.pollCancel()
 	if s.limits.MaxSpecDepth > 0 && len(s.cps) >= s.limits.MaxSpecDepth && s.err == nil {
 		// The checkpoint still pushes (Commit/Restore pairing must hold),
 		// but the parse now winds down under a sticky structured error.
@@ -902,6 +993,19 @@ func (s *Source) Restore() {
 	if s.limits.MaxBacktracks > 0 {
 		s.backtracked()
 	}
+	s.clampStopped()
+}
+
+// clampStopped re-empties the readable window of a hard-stopped source after
+// a rollback restored record state: a Restore (or Rewind) would otherwise
+// reinstate a wider recEnd and let in-record fast-path reads re-scan
+// buffered bytes the stop is supposed to withhold. backtracked applies the
+// same clamp when the stop originates from the backtrack budget; this one
+// covers cancellation, whose poll sites do not include rollbacks.
+func (s *Source) clampStopped() {
+	if s.stopped && s.recDepth > 0 {
+		s.recEnd = s.pos
+	}
 }
 
 // backtracked charges one rollback against Limits.MaxBacktracks. Once over
@@ -946,6 +1050,7 @@ func (s *Source) Rewind(mark int) {
 	if s.limits.MaxBacktracks > 0 {
 		s.backtracked()
 	}
+	s.clampStopped()
 }
 
 // RecordBytes returns the bytes of the current record consumed so far plus

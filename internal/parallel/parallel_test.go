@@ -2,6 +2,7 @@ package parallel
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -255,5 +256,50 @@ func TestRunEmptyInput(t *testing.T) {
 	}
 	if calls != 1 {
 		t.Fatalf("work called %d times on empty input, want 1", calls)
+	}
+}
+
+// TestRunCancelThroughSourceOptions: a cancel hook supplied via
+// Options.Source reaches every chunk's source, so an expired context aborts
+// all workers mid-parse through the runtime's sticky-LimitError path — no
+// per-engine cancellation plumbing (docs/ROBUSTNESS.md, deadline
+// propagation).
+func TestRunCancelThroughSourceOptions(t *testing.T) {
+	var data []byte
+	for i := 0; i < 4096; i++ {
+		data = append(data, fmt.Sprintf("%d|payload-%d\n", i, i*7)...)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already expired: every chunk must abort at its first record
+
+	scanned := 0
+	err := Run(data,
+		Options{Workers: 4, MinChunk: 64, Source: []padsrt.SourceOption{padsrt.WithCancel(ctx.Err)}},
+		func(src *padsrt.Source, c Chunk) (int, error) {
+			n := 0
+			for src.More() {
+				ok, err := src.BeginRecord()
+				if err != nil {
+					return n, err
+				}
+				if !ok {
+					break
+				}
+				src.SkipToEOR()
+				src.EndRecord(&padsrt.PD{})
+				n++
+			}
+			return n, src.Err()
+		},
+		func(c Chunk, n int) error {
+			scanned += n
+			return nil
+		})
+	var le *padsrt.LimitError
+	if !errors.As(err, &le) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want LimitError wrapping context.Canceled", err)
+	}
+	if scanned != 0 {
+		t.Fatalf("%d records scanned under a cancelled context, want 0", scanned)
 	}
 }

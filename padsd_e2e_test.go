@@ -1,0 +1,258 @@
+package pads_test
+
+// End-to-end exercise of the parse daemon as a real process: build the
+// padsd binary, start it with chaos mode on, replay a seeded fault corpus
+// through the HTTP surface, then SIGTERM it and assert a clean drain with a
+// non-empty quarantine file — the daemon smoke run scripts/ci.sh invokes.
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// freeAddr reserves a localhost port for the daemon to bind.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// startPadsd launches the daemon and waits for /healthz.
+func startPadsd(t *testing.T, bin string, args ...string) (*exec.Cmd, string, *bytes.Buffer) {
+	t.Helper()
+	addr := freeAddr(t)
+	cmd := exec.Command(filepath.Join(bin, "padsd"), append([]string{"-addr", addr}, args...)...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	base := "http://" + addr
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return cmd, base, &stderr
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("padsd did not become healthy\nstderr: %s", stderr.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func TestPadsdDaemonChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped with -short")
+	}
+	bin := buildTools(t)
+	quar := filepath.Join(t.TempDir(), "dead.jsonl")
+	cmd, base, stderr := startPadsd(t, bin, "-chaos", "-quarantine", quar, "-drain", "5s")
+
+	// Upload the CLF description.
+	src, err := os.ReadFile("testdata/clf.pads")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/descriptions?name=clf", "text/plain", bytes.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("upload: status %d: %s", resp.StatusCode, body)
+	}
+	id := string(body[strings.Index(string(body), `"id":"`)+6:])
+	id = id[:strings.Index(id, `"`)]
+
+	// Replay the seeded fault corpus: same seeds every run, mixed fault
+	// classes, several tenants.
+	line := `207.136.97.49 - - [15/Oct/1997:18:46:51 -0700] "GET /tk/p.txt HTTP/1.0" 200 30` + "\n"
+	data := strings.Repeat(line, 100)
+	corpus := []struct {
+		tenant, fault string
+		wantStatus    int
+	}{
+		{"t0", "", http.StatusOK},
+		{"t1", "seed=1,corrupt=0.01", http.StatusOK},
+		{"t2", "seed=2,short=0.8", http.StatusOK},
+		{"t3", "seed=3,corrupt=0.02,short=0.5", http.StatusOK},
+		{"t4", "seed=4,fail=4000", http.StatusBadRequest},
+	}
+	for _, c := range corpus {
+		req, _ := http.NewRequest("POST", base+"/v1/parse/accum?desc="+id, strings.NewReader(data))
+		req.Header.Set("X-Pads-Tenant", c.tenant)
+		if c.fault != "" {
+			req.Header.Set("X-Pads-Fault", c.fault)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != c.wantStatus {
+			t.Fatalf("tenant %s fault %q: status %d, want %d", c.tenant, c.fault, resp.StatusCode, c.wantStatus)
+		}
+	}
+
+	// The corpus damaged records; the write-through quarantine saw them.
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if !strings.Contains(string(mbody), "padsd_quarantined_total") {
+		t.Fatalf("/metrics missing quarantine counter:\n%.300s", mbody)
+	}
+	if strings.Contains(string(mbody), "padsd_quarantined_total 0\n") {
+		t.Fatal("seeded corruption quarantined nothing")
+	}
+
+	// SIGTERM: clean drain, exit 0, quarantine file flushed and non-empty.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("padsd exit after SIGTERM: %v\nstderr: %s", err, stderr.String())
+		}
+	case <-time.After(15 * time.Second):
+		cmd.Process.Kill()
+		t.Fatalf("padsd did not exit within the drain budget\nstderr: %s", stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "drained cleanly") {
+		t.Fatalf("drain not reported clean:\n%s", stderr.String())
+	}
+	qb, err := os.ReadFile(quar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bytes.TrimSpace(qb)) == 0 {
+		t.Fatal("quarantine file empty after drain")
+	}
+	for i, ln := range bytes.Split(bytes.TrimSpace(qb), []byte("\n")) {
+		if !bytes.HasPrefix(ln, []byte("{")) {
+			t.Fatalf("quarantine line %d is not JSONL: %.80s", i+1, ln)
+		}
+	}
+}
+
+// slowBody dribbles lines with a delay: an in-flight parse that outlives a
+// short drain budget.
+type slowBody struct {
+	line  string
+	delay time.Duration
+	n     int
+}
+
+func (s *slowBody) Read(p []byte) (int, error) {
+	if s.n <= 0 {
+		return 0, io.EOF
+	}
+	s.n--
+	time.Sleep(s.delay)
+	return copy(p, s.line), nil
+}
+
+func TestPadsdDaemonHardDrain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped with -short")
+	}
+	bin := buildTools(t)
+	cmd, base, stderr := startPadsd(t, bin, "-drain", "300ms")
+
+	src, err := os.ReadFile("testdata/clf.pads")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/descriptions", "text/plain", bytes.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	id := string(body[strings.Index(string(body), `"id":"`)+6:])
+	id = id[:strings.Index(id, `"`)]
+
+	// Park a slow parse in flight (~10s of data, far beyond the 300ms drain
+	// budget even on a loaded machine), then SIGTERM.
+	line := `207.136.97.49 - - [15/Oct/1997:18:46:51 -0700] "GET /tk/p.txt HTTP/1.0" 200 30` + "\n"
+	status := make(chan int, 1)
+	go func() {
+		resp, err := http.Post(base+"/v1/parse/accum?desc="+id, "text/plain",
+			&slowBody{line: line, delay: 2 * time.Millisecond, n: 5000})
+		if err != nil {
+			status <- -1
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		status <- resp.StatusCode
+	}()
+	// Wait until the daemon reports the parse active.
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		mresp, err := http.Get(base + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		mb, _ := io.ReadAll(mresp.Body)
+		mresp.Body.Close()
+		if strings.Contains(string(mb), "padsd_parses_active 1") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("slow parse never became active")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	werr := cmd.Wait()
+	if el := time.Since(start); el > 20*time.Second {
+		t.Fatalf("hard drain took %v; cancellation did not reach the parse", el)
+	}
+	// Budget expiry is a deliberate, distinct exit code (4).
+	var ee *exec.ExitError
+	if werr == nil {
+		t.Fatalf("padsd exited 0 with a parse over the drain budget\nstderr: %s", stderr.String())
+	} else if !errors.As(werr, &ee) || ee.ExitCode() != 4 {
+		t.Fatalf("padsd exit = %v, want code 4\nstderr: %s", werr, stderr.String())
+	}
+	if code := <-status; code != 499 && code != http.StatusGatewayTimeout && code != -1 {
+		t.Fatalf("hard-stopped parse: status %d, want 499/504 (or connection reset)", code)
+	}
+}

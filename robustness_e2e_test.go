@@ -225,3 +225,56 @@ func TestParallelContainmentRescue(t *testing.T) {
 		t.Fatalf("fault counters = %+v, want exactly one failure/retry/rescue", f)
 	}
 }
+
+// TestQuarantineDeterministicAcrossWorkers: under a hard fault that strikes
+// mid-record — framing-destroying corruption that merges records until the
+// MaxRecordLen clamp cuts them — the dead-letter stream must still be
+// byte-identical at every worker count. This is the strongest determinism
+// claim in docs/ROBUSTNESS.md: chunk-ordered Batch flushing makes worker
+// scheduling invisible even when the records themselves were torn apart.
+func TestQuarantineDeterministicAcrossWorkers(t *testing.T) {
+	benchCorpus(nil)
+	desc := compileCLF(t)
+	// Corrupt WITHOUT preserving '\n': some newlines flip away, adjacent
+	// records merge, and the merged bodies blow through the record clamp —
+	// a hard mid-record fault, not a polite per-field error.
+	corrupt := fault.Corrupt(clfData, 23, 0.0008)
+	if bytes.Count(corrupt, []byte("\n")) == bytes.Count(clfData, []byte("\n")) {
+		t.Fatal("corruption left framing intact; the test would prove nothing")
+	}
+	opts := []padsrt.SourceOption{padsrt.WithLimits(padsrt.Limits{MaxRecordLen: 512})}
+	cfg := accum.DefaultConfig()
+
+	var wantQ []byte
+	wantN := 0
+	{
+		var q bytes.Buffer
+		desc.Policy = &interp.Policy{Sink: interp.NewQuarantine(&q)}
+		_, n, err := desc.AccumulateReader(bytes.NewReader(corrupt), opts, cfg)
+		desc.Policy = nil
+		if err != nil {
+			t.Fatalf("sequential scan of torn data failed hard: %v", err)
+		}
+		wantQ, wantN = q.Bytes(), n
+	}
+	if len(wantQ) == 0 {
+		t.Fatal("no records quarantined despite torn framing")
+	}
+
+	for _, workers := range []int{1, 2, 4, 8} {
+		var q bytes.Buffer
+		desc.Policy = &interp.Policy{Sink: interp.NewQuarantine(&q)}
+		_, n, err := desc.AccumulateParallel(corrupt, opts, cfg, workers)
+		desc.Policy = nil
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if n != wantN {
+			t.Fatalf("workers=%d: %d records, want %d", workers, n, wantN)
+		}
+		if !bytes.Equal(q.Bytes(), wantQ) {
+			t.Fatalf("workers=%d: quarantine differs from sequential (%d vs %d bytes)",
+				workers, q.Len(), len(wantQ))
+		}
+	}
+}

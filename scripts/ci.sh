@@ -97,6 +97,14 @@ status=$?
 set -e
 test "$status" -eq 3
 
+# Daemon chaos smoke (docs/ROBUSTNESS.md): start a real padsd process with
+# chaos mode on, replay the seeded fault corpus through its HTTP surface,
+# SIGTERM it, and assert a clean drain with a non-empty quarantine file —
+# plus the hard-drain path (in-flight parse cancelled through the runtime
+# deadline hook, exit status 4). Runs under the race detector: the daemon's
+# own goroutine-leak checks only mean something when the schedule is hostile.
+go test -race -count=1 -run 'TestPadsdDaemon' . >/dev/null
+
 # Perf-regression gate (scripts/benchgate.sh): opt-in, because benchmark
 # numbers from a noisy shared machine would fail the build for no reason.
 if [[ "${PADS_BENCHGATE:-0}" == "1" ]]; then

@@ -1,7 +1,12 @@
 #!/usr/bin/env bash
-# Concurrency gate for the record-sharded parallel engine (docs/PARALLEL.md):
-# vet the whole module, then run every test under the race detector.
+# Concurrency gate for the record-sharded parallel engine (docs/PARALLEL.md)
+# and the parse daemon (docs/ROBUSTNESS.md): vet the whole module, then run
+# every test under the race detector.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 go vet ./...
 go test -race ./...
+# The daemon is the most concurrent surface in the module (per-request
+# goroutines, shared registry/tenants/metrics, drain vs in-flight): run its
+# suite a second time so scheduling-dependent orders get another roll.
+go test -race -count=2 ./internal/padsd
