@@ -8,6 +8,8 @@
 //	padsacc -desc weblog.pads [-field length] [-track 1000] [-top 10] [-workers 4] data.log
 //	padsacc -desc weblog.pads -stats -trace trace.jsonl -trace-last 1000 data.log
 //	padsacc -desc weblog.pads -profile -progress data.log
+//	padsacc -desc weblog.pads -out-of-core -segment-size 8m -workers 4 huge.log
+//	padsacc -desc weblog.pads -resume huge.log.manifest
 package main
 
 import (
@@ -35,6 +37,7 @@ func main() {
 	traceFlags := cliutil.NewTraceFlags()
 	profFlags := cliutil.NewProfFlags()
 	robustFlags := cliutil.NewRobustFlags()
+	segFlags := cliutil.NewSegmentFlags()
 	flag.Parse()
 
 	if *descPath == "" {
@@ -57,6 +60,45 @@ func main() {
 		cliutil.Fatal(err)
 	}
 	prf.Observe(desc)
+
+	if segFlags.Active() {
+		// Out-of-core: segment-at-a-time parsing with a durable job manifest
+		// (docs/ROBUSTNESS.md). The segment runner owns the quarantine file
+		// and applies the error budget per segment, so the Robustness block
+		// is bypassed; telemetry still folds in at each commit.
+		job := &cliutil.SegmentJob{
+			Desc: desc, Flags: segFlags, Robust: robustFlags, Opts: opts,
+			Workers: *workers, Stats: tel.Stats,
+			AccumCfg: accum.Config{MaxTracked: *track, TopN: *top},
+			DataArg:  flag.Arg(0),
+		}
+		rep, err := job.Run()
+		if cerr := prf.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		if cerr := tel.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		if err != nil {
+			cliutil.Fatal(err)
+		}
+		out := bufio.NewWriter(os.Stdout)
+		fmt.Fprintf(out, "%d records\n\n", rep.Records)
+		if *field != "" {
+			if err := rep.Acc.ReportField(out, "<top>", *field); err != nil {
+				out.Flush()
+				cliutil.Fatal(err)
+			}
+		} else {
+			rep.Acc.Report(out, "<top>")
+		}
+		out.Flush()
+		if cliutil.ReportPoisoned(rep) {
+			os.Exit(3)
+		}
+		return
+	}
+
 	rob, err := robustFlags.Open(tel.Stats)
 	if err != nil {
 		cliutil.Fatal(err)

@@ -22,6 +22,9 @@
 //	POST /v1/parse/csv?desc=ID          delimited conversion (streaming)
 //	GET  /v1/quarantine                 tenant's dead-letter tail (JSONL)
 //	GET  /v1/tenants                    per-tenant counters
+//	POST /v1/jobs                       out-of-core job over a file in -job-dir
+//	GET  /v1/jobs[/ID[/result]]         job listing / status / result
+//	DELETE /v1/jobs/ID                  cancel (manifest stays resumable)
 //	GET  /metrics | /healthz | /readyz  operations surface
 package main
 
@@ -60,7 +63,17 @@ func main() {
 	quarPath := flag.String("quarantine", "", "append every dead-lettered record to this JSONL file (all tenants)")
 	quarTail := flag.Int("quarantine-tail", 1024, "per-tenant in-memory dead-letter ring size")
 	chaos := flag.Bool("chaos", false, "honor X-Pads-Fault fault-injection headers (staging/tests only)")
+	jobDir := flag.String("job-dir", "", "enable the async out-of-core job API over files in this `DIR` (manifests and outputs land there)")
+	maxJobs := flag.Int("max-jobs", 0, "concurrently running out-of-core jobs (0 = 2)")
+	jobWorkers := flag.Int("job-workers", 0, "default per-job parse workers (0 = all CPUs)")
+	jobSegSize := flag.String("job-segment-size", "", "default out-of-core segment buffer `SIZE` (suffixes k/m/g; default 8m)")
+	jitterSeed := flag.Uint64("retry-jitter-seed", 0, "seed for the deterministic Retry-After jitter on 429/503 responses")
 	flag.Parse()
+
+	jobSeg, err := cliutil.ParseSize(*jobSegSize)
+	if err != nil {
+		cliutil.Fatal(fmt.Errorf("bad -job-segment-size: %w", err))
+	}
 
 	cfg := padsd.Config{
 		MaxConcurrent:   *maxConc,
@@ -82,6 +95,11 @@ func main() {
 		},
 		QuarantineTail: *quarTail,
 		Chaos:          *chaos,
+		JobDir:         *jobDir,
+		MaxJobs:        *maxJobs,
+		JobWorkers:     *jobWorkers,
+		JobSegmentSize: jobSeg,
+		RetryAfterSeed: *jitterSeed,
 	}
 	var quarFile *os.File
 	if *quarPath != "" {
@@ -129,6 +147,12 @@ func main() {
 		hs.Close()
 	}
 	if quarFile != nil {
+		// The daemon's quarantine is a lifetime append stream (atomic
+		// replacement would hide entries until shutdown); fsync at drain so
+		// everything dead-lettered in this run is durable before exit.
+		if err := quarFile.Sync(); err != nil {
+			fmt.Fprintf(os.Stderr, "padsd: syncing quarantine: %v\n", err)
+		}
 		if err := quarFile.Close(); err != nil {
 			fmt.Fprintf(os.Stderr, "padsd: closing quarantine: %v\n", err)
 		}

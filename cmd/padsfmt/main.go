@@ -5,10 +5,13 @@
 // Usage:
 //
 //	padsfmt -desc weblog.pads -delims "|" -datefmt "%D:%T" data.log
+//	padsfmt -desc weblog.pads -out-of-core -out big.psv big.log
+//	padsfmt -desc weblog.pads -resume big.log.manifest
 package main
 
 import (
 	"bufio"
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
@@ -17,6 +20,7 @@ import (
 	"pads/internal/cliutil"
 	"pads/internal/fmtconv"
 	"pads/internal/padsrt"
+	"pads/internal/value"
 )
 
 func main() {
@@ -27,9 +31,12 @@ func main() {
 	ebcdic := flag.Bool("ebcdic", false, "treat the ambient coding as EBCDIC")
 	le := flag.Bool("le", false, "little-endian binary integers")
 	skipErrs := flag.Bool("skip-errors", false, "omit records with parse errors")
+	outPath := flag.String("out", "", "write delimited output to `FILE` (required with -out-of-core: resume must be able to truncate it)")
+	workers := flag.Int("workers", 0, "out-of-core parse workers (0 = all CPUs)")
 	stats := cliutil.StatsFlag()
 	profFlags := cliutil.NewProfFlags()
 	robustFlags := cliutil.NewRobustFlags()
+	segFlags := cliutil.NewSegmentFlags()
 	flag.Parse()
 
 	if *descPath == "" {
@@ -52,6 +59,44 @@ func main() {
 		cliutil.Fatal(err)
 	}
 	prf.Observe(desc)
+	f := fmtconv.New(strings.Split(*delims, ",")...)
+	f.DateFormat = *dateFmt
+
+	if segFlags.Active() {
+		// Out-of-core formatting: each segment's delimited text lands in
+		// -out in segment order through the durable job manifest.
+		if *outPath == "" && segFlags.Resume == "" {
+			cliutil.Fatal(fmt.Errorf("-out-of-core needs -out FILE"))
+		}
+		skip := *skipErrs
+		job := &cliutil.SegmentJob{
+			Desc: desc, Flags: segFlags, Robust: robustFlags, Opts: opts,
+			Workers: *workers, Stats: tel.Stats, Mode: "fmt", OutPath: *outPath,
+			Emit: func(out *bytes.Buffer, v value.Value) {
+				if skip && v.PD().Nerr > 0 {
+					return
+				}
+				f.WriteRecord(out, v)
+			},
+			DataArg: flag.Arg(0),
+		}
+		rep, err := job.Run()
+		if cerr := prf.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		if cerr := tel.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		if err != nil {
+			cliutil.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "padsfmt: %d records (%d errored) across %d segments\n", rep.Records, rep.Errored, rep.Segments)
+		if cliutil.ReportPoisoned(rep) {
+			os.Exit(3)
+		}
+		return
+	}
+
 	rob, err := robustFlags.Open(tel.Stats)
 	if err != nil {
 		cliutil.Fatal(err)
@@ -62,16 +107,21 @@ func main() {
 	}
 	defer in.Close()
 
-	f := fmtconv.New(strings.Split(*delims, ",")...)
-	f.DateFormat = *dateFmt
-
 	s := padsrt.NewSource(bufio.NewReaderSize(in, 1<<20), prf.SourceOptions(tel.SourceOptions(opts))...)
 	rr, err := desc.Records(s, nil)
 	if err != nil {
 		cliutil.Fatal(err)
 	}
 	rr.SetPolicy(rob.Policy)
-	out := bufio.NewWriterSize(os.Stdout, 1<<20)
+	var sink *os.File = os.Stdout
+	if *outPath != "" {
+		sink, err = os.Create(*outPath)
+		if err != nil {
+			cliutil.Fatal(err)
+		}
+		defer sink.Close()
+	}
+	out := bufio.NewWriterSize(sink, 1<<20)
 	for rr.More() {
 		rec := rr.Read()
 		if *skipErrs && rec.PD().Nerr > 0 {

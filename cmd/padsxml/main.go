@@ -7,16 +7,20 @@
 //
 //	padsxml -desc sirius.pads data.txt          # data -> XML on stdout
 //	padsxml -desc sirius.pads -schema           # print the XML Schema
+//	padsxml -desc sirius.pads -out-of-core -out big.xml big.txt
+//	padsxml -desc sirius.pads -resume big.txt.manifest
 package main
 
 import (
 	"bufio"
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
 
 	"pads/internal/cliutil"
 	"pads/internal/padsrt"
+	"pads/internal/value"
 	"pads/internal/xmlgen"
 )
 
@@ -27,7 +31,10 @@ func main() {
 	disc := flag.String("disc", "newline", "record discipline: newline, none, fixed:N, lenprefix[:N]")
 	ebcdic := flag.Bool("ebcdic", false, "treat the ambient coding as EBCDIC")
 	le := flag.Bool("le", false, "little-endian binary integers")
+	outPath := flag.String("out", "", "write XML to `FILE` (required with -out-of-core: resume must be able to truncate it)")
+	workers := flag.Int("workers", 0, "out-of-core parse workers (0 = all CPUs)")
 	robustFlags := cliutil.NewRobustFlags()
+	segFlags := cliutil.NewSegmentFlags()
 	flag.Parse()
 
 	if *descPath == "" {
@@ -44,6 +51,48 @@ func main() {
 		cliutil.Fatal(err)
 	}
 	opts = robustFlags.SourceOptions(opts)
+
+	if segFlags.Active() {
+		// Out-of-core conversion streams each segment's XML to -out in
+		// segment order through the durable job manifest; -out is required
+		// because resume truncates the file back to the committed frontier,
+		// which a pipe cannot do.
+		shape, err := desc.Interp.Shape()
+		if err != nil {
+			cliutil.Fatal(err)
+		}
+		root := *rootTag
+		job := &cliutil.SegmentJob{
+			Desc: desc, Flags: segFlags, Robust: robustFlags, Opts: opts,
+			Workers: *workers, Mode: "xml", OutPath: *outPath,
+			EmitPrologue: func(out *bytes.Buffer, header value.Value) {
+				fmt.Fprintf(out, "<%s>\n", root)
+				if header != nil {
+					xmlgen.WriteXML(out, header, "header", 1)
+				}
+			},
+			Emit: func(out *bytes.Buffer, v value.Value) {
+				xmlgen.WriteXML(out, v, shape.RecordType, 1)
+			},
+			EmitEpilogue: func(out *bytes.Buffer) {
+				fmt.Fprintf(out, "</%s>\n", root)
+			},
+			DataArg: flag.Arg(0),
+		}
+		if *outPath == "" && segFlags.Resume == "" {
+			cliutil.Fatal(fmt.Errorf("-out-of-core needs -out FILE"))
+		}
+		rep, err := job.Run()
+		if err != nil {
+			cliutil.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "padsxml: %d records (%d errored) across %d segments\n", rep.Records, rep.Errored, rep.Segments)
+		if cliutil.ReportPoisoned(rep) {
+			os.Exit(3)
+		}
+		return
+	}
+
 	rob, err := robustFlags.Open(nil)
 	if err != nil {
 		cliutil.Fatal(err)
@@ -60,7 +109,15 @@ func main() {
 		cliutil.Fatal(err)
 	}
 	rr.SetPolicy(rob.Policy)
-	out := bufio.NewWriterSize(os.Stdout, 1<<20)
+	var sink *os.File = os.Stdout
+	if *outPath != "" {
+		sink, err = os.Create(*outPath)
+		if err != nil {
+			cliutil.Fatal(err)
+		}
+		defer sink.Close()
+	}
+	out := bufio.NewWriterSize(sink, 1<<20)
 	fmt.Fprintf(out, "<%s>\n", *rootTag)
 	if h := rr.Header(); h != nil {
 		xmlgen.WriteXML(out, h, "header", 1)

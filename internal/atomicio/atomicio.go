@@ -1,0 +1,131 @@
+// Package atomicio holds the small durability primitives the crash-safe
+// paths share (internal/segment manifests, cliutil quarantine files, padsd):
+// whole-file replacement via temp-file + fsync + atomic rename, and fsync'd
+// appends. The invariant every helper preserves is that a reader never
+// observes a torn file: it sees either the previous complete content or the
+// new complete content, regardless of where a crash lands.
+package atomicio
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// WriteFile atomically replaces path with data: the bytes are written to a
+// temp file in the same directory, fsync'd, and renamed over path, then the
+// directory is fsync'd so the rename itself is durable. On any error the
+// temp file is removed and path is untouched.
+func WriteFile(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return SyncDir(dir)
+}
+
+// SyncDir fsyncs a directory, making renames and creates within it durable.
+// Filesystems that do not support directory fsync (some network mounts)
+// return an error from Sync; that is reported, since the caller's durability
+// contract depends on it.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// File is an atomically-replaced file under construction: writes go to a
+// hidden temp file beside the destination, and Commit fsyncs and renames it
+// into place. Until Commit, the destination keeps its previous content (or
+// absence); Abort discards the temp file. The segment runner uses it for
+// accumulator sidecars and manifest finalization; cliutil uses it for
+// quarantine files.
+type File struct {
+	f    *os.File
+	path string // destination
+	tmp  string // temp file being written
+	done bool
+}
+
+// Create starts an atomic replacement of path.
+func Create(path string) (*File, error) {
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return nil, err
+	}
+	return &File{f: tmp, path: path, tmp: tmp.Name()}, nil
+}
+
+// Write implements io.Writer.
+func (a *File) Write(p []byte) (int, error) { return a.f.Write(p) }
+
+// Commit fsyncs the temp file and renames it over the destination, then
+// fsyncs the directory. After Commit the File is spent.
+func (a *File) Commit() error {
+	if a.done {
+		return nil
+	}
+	a.done = true
+	if err := a.f.Chmod(0o644); err != nil {
+		a.f.Close()
+		os.Remove(a.tmp)
+		return err
+	}
+	if err := a.f.Sync(); err != nil {
+		a.f.Close()
+		os.Remove(a.tmp)
+		return err
+	}
+	if err := a.f.Close(); err != nil {
+		os.Remove(a.tmp)
+		return err
+	}
+	if err := os.Rename(a.tmp, a.path); err != nil {
+		os.Remove(a.tmp)
+		return err
+	}
+	return SyncDir(filepath.Dir(a.path))
+}
+
+// Abort discards the temp file, leaving the destination untouched. Safe to
+// call after Commit (it does nothing).
+func (a *File) Abort() {
+	if a.done {
+		return
+	}
+	a.done = true
+	a.f.Close()
+	os.Remove(a.tmp)
+}
+
+// Name returns the destination path.
+func (a *File) Name() string { return a.path }

@@ -1,0 +1,91 @@
+package atomicio
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteFileReplaces(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "state.json")
+	if err := WriteFile(p, []byte("v1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := os.ReadFile(p); string(b) != "v1" {
+		t.Fatalf("got %q", b)
+	}
+	if err := WriteFile(p, []byte("v2 longer content"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(p)
+	if err != nil || string(b) != "v2 longer content" {
+		t.Fatalf("got %q, %v", b, err)
+	}
+	st, _ := os.Stat(p)
+	if st.Mode().Perm() != 0o600 {
+		t.Fatalf("perm %v, want 0600", st.Mode().Perm())
+	}
+	leftoverCheck(t, dir, "state.json")
+}
+
+func TestFileCommit(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "out.jsonl")
+	if err := os.WriteFile(p, []byte("old content"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Create(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Name() != p {
+		t.Fatalf("Name() = %q", f.Name())
+	}
+	f.Write([]byte("new "))
+	// Until Commit, the destination keeps the previous content.
+	if b, _ := os.ReadFile(p); string(b) != "old content" {
+		t.Fatalf("destination changed before Commit: %q", b)
+	}
+	f.Write([]byte("content"))
+	if err := f.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := os.ReadFile(p); string(b) != "new content" {
+		t.Fatalf("got %q after Commit", b)
+	}
+	if err := f.Commit(); err != nil {
+		t.Fatalf("second Commit: %v", err)
+	}
+	leftoverCheck(t, dir, "out.jsonl")
+}
+
+func TestFileAbort(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "out.jsonl")
+	f, err := Create(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("doomed"))
+	f.Abort()
+	if _, err := os.Stat(p); !os.IsNotExist(err) {
+		t.Fatalf("destination exists after Abort: %v", err)
+	}
+	f.Abort() // idempotent
+	leftoverCheck(t, dir, "")
+}
+
+// leftoverCheck fails if any temp files survived in dir.
+func leftoverCheck(t *testing.T, dir, keep string) {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if e.Name() != keep {
+			t.Fatalf("leftover file %q", e.Name())
+		}
+	}
+}

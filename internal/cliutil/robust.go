@@ -3,9 +3,9 @@ package cliutil
 import (
 	"flag"
 	"fmt"
-	"os"
 	"time"
 
+	"pads/internal/atomicio"
 	"pads/internal/core"
 	"pads/internal/interp"
 	"pads/internal/padsrt"
@@ -68,7 +68,7 @@ type Robustness struct {
 	Policy *interp.Policy
 
 	q     *interp.Quarantine
-	qfile *os.File
+	qfile *atomicio.File
 	stats *telemetry.Stats
 }
 
@@ -93,7 +93,11 @@ func (rf *RobustFlags) Open(stats *telemetry.Stats) (*Robustness, error) {
 	r := &Robustness{stats: stats}
 	pol := &interp.Policy{MaxErrors: rf.MaxErrors, MaxErrorRate: rf.MaxErrorRate, FailFast: rf.FailFast}
 	if rf.Quarantine != "" {
-		f, err := os.Create(rf.Quarantine)
+		// Entries stream into a hidden temp file; Close fsyncs and renames
+		// it into place (internal/atomicio), so a crashed run never leaves
+		// a torn quarantine behind — a reader sees the previous complete
+		// file or the new complete one.
+		f, err := atomicio.Create(rf.Quarantine)
 		if err != nil {
 			return nil, fmt.Errorf("bad -quarantine: %w", err)
 		}
@@ -111,9 +115,9 @@ func (rf *RobustFlags) Open(stats *telemetry.Stats) (*Robustness, error) {
 func (r *Robustness) Apply(d *core.Description) { d.Policy = r.Policy }
 
 // Close finishes the run: it folds the quarantined-record count into the
-// stats (when both exist), surfaces any quarantine write error, and closes
-// the file. Entries are written through as they arrive, so the file is
-// complete even if the process exits before Close.
+// stats (when both exist), surfaces any quarantine write error, and commits
+// the quarantine file — fsync plus atomic rename into place, so the file
+// appears complete or not at all.
 func (r *Robustness) Close() error {
 	var first error
 	if r.q != nil {
@@ -125,7 +129,9 @@ func (r *Robustness) Close() error {
 		}
 	}
 	if r.qfile != nil {
-		if err := r.qfile.Close(); err != nil && first == nil {
+		if first != nil {
+			r.qfile.Abort()
+		} else if err := r.qfile.Commit(); err != nil {
 			first = err
 		}
 	}

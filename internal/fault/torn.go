@@ -1,0 +1,80 @@
+package fault
+
+import (
+	"bytes"
+	"io"
+	"os"
+)
+
+// TornWriter models a torn write: the partial-flush failure mode of a crash
+// or power cut, where an append that the application believed succeeded only
+// partially reached the disk. It writes through to the underlying writer
+// until a byte budget is exhausted, then silently drops everything after the
+// cut — every Write still reports full success, exactly as a crashed
+// process experienced it. The robustness suite points one at a journal or
+// quarantine file to produce the torn tails resume must tolerate
+// (docs/ROBUSTNESS.md).
+type TornWriter struct {
+	w      io.Writer
+	remain int64 // bytes still written through; negative = unlimited
+	torn   bool  // the cut has happened
+}
+
+// NewTornWriter wraps w, writing the first n bytes through and silently
+// dropping the rest. n < 0 never tears (a transparent wrapper).
+func NewTornWriter(w io.Writer, n int64) *TornWriter {
+	return &TornWriter{w: w, remain: n}
+}
+
+// Torn reports whether the cut point has been reached.
+func (t *TornWriter) Torn() bool { return t.torn }
+
+// Write implements io.Writer. It always reports len(p), nil — a torn write
+// is invisible to the writer that issued it.
+func (t *TornWriter) Write(p []byte) (int, error) {
+	if t.remain < 0 {
+		return t.w.Write(p)
+	}
+	if t.torn {
+		return len(p), nil
+	}
+	keep := int64(len(p))
+	if keep >= t.remain {
+		keep = t.remain
+		t.torn = true
+	}
+	t.remain -= keep
+	if keep > 0 {
+		if n, err := t.w.Write(p[:keep]); err != nil {
+			return n, err
+		}
+	}
+	return len(p), nil
+}
+
+// TearTail truncates the file so its final line is cut mid-way — the
+// post-crash shape of a JSONL journal whose last append was torn. seed
+// picks the cut point deterministically within the final line (at least one
+// byte of the line is dropped, at least the terminator; a file whose last
+// line is shorter than two bytes just loses the terminator). Files with no
+// content are left alone.
+func TearTail(path string, seed uint64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if len(data) == 0 {
+		return nil
+	}
+	end := len(data)
+	if data[end-1] == '\n' {
+		end-- // the terminator always goes
+	}
+	lineStart := bytes.LastIndexByte(data[:end], '\n') + 1
+	cut := end
+	if span := end - lineStart; span > 1 {
+		r := rng(splitmix(seed))
+		cut = lineStart + 1 + r.intn(span-1) // keep >= 1 byte, drop >= 1 byte
+	}
+	return os.Truncate(path, int64(cut))
+}

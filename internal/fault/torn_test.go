@@ -1,0 +1,94 @@
+package fault
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestTornWriterCut(t *testing.T) {
+	var sink bytes.Buffer
+	w := NewTornWriter(&sink, 10)
+	for _, chunk := range []string{"hello ", "torn ", "world"} {
+		n, err := w.Write([]byte(chunk))
+		if n != len(chunk) || err != nil {
+			t.Fatalf("Write(%q) = (%d, %v); a torn write must report full success", chunk, n, err)
+		}
+	}
+	if got := sink.String(); got != "hello torn" {
+		t.Fatalf("sink holds %q, want the first 10 bytes only", got)
+	}
+	if !w.Torn() {
+		t.Fatal("Torn() false after the cut")
+	}
+}
+
+func TestTornWriterTransparent(t *testing.T) {
+	var sink bytes.Buffer
+	w := NewTornWriter(&sink, -1)
+	w.Write([]byte("everything "))
+	w.Write([]byte("passes through"))
+	if got := sink.String(); got != "everything passes through" {
+		t.Fatalf("sink holds %q", got)
+	}
+	if w.Torn() {
+		t.Fatal("transparent writer reports torn")
+	}
+}
+
+func TestTearTailDeterministic(t *testing.T) {
+	content := []byte("first line intact\nsecond line intact\nfinal line gets torn somewhere\n")
+	dir := t.TempDir()
+	tear := func(seed uint64) []byte {
+		p := filepath.Join(dir, "f")
+		if err := os.WriteFile(p, content, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := TearTail(p, seed); err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a, b := tear(42), tear(42)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed tore differently")
+	}
+	if len(a) >= len(content) {
+		t.Fatal("tear removed nothing")
+	}
+	if a[len(a)-1] == '\n' {
+		t.Fatal("torn file still ends on a record boundary")
+	}
+	if !bytes.HasPrefix(content, a) {
+		t.Fatal("tear changed bytes instead of truncating")
+	}
+	if !bytes.HasPrefix(a, []byte("first line intact\nsecond line intact\n")) {
+		t.Fatal("tear reached past the final line")
+	}
+}
+
+func TestTearTailShortFiles(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "f")
+	if err := os.WriteFile(p, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := TearTail(p, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(p, []byte("x\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := TearTail(p, 1); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := os.ReadFile(p)
+	if len(b) != 1 || b[0] != 'x' {
+		t.Fatalf("two-byte file torn to %q, want just the terminator dropped", b)
+	}
+}

@@ -32,8 +32,15 @@ type metrics struct {
 	bytesIn     atomic.Uint64
 	quarantined atomic.Uint64
 
-	active   atomic.Int64
-	draining atomic.Bool
+	jobsStarted   atomic.Uint64 // out-of-core jobs accepted (incl. resumes)
+	jobsCompleted atomic.Uint64 // jobs that ran to a finalized manifest
+	jobsFailed    atomic.Uint64 // jobs that died on a job-fatal error
+	jobsCancelled atomic.Uint64 // jobs stopped by DELETE or drain hard stop
+	jobsPoisoned  atomic.Uint64 // completed jobs with >=1 poisoned segment
+
+	active     atomic.Int64
+	jobsActive atomic.Int64
+	draining   atomic.Bool
 }
 
 // WritePrometheus implements telemetry.Collector.
@@ -58,7 +65,13 @@ func (m *metrics) WritePrometheus(w io.Writer) {
 	counter("padsd_records_errored_total", m.errored.Load())
 	counter("padsd_ingest_bytes_total", m.bytesIn.Load())
 	counter("padsd_quarantined_total", m.quarantined.Load())
+	counter("padsd_jobs_started_total", m.jobsStarted.Load())
+	counter("padsd_jobs_completed_total", m.jobsCompleted.Load())
+	counter("padsd_jobs_failed_total", m.jobsFailed.Load())
+	counter("padsd_jobs_cancelled_total", m.jobsCancelled.Load())
+	counter("padsd_jobs_poisoned_total", m.jobsPoisoned.Load())
 	gauge("padsd_parses_active", m.active.Load())
+	gauge("padsd_jobs_active", m.jobsActive.Load())
 	d := int64(0)
 	if m.draining.Load() {
 		d = 1

@@ -41,6 +41,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pads/internal/accum"
@@ -50,6 +51,7 @@ import (
 	"pads/internal/fmtconv"
 	"pads/internal/interp"
 	"pads/internal/padsrt"
+	"pads/internal/segment"
 	"pads/internal/telemetry"
 	"pads/internal/value"
 	"pads/internal/xmlgen"
@@ -100,6 +102,25 @@ type Config struct {
 	// path in internal/fault's deterministic fault reader. For tests and
 	// staging only; off by default.
 	Chaos bool
+
+	// JobDir enables the async out-of-core job API (POST /v1/jobs): data
+	// files are resolved under it and every job's manifest, quarantine,
+	// and output live in it, so jobs survive a daemon restart as resumable
+	// manifests. Empty disables the API (the endpoints answer 404).
+	JobDir string
+	// MaxJobs caps concurrently running jobs (default 2) — each holds
+	// O(workers × segment) memory on top of the parse traffic.
+	MaxJobs int
+	// JobWorkers is the default per-job worker count (default GOMAXPROCS);
+	// a job request may lower it.
+	JobWorkers int
+	// JobSegmentSize is the default per-job segment buffer (default
+	// segment.DefaultSegSize).
+	JobSegmentSize int64
+	// RetryAfterSeed seeds the deterministic Retry-After jitter added to
+	// 429/503 responses (docs/OBSERVABILITY.md). Any fixed value gives a
+	// replayable jitter sequence; zero is a fine seed.
+	RetryAfterSeed uint64
 }
 
 func (c Config) withDefaults() Config {
@@ -145,6 +166,15 @@ func (c Config) withDefaults() Config {
 	if c.QuarantineTail <= 0 {
 		c.QuarantineTail = 1024
 	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 2
+	}
+	if c.JobWorkers <= 0 {
+		c.JobWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.JobSegmentSize <= 0 {
+		c.JobSegmentSize = segment.DefaultSegSize
+	}
 	return c
 }
 
@@ -168,6 +198,12 @@ type Server struct {
 	hardStop context.CancelFunc
 
 	quarW *interp.Quarantine // write-through sink over cfg.Quarantine, or nil
+
+	jobMu     sync.Mutex // guards jobs
+	jobs      map[string]*jobState
+	jobSem    chan struct{} // job-slot semaphore (non-blocking acquire)
+	jobSeq    atomic.Uint64 // job id counter
+	jitterSeq atomic.Uint64 // Retry-After jitter ordinal
 }
 
 // New builds a daemon over the config (zero value fine).
@@ -181,6 +217,8 @@ func New(cfg Config) *Server {
 		sem:     make(chan struct{}, cfg.MaxConcurrent),
 		tenants: make(map[string]*tenant),
 		mux:     http.NewServeMux(),
+		jobs:    make(map[string]*jobState),
+		jobSem:  make(chan struct{}, cfg.MaxJobs),
 	}
 	s.hardCtx, s.hardStop = context.WithCancel(context.Background())
 	if cfg.Quarantine != nil {
@@ -194,6 +232,11 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/parse/accum", s.wrap(s.parseEndpoint(modeAccum)))
 	s.mux.HandleFunc("POST /v1/parse/xml", s.wrap(s.parseEndpoint(modeXML)))
 	s.mux.HandleFunc("POST /v1/parse/csv", s.wrap(s.parseEndpoint(modeCSV)))
+	s.mux.HandleFunc("POST /v1/jobs", s.wrap(s.handleJobSubmit))
+	s.mux.HandleFunc("GET /v1/jobs", s.wrap(s.handleJobList))
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.wrap(s.handleJobStatus))
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.wrap(s.handleJobResult))
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.wrap(s.handleJobCancel))
 	s.mux.HandleFunc("GET /v1/quarantine", s.wrap(s.handleQuarantine))
 	s.mux.HandleFunc("GET /v1/tenants", s.wrap(s.handleTenants))
 	s.mux.Handle("GET /metrics", mh)
@@ -532,7 +575,7 @@ func (s *Server) parseEndpoint(mode parseMode) http.HandlerFunc {
 		admitted, retryAfter := tn.admit(s.cfg.Tenant, time.Now())
 		if !admitted {
 			s.met.throttled.Add(1)
-			w.Header().Set("Retry-After", strconv.Itoa(int(retryAfter/time.Second)+1))
+			w.Header().Set("Retry-After", strconv.Itoa(int(retryAfter/time.Second)+1+s.retryJitter()))
 			http.Error(w, "tenant over rate or stream budget", http.StatusTooManyRequests)
 			return
 		}
@@ -544,7 +587,7 @@ func (s *Server) parseEndpoint(mode parseMode) http.HandlerFunc {
 			defer func() { <-s.sem }()
 		default:
 			s.met.overload.Add(1)
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", strconv.Itoa(1+s.retryJitter()))
 			http.Error(w, "parse capacity exhausted", http.StatusServiceUnavailable)
 			return
 		}

@@ -274,6 +274,19 @@ func NewSource(r io.Reader, opts ...SourceOption) *Source {
 	return s
 }
 
+// NewSectionSource parses the n-byte window of r starting at byte off — the
+// ReaderAt-backed constructor internal/segment uses for out-of-core parsing
+// (an *os.File serves reads via pread, so many sources can share one
+// descriptor without seeking). The source streams through its sliding
+// window exactly like NewSource, so memory stays O(record); positions
+// report file-absolute offsets (the base is pre-set to off). Use SetBase to
+// also seed the record number when the section starts mid-sequence.
+func NewSectionSource(r io.ReaderAt, off, n int64, opts ...SourceOption) *Source {
+	s := NewSource(io.NewSectionReader(r, off, n), opts...)
+	s.off = off
+	return s
+}
+
 // NewBytesSource is a convenience for parsing in-memory data. The data is
 // copied: the window compacts in place as records are consumed, and the
 // caller's slice must not be disturbed.

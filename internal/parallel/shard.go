@@ -4,6 +4,7 @@ import (
 	"bytes"
 
 	"pads/internal/padsrt"
+	"pads/internal/segment"
 )
 
 // Chunk is one record-aligned shard of an input.
@@ -16,8 +17,10 @@ type Chunk struct {
 
 // Shard splits data into at most n chunks whose boundaries fall on record
 // boundaries under disc, so each chunk parses exactly like the
-// corresponding slice of a sequential run. The boundary rules per
-// discipline (see docs/PARALLEL.md):
+// corresponding slice of a sequential run. It is a thin wrapper over
+// internal/segment's resynchronization (segment.Cuts), which generalizes
+// the same boundary search to positional readers for out-of-core jobs; the
+// per-discipline rules live there and in docs/PARALLEL.md:
 //
 //   - newline: a cut is placed just after the next terminator byte at or
 //     beyond each target offset; RecBase is the terminator count before the
@@ -32,124 +35,22 @@ type Chunk struct {
 // Chunks cover data exactly: no byte is dropped or duplicated. A nil disc
 // means the default newline discipline.
 func Shard(data []byte, disc padsrt.Discipline, n int) []Chunk {
-	if disc == nil {
-		disc = padsrt.Newline()
-	}
-	var cuts []cut
-	if n > 1 && len(data) > 0 {
-		switch d := disc.(type) {
-		case *padsrt.NewlineDisc:
-			cuts = newlineCuts(data, d.Term, n)
-		case *padsrt.FixedDisc:
-			cuts = fixedCuts(data, d.Width, n)
-		case *padsrt.LenPrefixDisc:
-			cuts = lenPrefixCuts(data, d, n)
-		}
+	cuts, err := segment.Cuts(bytes.NewReader(data), 0, int64(len(data)), disc, n)
+	if err != nil {
+		// A bytes.Reader cannot fail a bounded read; degrade to one chunk
+		// rather than guess at boundaries.
+		cuts = nil
 	}
 	chunks := make([]Chunk, 0, len(cuts)+1)
-	prev := cut{}
+	prev := segment.Cut{}
 	for _, c := range cuts {
 		chunks = append(chunks, Chunk{
-			Index: len(chunks), Data: data[prev.off:c.off], Off: int64(prev.off), RecBase: prev.rec,
+			Index: len(chunks), Data: data[prev.Off:c.Off], Off: prev.Off, RecBase: prev.Rec,
 		})
 		prev = c
 	}
 	chunks = append(chunks, Chunk{
-		Index: len(chunks), Data: data[prev.off:], Off: int64(prev.off), RecBase: prev.rec,
+		Index: len(chunks), Data: data[prev.Off:], Off: prev.Off, RecBase: prev.Rec,
 	})
 	return chunks
-}
-
-// cut marks a chunk boundary: a byte offset that starts a record, plus the
-// number of records before it.
-type cut struct {
-	off int
-	rec int
-}
-
-func newlineCuts(data []byte, term byte, n int) []cut {
-	var cuts []cut
-	prev := cut{}
-	for c := 1; c < n; c++ {
-		want := c * len(data) / n
-		if want <= prev.off {
-			continue
-		}
-		// Resynchronize: the cut goes just past the next terminator, which
-		// by construction starts a fresh record (or ends the input).
-		j := bytes.IndexByte(data[want:], term)
-		if j < 0 {
-			break
-		}
-		pos := want + j + 1
-		if pos >= len(data) {
-			break
-		}
-		rec := prev.rec + bytes.Count(data[prev.off:pos], []byte{term})
-		cuts = append(cuts, cut{off: pos, rec: rec})
-		prev = cuts[len(cuts)-1]
-	}
-	return cuts
-}
-
-func fixedCuts(data []byte, width, n int) []cut {
-	if width <= 0 {
-		return nil
-	}
-	records := (len(data) + width - 1) / width
-	var cuts []cut
-	prevRec := 0
-	for c := 1; c < n; c++ {
-		rec := c * records / n
-		if rec <= prevRec || rec >= records {
-			continue
-		}
-		cuts = append(cuts, cut{off: rec * width, rec: rec})
-		prevRec = rec
-	}
-	return cuts
-}
-
-func lenPrefixCuts(data []byte, d *padsrt.LenPrefixDisc, n int) []cut {
-	if d.HeaderBytes <= 0 {
-		return nil
-	}
-	var cuts []cut
-	target := len(data) / n
-	if target <= 0 {
-		target = 1
-	}
-	pos, rec, nextCut := 0, 0, target
-	for pos < len(data) && len(cuts) < n-1 {
-		if len(data)-pos < d.HeaderBytes {
-			break // truncated final header parses as one short record
-		}
-		body := 0
-		if d.Order == padsrt.BigEndian {
-			for i := 0; i < d.HeaderBytes; i++ {
-				body = body<<8 | int(data[pos+i])
-			}
-		} else {
-			for i := d.HeaderBytes - 1; i >= 0; i-- {
-				body = body<<8 | int(data[pos+i])
-			}
-		}
-		if d.IncludesHeader {
-			body -= d.HeaderBytes
-		}
-		if body < 0 {
-			body = 0
-		}
-		next := pos + d.HeaderBytes + body
-		if next > len(data) {
-			next = len(data)
-		}
-		rec++
-		pos = next
-		if pos >= nextCut && pos < len(data) {
-			cuts = append(cuts, cut{off: pos, rec: rec})
-			nextCut = pos + target
-		}
-	}
-	return cuts
 }

@@ -1,0 +1,865 @@
+package segment
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"pads/internal/accum"
+	"pads/internal/atomicio"
+	"pads/internal/interp"
+	"pads/internal/padsrt"
+	"pads/internal/telemetry"
+	"pads/internal/value"
+)
+
+// Config describes one out-of-core job.
+type Config struct {
+	// Interp is the compiled description's interpreter (its Stats/Prof
+	// should already be observed by the caller; segment workers get private
+	// stats that fold into Stats at commit).
+	Interp *interp.Interp
+	// DescHash identifies the description source (HashBytes of its text);
+	// recorded in the manifest and re-verified on resume. Optional.
+	DescHash string
+
+	// Data is the input, read positionally (an *os.File preads; any
+	// io.ReaderAt works). DataPath is recorded in the manifest so resume can
+	// find the input again; DataSize is the authoritative length.
+	Data     io.ReaderAt
+	DataPath string
+	DataSize int64
+
+	// Source options applied to every source built over the input
+	// (discipline, coding, byte order, limits).
+	Source []padsrt.SourceOption
+
+	// SegSize is the segment buffer size in bytes (DefaultSegSize when 0,
+	// floored at MinSegSize). Workers is the worker goroutine count
+	// (GOMAXPROCS when <= 0). Peak memory is O(Workers × SegSize).
+	SegSize int64
+	Workers int
+
+	// Manifest is the path of the job's durable journal. Resume loads an
+	// existing manifest (verifying job identity) instead of starting fresh;
+	// a fresh run refuses to overwrite an existing manifest.
+	Manifest string
+	Resume   bool
+
+	// Policy is the per-segment error budget (docs/ROBUSTNESS.md). Unlike
+	// the in-memory parallel path — which enforces budgets on merged totals
+	// — out-of-core budgets apply to each segment independently: the segment
+	// is the fault-isolation boundary, and a segment that exhausts its
+	// budget is poisoned, not fatal. Policy.Sink is ignored (each worker
+	// gets a private batch; entries land in QuarPath at commit).
+	Policy *interp.Policy
+	// QuarPath, when non-empty, receives dead-lettered records as JSONL,
+	// appended and fsync'd per commit batch in segment order.
+	QuarPath string
+
+	// AccumCfg configures accumulation (the default mode, when Emit is
+	// nil): each segment folds into a private accumulator, merged in
+	// segment order, checkpointed to the manifest sidecar at every commit.
+	AccumCfg accum.Config
+
+	// Emit switches the job to emit mode: it renders one parsed record into
+	// out, and the bytes are appended to OutPath in segment order.
+	// EmitPrologue/EmitEpilogue bracket the stream (header is the parsed
+	// source header, nil if the description has none). Mode names the emit
+	// flavor in the manifest ("xml", "fmt"); accum mode ignores it.
+	Emit         func(out *bytes.Buffer, v value.Value)
+	EmitPrologue func(out *bytes.Buffer, header value.Value)
+	EmitEpilogue func(out *bytes.Buffer)
+	Mode         string
+	OutPath      string
+
+	// Stats, when non-nil, accumulates the job's telemetry: each segment
+	// parses under a private Stats folded in at commit (no worker rows —
+	// a job can have far more segments than a parallel run has chunks).
+	Stats *telemetry.Stats
+
+	// Cancel, polled between records (padsrt.Source.SetCancel) and between
+	// segments, aborts the job with a resumable error when it returns
+	// non-nil.
+	Cancel func() error
+
+	// Progress, when non-nil, is called after every commit batch with
+	// cumulative counts. It runs on the coordinator goroutine.
+	Progress func(Progress)
+}
+
+// Progress is a point-in-time view of a running job.
+type Progress struct {
+	Segments  int `json:"segments"`
+	Committed int `json:"committed"`
+	Poisoned  int `json:"poisoned"`
+	Records   int `json:"records"`
+	Errored   int `json:"errored"`
+}
+
+// PoisonedSeg reports one isolated segment failure: the segment kept its
+// partial results (records before the trip are counted, its quarantine tail
+// is written), the job went on without it.
+type PoisonedSeg struct {
+	Index   int    `json:"index"`
+	Off     int64  `json:"off"`
+	Len     int64  `json:"len"`
+	Reason  string `json:"reason"`
+	Records int    `json:"records"`
+	Errored int    `json:"errored"`
+}
+
+// Report is a completed job's summary. Poisoned segments do not make the
+// job fail — Run returns a Report with them listed, and tools exit 3.
+type Report struct {
+	Records     int
+	Errored     int
+	Segments    int
+	Skipped     int // segments already committed by a previous run
+	Replayed    int // skipped segments re-parsed accumulator-only to catch the sidecar up
+	Quarantined int64
+	Poisoned    []PoisonedSeg
+	Acc         *accum.Accum // accum mode only
+	Header      value.Value
+}
+
+// segResult is one parsed segment, produced by a worker, consumed by the
+// coordinator in segment order.
+type segResult struct {
+	seg      Seg
+	records  int
+	errored  int
+	entries  []interp.Entry
+	out      []byte
+	acc      *accum.Accum
+	stats    *telemetry.Stats
+	poison   string // non-empty: the segment is poisoned with this reason
+	fatal    error  // non-nil: the whole job must stop (cancellation, I/O)
+	failures uint64 // contained worker panics (first attempt)
+	rescues  uint64 // retries that then succeeded
+}
+
+type job struct {
+	cfg        Config
+	rr         *interp.RecordReader
+	disc       padsrt.Discipline
+	segSize    int64
+	headerEnd  int64
+	headerRecs int
+	plan       *Plan
+	m          *manifest
+
+	quarF     *os.File
+	quarOff   int64
+	quarCount int64
+	outF      *os.File
+	outOff    int64
+
+	acc      *accum.Accum
+	records  int
+	errored  int
+	poisoned []PoisonedSeg
+	skipped  int
+	replayed int
+}
+
+// Run executes (or resumes) an out-of-core job.
+func Run(cfg Config) (*Report, error) {
+	if cfg.Interp == nil {
+		return nil, errors.New("segment: Config.Interp is required")
+	}
+	if cfg.Data == nil || cfg.DataSize < 0 {
+		return nil, errors.New("segment: Config.Data and DataSize are required")
+	}
+	if cfg.Manifest == "" {
+		return nil, errors.New("segment: Config.Manifest is required")
+	}
+	if cfg.Emit != nil && cfg.OutPath == "" {
+		return nil, errors.New("segment: emit mode needs Config.OutPath")
+	}
+	j := &job{cfg: cfg, segSize: cfg.SegSize}
+	if j.segSize <= 0 {
+		j.segSize = DefaultSegSize
+	}
+	if j.segSize < MinSegSize {
+		j.segSize = MinSegSize
+	}
+	if cfg.Workers <= 0 {
+		j.cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Emit == nil {
+		j.cfg.Mode = "accum"
+		j.acc = accum.New(cfg.AccumCfg)
+	} else if j.cfg.Mode == "" {
+		j.cfg.Mode = "emit"
+	}
+
+	// The header parses once, sequentially, over a positional source; its
+	// counters go straight to the job's Stats, mirroring the in-memory
+	// path's openShards.
+	hs := padsrt.NewSectionSource(cfg.Data, 0, cfg.DataSize, cfg.Source...)
+	hs.SetStats(cfg.Stats)
+	if cfg.Cancel != nil {
+		hs.SetCancel(cfg.Cancel)
+	}
+	rr, err := cfg.Interp.NewRecordReader(hs, nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := hs.Err(); err != nil {
+		return nil, fmt.Errorf("segment: parse source header: %w", err)
+	}
+	j.rr = rr
+	j.disc = hs.Discipline()
+	j.headerEnd = hs.Pos().Byte
+	j.headerRecs = hs.RecordNum()
+
+	if cfg.Resume {
+		err = j.resume()
+	} else {
+		err = j.fresh()
+	}
+	if err != nil {
+		j.closeFiles()
+		if j.m != nil {
+			j.m.close()
+		}
+		return nil, err
+	}
+	if j.m.done != nil {
+		// The job already completed; re-emit its report so a resume racing
+		// the job's own completion (a kill that lands after the last commit)
+		// is a no-op instead of an error.
+		rep, err := j.completedReport()
+		j.closeFiles()
+		j.m.close()
+		return rep, err
+	}
+	rep, err := j.run()
+	j.closeFiles()
+	j.m.close()
+	return rep, err
+}
+
+// fresh plans the job and creates its manifest and outputs.
+func (j *job) fresh() error {
+	plan, err := PlanSegments(j.cfg.Data, j.headerEnd, j.cfg.DataSize-j.headerEnd, j.disc, j.segSize)
+	if err != nil {
+		return err
+	}
+	j.plan = plan
+	head, tail, err := fileIdentity(j.cfg.Data, j.cfg.DataSize)
+	if err != nil {
+		return err
+	}
+	jl := jobLine{
+		File: j.cfg.DataPath, Size: j.cfg.DataSize, Head: head, Tail: tail,
+		Desc: j.cfg.DescHash, Disc: j.disc.Name(), Mode: j.cfg.Mode,
+		SegSize: j.segSize, HeaderEnd: j.headerEnd, HeaderRecs: j.headerRecs,
+		Segments: len(plan.Segs), Quar: j.cfg.QuarPath, Out: j.cfg.OutPath,
+		Created: time.Now().UTC().Format(time.RFC3339),
+	}
+	if j.cfg.QuarPath != "" {
+		f, err := os.Create(j.cfg.QuarPath)
+		if err != nil {
+			return err
+		}
+		j.quarF = f
+	}
+	if j.cfg.Emit != nil {
+		f, err := os.Create(j.cfg.OutPath)
+		if err != nil {
+			return err
+		}
+		j.outF = f
+		if j.cfg.EmitPrologue != nil {
+			var buf bytes.Buffer
+			j.cfg.EmitPrologue(&buf, j.rr.Header())
+			if _, err := f.Write(buf.Bytes()); err != nil {
+				return err
+			}
+			if err := f.Sync(); err != nil {
+				return err
+			}
+			j.outOff = int64(buf.Len())
+			jl.OutBase = j.outOff
+		}
+	}
+	m, err := createManifest(j.cfg.Manifest, jl)
+	if err != nil {
+		return err
+	}
+	j.m = m
+	return nil
+}
+
+// resume loads the manifest, re-verifies job identity, re-plans the region
+// (segmentation is deterministic) and cross-checks committed segments,
+// restores the output files to their last committed lengths, and reloads
+// the accumulator sidecar — replaying any committed segments past the
+// sidecar's checkpoint accumulator-only.
+func (j *job) resume() error {
+	m, err := loadManifest(j.cfg.Manifest)
+	if err != nil {
+		return err
+	}
+	j.m = m
+	jl := &m.job
+
+	// Job identity. Every mismatch is fatal: resuming against different
+	// data or a different description silently corrupts output.
+	head, tail, err := fileIdentity(j.cfg.Data, j.cfg.DataSize)
+	if err != nil {
+		return err
+	}
+	switch {
+	case jl.Size != j.cfg.DataSize:
+		return fmt.Errorf("segment: resume: input is %d bytes, manifest recorded %d", j.cfg.DataSize, jl.Size)
+	case jl.Head != head || jl.Tail != tail:
+		return fmt.Errorf("segment: resume: input content changed since the manifest was written")
+	case jl.Desc != "" && j.cfg.DescHash != "" && jl.Desc != j.cfg.DescHash:
+		return fmt.Errorf("segment: resume: description changed since the manifest was written")
+	case jl.Disc != j.disc.Name():
+		return fmt.Errorf("segment: resume: discipline is %s, manifest recorded %s", j.disc.Name(), jl.Disc)
+	case jl.Mode != j.cfg.Mode:
+		return fmt.Errorf("segment: resume: job mode is %s, manifest recorded %s", j.cfg.Mode, jl.Mode)
+	case jl.HeaderEnd != j.headerEnd || jl.HeaderRecs != j.headerRecs:
+		return fmt.Errorf("segment: resume: source header parses differently (%d bytes/%d records, manifest recorded %d/%d)",
+			j.headerEnd, j.headerRecs, jl.HeaderEnd, jl.HeaderRecs)
+	}
+	// The manifest's segmentation parameters win over flags: they are part
+	// of the job.
+	j.segSize = jl.SegSize
+	j.cfg.QuarPath = jl.Quar
+	j.cfg.OutPath = jl.Out
+
+	plan, err := PlanSegments(j.cfg.Data, j.headerEnd, j.cfg.DataSize-j.headerEnd, j.disc, j.segSize)
+	if err != nil {
+		return err
+	}
+	j.plan = plan
+	if len(plan.Segs) != jl.Segments {
+		return fmt.Errorf("segment: resume: re-planned %d segments, manifest recorded %d", len(plan.Segs), jl.Segments)
+	}
+	for _, sl := range m.segs {
+		s := plan.Segs[sl.Index]
+		if s.Off != sl.Off || s.Len != sl.Len || s.RecBase != sl.RecBase {
+			return fmt.Errorf("segment: resume: segment %d re-planned as [%d,+%d) rec %d, manifest recorded [%d,+%d) rec %d",
+				sl.Index, s.Off, s.Len, s.RecBase, sl.Off, sl.Len, sl.RecBase)
+		}
+	}
+
+	// Restore committed totals and the poisoned list.
+	j.skipped = len(m.segs)
+	var lastQuar, lastOut int64
+	if j.cfg.Emit != nil {
+		lastOut = jl.OutBase
+	}
+	for _, sl := range m.segs {
+		j.records += sl.Records
+		j.errored += sl.Errs
+		lastQuar = sl.QuarOff
+		j.quarCount = sl.QuarCount
+		if sl.OutOff > lastOut {
+			lastOut = sl.OutOff
+		}
+		if sl.Status == segPoisoned {
+			s := plan.Segs[sl.Index]
+			j.poisoned = append(j.poisoned, PoisonedSeg{
+				Index: sl.Index, Off: s.Off, Len: s.Len, Reason: sl.Reason,
+				Records: sl.Records, Errored: sl.Errs,
+			})
+		}
+	}
+
+	if j.m.done != nil {
+		// Completed job: the outputs are final (the emit epilogue sits past
+		// the last committed OutOff); leave every file exactly as it is.
+		return nil
+	}
+
+	// Truncate outputs back to the committed frontier: anything past it was
+	// written by a batch whose manifest lines never landed.
+	if j.cfg.QuarPath != "" {
+		f, err := os.OpenFile(j.cfg.QuarPath, os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			return err
+		}
+		if err := f.Truncate(lastQuar); err != nil {
+			f.Close()
+			return err
+		}
+		if _, err := f.Seek(lastQuar, io.SeekStart); err != nil {
+			f.Close()
+			return err
+		}
+		j.quarF = f
+		j.quarOff = lastQuar
+	}
+	if j.cfg.Emit != nil {
+		f, err := os.OpenFile(j.cfg.OutPath, os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			return err
+		}
+		if err := f.Truncate(lastOut); err != nil {
+			f.Close()
+			return err
+		}
+		if _, err := f.Seek(lastOut, io.SeekStart); err != nil {
+			f.Close()
+			return err
+		}
+		j.outF = f
+		j.outOff = lastOut
+	}
+
+	if j.cfg.Emit == nil && j.m.done == nil {
+		if err := j.restoreAccum(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// restoreAccum reloads the accumulator sidecar and replays any committed
+// segments past its checkpoint (the sidecar is written after its manifest
+// lines, so a crash between the two leaves it at most one batch behind).
+// Replay is accumulator-only: quarantine entries and counts for those
+// segments committed already; re-parsing them is deterministic, so merging
+// only their accumulators reproduces the uninterrupted state.
+func (j *job) restoreAccum() error {
+	through := -1
+	data, err := os.ReadFile(sidecarPath(j.cfg.Manifest))
+	switch {
+	case err == nil:
+		var sc sidecarFile
+		if err := json.Unmarshal(data, &sc); err != nil {
+			return fmt.Errorf("segment: sidecar %s corrupt: %v", sidecarPath(j.cfg.Manifest), err)
+		}
+		if sc.Through < 0 || sc.Through >= len(j.m.segs) {
+			return fmt.Errorf("segment: sidecar %s checkpoints segment %d, manifest committed %d", sidecarPath(j.cfg.Manifest), sc.Through, len(j.m.segs))
+		}
+		if want := j.m.segs[sc.Through].AccHash; want != HashBytes(data) {
+			return fmt.Errorf("segment: sidecar %s does not match its manifest checkpoint", sidecarPath(j.cfg.Manifest))
+		}
+		if err := json.Unmarshal(sc.Acc, j.acc); err != nil {
+			return fmt.Errorf("segment: sidecar %s accumulator: %v", sidecarPath(j.cfg.Manifest), err)
+		}
+		through = sc.Through
+	case os.IsNotExist(err):
+		// No sidecar: the first batch never committed one. Replay from 0.
+	default:
+		return err
+	}
+	if through+1 >= len(j.m.segs) {
+		return nil
+	}
+	buf := []byte(nil)
+	for i := through + 1; i < len(j.m.segs); i++ {
+		res := j.parseSeg(j.plan.Segs[i], &buf)
+		if res.fatal != nil {
+			return fmt.Errorf("segment: replay segment %d: %w", i, res.fatal)
+		}
+		if res.acc != nil {
+			j.acc.Merge(res.acc)
+		}
+		j.replayed++
+	}
+	return nil
+}
+
+// completedReport rebuilds a finished job's report from its manifest (and,
+// in accum mode, its sidecar), so resuming a job that already finished
+// returns the same answer as the run that finished it.
+func (j *job) completedReport() (*Report, error) {
+	rep := &Report{
+		Records: j.m.done.Records, Errored: j.m.done.Errored,
+		Segments: j.m.job.Segments, Skipped: len(j.m.segs),
+		Poisoned: j.poisonedFromManifest(), Header: j.rr.Header(),
+	}
+	if len(j.m.segs) > 0 {
+		rep.Quarantined = j.m.segs[len(j.m.segs)-1].QuarCount
+	}
+	if j.cfg.Emit == nil {
+		data, err := os.ReadFile(sidecarPath(j.cfg.Manifest))
+		if err != nil {
+			return nil, fmt.Errorf("segment: completed job's accumulator sidecar: %w", err)
+		}
+		var sc sidecarFile
+		if err := json.Unmarshal(data, &sc); err != nil {
+			return nil, fmt.Errorf("segment: sidecar corrupt: %v", err)
+		}
+		acc := accum.New(j.cfg.AccumCfg)
+		if err := json.Unmarshal(sc.Acc, acc); err != nil {
+			return nil, fmt.Errorf("segment: sidecar accumulator: %v", err)
+		}
+		rep.Acc = acc
+	}
+	return rep, nil
+}
+
+func (j *job) poisonedFromManifest() []PoisonedSeg {
+	var out []PoisonedSeg
+	for _, sl := range j.m.segs {
+		if sl.Status == segPoisoned {
+			out = append(out, PoisonedSeg{
+				Index: sl.Index, Off: sl.Off, Len: sl.Len, Reason: sl.Reason,
+				Records: sl.Records, Errored: sl.Errs,
+			})
+		}
+	}
+	return out
+}
+
+func (j *job) closeFiles() {
+	if j.quarF != nil {
+		j.quarF.Close()
+		j.quarF = nil
+	}
+	if j.outF != nil {
+		j.outF.Close()
+		j.outF = nil
+	}
+}
+
+// parseOnce parses one segment with a contained panic boundary.
+func (j *job) parseOnce(seg Seg, buf *[]byte) (res segResult, panicked error) {
+	defer func() {
+		if p := recover(); p != nil {
+			panicked = fmt.Errorf("segment %d worker panicked: %v\n%s", seg.Index, p, debug.Stack())
+		}
+	}()
+	res = segResult{seg: seg}
+	if int64(cap(*buf)) < seg.Len {
+		*buf = make([]byte, seg.Len)
+	}
+	b := (*buf)[:seg.Len]
+	if _, err := io.ReadFull(io.NewSectionReader(j.cfg.Data, seg.Off, seg.Len), b); err != nil {
+		res.fatal = fmt.Errorf("segment: read segment %d [%d,+%d): %w", seg.Index, seg.Off, seg.Len, err)
+		return res, nil
+	}
+	st := telemetry.NewStats()
+	src := padsrt.NewBorrowedSource(b, j.cfg.Source...)
+	src.SetBase(seg.Off, j.headerRecs+seg.RecBase)
+	src.SetStats(st)
+	if j.cfg.Cancel != nil {
+		src.SetCancel(j.cfg.Cancel)
+	}
+	r := j.rr.Shard(src)
+	var batch *interp.Batch
+	pol := j.cfg.Policy
+	if pol.Active() || j.cfg.QuarPath != "" {
+		batch = &interp.Batch{}
+		p := &interp.Policy{Sink: batch}
+		if pol != nil {
+			p.MaxErrors = pol.MaxErrors
+			p.MaxErrorRate = pol.MaxErrorRate
+			p.RateMin = pol.RateMin
+			p.FailFast = pol.FailFast
+		}
+		r.SetPolicy(p)
+	}
+	var out bytes.Buffer
+	if j.cfg.Emit != nil {
+		for r.More() {
+			j.cfg.Emit(&out, r.Read())
+		}
+	} else {
+		acc := accum.New(j.cfg.AccumCfg)
+		for r.More() {
+			acc.Add(r.Read())
+		}
+		res.acc = acc
+	}
+	res.records, res.errored = r.Counts()
+	res.out = out.Bytes()
+	if batch != nil {
+		res.entries = batch.Entries
+	}
+	res.stats = st
+
+	err := r.Err()
+	var be *interp.BudgetError
+	var le *padsrt.LimitError
+	switch {
+	case err == nil:
+	case errors.As(err, &be):
+		res.poison = err.Error()
+	case errors.As(err, &le):
+		if le.Cause != nil {
+			// Cancellation or deadline: the job stops, resumable.
+			res.fatal = err
+		} else {
+			// A resource cap (record length, backtrack budget, speculation
+			// limits): this segment's data tripped it; isolate the segment.
+			res.poison = err.Error()
+		}
+	default:
+		res.poison = err.Error()
+	}
+	return res, nil
+}
+
+// parseSeg parses one segment, retrying a panicked attempt once with fresh
+// state before poisoning the segment with zero contribution.
+func (j *job) parseSeg(seg Seg, buf *[]byte) segResult {
+	if j.cfg.Cancel != nil {
+		if err := j.cfg.Cancel(); err != nil {
+			return segResult{seg: seg, fatal: &padsrt.LimitError{What: "cancelled", Cause: err}}
+		}
+	}
+	res, panicked := j.parseOnce(seg, buf)
+	if panicked == nil {
+		return res
+	}
+	res, again := j.parseOnce(seg, buf)
+	if again == nil {
+		res.failures, res.rescues = 1, 1
+		return res
+	}
+	return segResult{
+		seg: seg, poison: fmt.Sprintf("worker panicked twice; first: %v", panicked),
+		stats: telemetry.NewStats(), failures: 2,
+	}
+}
+
+// commit durably applies a batch of consecutive segment results, in segment
+// order. The write order is the crash-safety argument (docs/ROBUSTNESS.md):
+// quarantine and output appends land and fsync before the manifest lines
+// that commit them — so a crash leaves at worst orphan output bytes past
+// the committed frontier, which resume truncates — and the accumulator
+// sidecar lands after the manifest lines that name its hash, so the
+// sidecar is at most one batch behind and resume replays the gap.
+func (j *job) commit(batch []segResult) error {
+	if j.quarF != nil {
+		var buf bytes.Buffer
+		for _, res := range batch {
+			for i := range res.entries {
+				b, err := json.Marshal(&res.entries[i])
+				if err != nil {
+					return err
+				}
+				buf.Write(b)
+				buf.WriteByte('\n')
+			}
+		}
+		if buf.Len() > 0 {
+			if _, err := j.quarF.Write(buf.Bytes()); err != nil {
+				return err
+			}
+			if err := j.quarF.Sync(); err != nil {
+				return err
+			}
+		}
+		j.quarOff += int64(buf.Len())
+	}
+	if j.outF != nil {
+		n := 0
+		for _, res := range batch {
+			if len(res.out) > 0 {
+				w, err := j.outF.Write(res.out)
+				n += w
+				if err != nil {
+					return err
+				}
+			}
+		}
+		if n > 0 {
+			if err := j.outF.Sync(); err != nil {
+				return err
+			}
+		}
+		j.outOff += int64(n)
+	}
+
+	lines := make([]segLine, 0, len(batch))
+	for _, res := range batch {
+		j.records += res.records
+		j.errored += res.errored
+		j.quarCount += int64(len(res.entries))
+		if res.acc != nil {
+			j.acc.Merge(res.acc)
+		}
+		if st := j.cfg.Stats; st != nil {
+			if res.stats != nil {
+				st.Merge(res.stats)
+			}
+			st.Faults.ChunkFailures += res.failures
+			st.Faults.ChunkRetries += res.failures
+			st.Faults.ChunkRescues += res.rescues
+			st.Faults.Quarantined += uint64(len(res.entries))
+		}
+		sl := segLine{
+			Index: res.seg.Index, Off: res.seg.Off, Len: res.seg.Len, RecBase: res.seg.RecBase,
+			Status: segDone, Records: res.records, Errs: res.errored,
+			QuarOff: j.quarOff, QuarCount: j.quarCount, OutOff: j.outOff,
+		}
+		if res.poison != "" {
+			sl.Status = segPoisoned
+			sl.Reason = res.poison
+			j.poisoned = append(j.poisoned, PoisonedSeg{
+				Index: res.seg.Index, Off: res.seg.Off, Len: res.seg.Len,
+				Reason: res.poison, Records: res.records, Errored: res.errored,
+			})
+		}
+		lines = append(lines, sl)
+	}
+
+	var sidecar []byte
+	if j.acc != nil {
+		accJSON, err := json.Marshal(j.acc)
+		if err != nil {
+			return err
+		}
+		sidecar, err = json.Marshal(&sidecarFile{
+			Through: lines[len(lines)-1].Index, Records: j.records, Errored: j.errored,
+			Acc: accJSON,
+		})
+		if err != nil {
+			return err
+		}
+		lines[len(lines)-1].AccHash = HashBytes(sidecar)
+	}
+	if err := j.m.appendSegs(lines); err != nil {
+		return err
+	}
+	if sidecar != nil {
+		if err := atomicio.WriteFile(sidecarPath(j.cfg.Manifest), sidecar, 0o644); err != nil {
+			return err
+		}
+	}
+	if j.cfg.Progress != nil {
+		j.cfg.Progress(Progress{
+			Segments: len(j.plan.Segs), Committed: len(j.m.segs),
+			Poisoned: len(j.poisoned), Records: j.records, Errored: j.errored,
+		})
+	}
+	return nil
+}
+
+// run executes the segments past the committed frontier: workers parse,
+// the coordinator commits in segment order, and a dispatch window bounds
+// how many segments are in flight (parsing or awaiting commit) so memory
+// stays O(workers × segment) even when one slow segment holds up the
+// commit order.
+func (j *job) run() (*Report, error) {
+	frontier := len(j.m.segs)
+	todo := j.plan.Segs[frontier:]
+	if len(todo) > 0 {
+		workers := j.cfg.Workers
+		if workers > len(todo) {
+			workers = len(todo)
+		}
+		window := make(chan struct{}, 2*workers)
+		jobs := make(chan Seg)
+		results := make(chan segResult, workers)
+		stop := make(chan struct{})
+		var stopOnce sync.Once
+		halt := func() { stopOnce.Do(func() { close(stop) }) }
+
+		go func() {
+			defer close(jobs)
+			for _, seg := range todo {
+				select {
+				case window <- struct{}{}:
+				case <-stop:
+					return
+				}
+				select {
+				case jobs <- seg:
+				case <-stop:
+					return
+				}
+			}
+		}()
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				var buf []byte
+				for seg := range jobs {
+					results <- j.parseSeg(seg, &buf)
+				}
+			}()
+		}
+		go func() {
+			wg.Wait()
+			close(results)
+		}()
+
+		pending := make(map[int]segResult)
+		next := frontier
+		var fatal error
+		for res := range results {
+			if fatal != nil {
+				<-window
+				continue // drain so workers can exit
+			}
+			if res.fatal != nil {
+				fatal = res.fatal
+				halt()
+				<-window
+				continue
+			}
+			pending[res.seg.Index] = res
+			var batch []segResult
+			for {
+				r, ok := pending[next]
+				if !ok {
+					break
+				}
+				delete(pending, next)
+				batch = append(batch, r)
+				next++
+			}
+			if len(batch) == 0 {
+				continue
+			}
+			if err := j.commit(batch); err != nil {
+				fatal = err
+				halt()
+			}
+			for range batch {
+				<-window
+			}
+			if fatal != nil {
+				continue
+			}
+		}
+		if fatal != nil {
+			return nil, fatal
+		}
+	}
+
+	// Everything committed: close the stream and finalize the journal.
+	if j.outF != nil && j.cfg.EmitEpilogue != nil {
+		var buf bytes.Buffer
+		j.cfg.EmitEpilogue(&buf)
+		if _, err := j.outF.Write(buf.Bytes()); err != nil {
+			return nil, err
+		}
+		if err := j.outF.Sync(); err != nil {
+			return nil, err
+		}
+	}
+	done := doneLine{Records: j.records, Errored: j.errored}
+	for _, p := range j.poisoned {
+		done.Poisoned = append(done.Poisoned, p.Index)
+	}
+	if err := j.m.finalize(done); err != nil {
+		return nil, err
+	}
+	return &Report{
+		Records: j.records, Errored: j.errored, Segments: len(j.plan.Segs),
+		Skipped: j.skipped, Replayed: j.replayed, Quarantined: j.quarCount,
+		Poisoned: j.poisoned, Acc: j.acc, Header: j.rr.Header(),
+	}, nil
+}

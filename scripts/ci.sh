@@ -97,6 +97,43 @@ status=$?
 set -e
 test "$status" -eq 3
 
+# Out-of-core smoke (docs/ROBUSTNESS.md, "Out-of-core jobs"): a corpus
+# larger than the memory limit, parsed segment-at-a-time under GOMEMLIMIT,
+# SIGKILLed mid-run, then resumed from the durable manifest — the resumed
+# report and quarantine must be byte-identical to an uninterrupted
+# out-of-core run of the same plan.
+"$tmp/padsgen" -corpus sirius -n 380000 -seed 11 >"$tmp/big.data" # ~64 MB
+
+GOMEMLIMIT=64MiB "$tmp/padsacc" -desc testdata/sirius.pads -out-of-core \
+    -segment-size 1m -workers 2 -manifest "$tmp/ooc-full.manifest" \
+    -quarantine "$tmp/ooc-full.q" "$tmp/big.data" >"$tmp/ooc-full.report"
+
+GOMEMLIMIT=64MiB "$tmp/padsacc" -desc testdata/sirius.pads -out-of-core \
+    -segment-size 1m -workers 2 -manifest "$tmp/ooc-kill.manifest" \
+    -quarantine "$tmp/ooc-kill.q" "$tmp/big.data" >/dev/null 2>&1 &
+ooc_pid=$!
+sleep 1
+kill -KILL "$ooc_pid" 2>/dev/null || true
+set +e
+wait "$ooc_pid" 2>/dev/null
+set -e
+
+if [[ -f "$tmp/ooc-kill.manifest" ]]; then
+    # Resume replays the committed segments' checkpoints and parses the
+    # rest. If the kill landed after completion this is a pure re-report;
+    # either way the output must match the uninterrupted run.
+    GOMEMLIMIT=64MiB "$tmp/padsacc" -desc testdata/sirius.pads \
+        -resume "$tmp/ooc-kill.manifest" "$tmp/big.data" >"$tmp/ooc-resumed.report"
+else
+    # The kill landed before the manifest's first fsync: nothing durable to
+    # resume, so the job restarts from scratch — same plan, same output.
+    GOMEMLIMIT=64MiB "$tmp/padsacc" -desc testdata/sirius.pads -out-of-core \
+        -segment-size 1m -workers 2 -manifest "$tmp/ooc-kill.manifest" \
+        -quarantine "$tmp/ooc-kill.q" "$tmp/big.data" >"$tmp/ooc-resumed.report"
+fi
+cmp -s "$tmp/ooc-full.report" "$tmp/ooc-resumed.report"
+cmp -s "$tmp/ooc-full.q" "$tmp/ooc-kill.q"
+
 # Daemon chaos smoke (docs/ROBUSTNESS.md): start a real padsd process with
 # chaos mode on, replay the seeded fault corpus through its HTTP surface,
 # SIGTERM it, and assert a clean drain with a non-empty quarantine file —

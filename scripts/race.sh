@@ -10,3 +10,6 @@ go test -race ./...
 # goroutines, shared registry/tenants/metrics, drain vs in-flight): run its
 # suite a second time so scheduling-dependent orders get another roll.
 go test -race -count=2 ./internal/padsd
+# The out-of-core executor races workers against commit fsyncs, cancel
+# hooks, and progress callbacks: give its chaos tests a second roll too.
+go test -race -count=2 ./internal/segment
