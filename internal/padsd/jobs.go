@@ -162,10 +162,19 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, fmt.Sprintf("resume: %v", err), http.StatusBadRequest)
 			return
 		}
-		dataPath = info.File
 		if req.File != "" {
 			if dataPath, err = s.jobPath(req.File); err != nil {
 				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+		} else {
+			// The manifest-recorded input path gets the same confinement as a
+			// client-supplied one: a manifest recording (or crafted to record)
+			// a path outside the job directory must not let a job read
+			// arbitrary daemon-readable files.
+			dataPath = info.File
+			if rel, err := filepath.Rel(s.cfg.JobDir, dataPath); err != nil || !filepath.IsLocal(rel) {
+				http.Error(w, fmt.Sprintf("resume: manifest-recorded input %q escapes the job directory (pass \"file\" to name it under the job directory)", info.File), http.StatusBadRequest)
 				return
 			}
 		}
@@ -211,10 +220,38 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	id := fmt.Sprintf("j%d", s.jobSeq.Add(1))
-	if !resume {
-		manifest = filepath.Join(s.cfg.JobDir, id+".manifest")
+	// One running job per manifest: two jobs appending the same journal and
+	// truncating the same .quar/.out siblings would interleave seg lines and
+	// corrupt both, so ownership is claimed under jobMu before the job
+	// starts and released when runJob returns (a cancelled job may still be
+	// draining — its manifest stays owned until it actually stops).
+	s.jobMu.Lock()
+	var id string
+	if resume {
+		if owner, busy := s.jobOwned[manifest]; busy {
+			s.jobMu.Unlock()
+			<-s.jobSem
+			s.inflight.Done()
+			http.Error(w, fmt.Sprintf("manifest %s is in use by running job %s", filepath.Base(manifest), owner), http.StatusConflict)
+			return
+		}
+		id = fmt.Sprintf("j%d", s.jobSeq.Add(1))
+	} else {
+		// Fresh job: take the next id whose manifest is neither owned nor
+		// already on disk. The sequence is seeded past existing manifests at
+		// startup, so this only skips when one was copied in since.
+		for {
+			id = fmt.Sprintf("j%d", s.jobSeq.Add(1))
+			manifest = filepath.Join(s.cfg.JobDir, id+".manifest")
+			if _, busy := s.jobOwned[manifest]; busy {
+				continue
+			}
+			if _, err := os.Lstat(manifest); err != nil {
+				break
+			}
+		}
 	}
+	s.jobOwned[manifest] = id
 	ctx, cancel := context.WithCancel(context.Background())
 	j := &jobState{
 		id: id, state: "running", req: req, manifest: manifest,
@@ -223,7 +260,6 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	if req.Mode != "accum" {
 		j.outPath = outSibling(manifest)
 	}
-	s.jobMu.Lock()
 	s.jobs[id] = j
 	s.jobMu.Unlock()
 	s.met.jobsStarted.Add(1)
@@ -242,6 +278,32 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(j.snapshot())
 }
 
+// maxJobSeq scans the job directory for j<N>.manifest files and returns the
+// largest N, so a restarted daemon's id sequence continues past its previous
+// life instead of recycling ids — a recycled id would aim a fresh job at an
+// old job's manifest and output siblings.
+func maxJobSeq(dir string) uint64 {
+	if dir == "" {
+		return 0
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return 0
+	}
+	var max uint64
+	for _, e := range ents {
+		name := e.Name()
+		if !strings.HasPrefix(name, "j") || !strings.HasSuffix(name, ".manifest") {
+			continue
+		}
+		n, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "j"), ".manifest"), 10, 64)
+		if err == nil && n > max {
+			max = n
+		}
+	}
+	return max
+}
+
 // quarSibling and outSibling derive a job's output paths from its manifest
 // path, so a resumed job (new id, old manifest) finds the same files.
 func quarSibling(manifest string) string { return strings.TrimSuffix(manifest, ".manifest") + ".quar" }
@@ -251,6 +313,9 @@ func outSibling(manifest string) string  { return strings.TrimSuffix(manifest, "
 func (s *Server) runJob(ctx context.Context, cancel context.CancelFunc, j *jobState, e *descEntry, dataPath string, opts []padsrt.SourceOption, segSize int64, workers int, resume bool) {
 	defer func() {
 		cancel()
+		s.jobMu.Lock()
+		delete(s.jobOwned, j.manifest)
+		s.jobMu.Unlock()
 		s.met.jobsActive.Add(-1)
 		<-s.jobSem
 		s.inflight.Done()

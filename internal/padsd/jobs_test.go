@@ -219,6 +219,120 @@ func TestJobSubmitRefusedWhileDraining(t *testing.T) {
 	}
 }
 
+// TestJobManifestExclusivity: a manifest owned by a running job cannot be
+// resumed into a second concurrent job — two writers would interleave seg
+// lines in the journal and truncate each other's quarantine/output files.
+// Ownership releases when the job goroutine actually stops, not at the
+// state flip, so the post-cancel resume polls for admission.
+func TestJobManifestExclusivity(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := newTestServer(t, Config{JobDir: dir})
+	id := upload(t, ts, clfSource(t))
+	jobCorpus(t, dir, "data.log", 120000) // ~9 MB: still running when the second submit lands
+
+	body := fmt.Sprintf(`{"desc":%q,"file":"data.log","segment_size":"64k","workers":1}`, id)
+	resp, info := submitJob(t, ts, body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	resume := fmt.Sprintf(`{"desc":%q,"resume":%q}`, id, info.Manifest)
+	resp2, _ := submitJob(t, ts, resume)
+	if resp2.StatusCode != http.StatusConflict {
+		t.Fatalf("resume of a running job's manifest: status %d, want 409", resp2.StatusCode)
+	}
+
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+info.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr.Body.Close()
+	waitJob(t, ts, info.ID)
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp3, info3 := submitJob(t, ts, resume)
+		if resp3.StatusCode == http.StatusAccepted {
+			if done := waitJob(t, ts, info3.ID); done.State != "done" {
+				t.Fatalf("resumed job finished %q (%s), want done", done.State, done.Error)
+			}
+			return
+		}
+		if resp3.StatusCode != http.StatusConflict {
+			t.Fatalf("resume retry: status %d", resp3.StatusCode)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("manifest still owned 30s after cancel")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestJobIDsSurviveRestart: a restarted daemon continues the job id sequence
+// past the manifests already in its job directory — recycling j1 would aim
+// a fresh job at the previous life's j1.manifest and output siblings.
+func TestJobIDsSurviveRestart(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := newTestServer(t, Config{JobDir: dir})
+	id := upload(t, ts, clfSource(t))
+	jobCorpus(t, dir, "data.log", 500)
+	resp, info := submitJob(t, ts, fmt.Sprintf(`{"desc":%q,"file":"data.log"}`, id))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	if done := waitJob(t, ts, info.ID); done.State != "done" {
+		t.Fatalf("first job finished %q, want done", done.State)
+	}
+	quarPath := filepath.Join(dir, strings.TrimSuffix(info.Manifest, ".manifest")+".quar")
+	quar1, err := os.ReadFile(quarPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, ts2 := newTestServer(t, Config{JobDir: dir})
+	id2 := upload(t, ts2, clfSource(t))
+	resp2, info2 := submitJob(t, ts2, fmt.Sprintf(`{"desc":%q,"file":"data.log"}`, id2))
+	if resp2.StatusCode != http.StatusAccepted {
+		t.Fatalf("restart submit: status %d", resp2.StatusCode)
+	}
+	if info2.ID == info.ID {
+		t.Fatalf("restarted daemon recycled job id %s", info.ID)
+	}
+	if done := waitJob(t, ts2, info2.ID); done.State != "done" {
+		t.Fatalf("second job finished %q, want done", done.State)
+	}
+	if got, err := os.ReadFile(quarPath); err != nil || !bytes.Equal(got, quar1) {
+		t.Errorf("restart's fresh job disturbed the old job's quarantine file (%v, %d vs %d bytes)", err, len(got), len(quar1))
+	}
+	pk, err := segment.Peek(filepath.Join(dir, info.Manifest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pk.Complete {
+		t.Error("old job's manifest no longer reads as complete")
+	}
+}
+
+// TestJobResumeConfinesManifestRecordedPath: when a resume omits "file", the
+// manifest-recorded input path gets the same job-directory confinement as a
+// client-supplied one — a crafted manifest must not read arbitrary
+// daemon-readable files.
+func TestJobResumeConfinesManifestRecordedPath(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := newTestServer(t, Config{JobDir: dir})
+	line := `{"kind":"job","v":1,"file":"/etc/passwd","size":1,"head":"x","tail":"x","disc":"newline","mode":"accum","seg_size":65536,"segments":1}` + "\n"
+	if err := os.WriteFile(filepath.Join(dir, "evil.manifest"), []byte(line), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	resp, _ := submitJob(t, ts, `{"desc":"x","resume":"evil.manifest"}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400 for a manifest recording a path outside the job directory", resp.StatusCode)
+	}
+}
+
 func TestJobUnknownID(t *testing.T) {
 	_, ts := newTestServer(t, Config{JobDir: t.TempDir()})
 	for _, path := range []string{"/v1/jobs/nope", "/v1/jobs/nope/result"} {

@@ -199,27 +199,33 @@ type Server struct {
 
 	quarW *interp.Quarantine // write-through sink over cfg.Quarantine, or nil
 
-	jobMu     sync.Mutex // guards jobs
+	jobMu     sync.Mutex // guards jobs and jobOwned
 	jobs      map[string]*jobState
-	jobSem    chan struct{} // job-slot semaphore (non-blocking acquire)
-	jobSeq    atomic.Uint64 // job id counter
-	jitterSeq atomic.Uint64 // Retry-After jitter ordinal
+	jobOwned  map[string]string // manifest path -> running job id (exclusivity)
+	jobSem    chan struct{}     // job-slot semaphore (non-blocking acquire)
+	jobSeq    atomic.Uint64     // job id counter
+	jitterSeq atomic.Uint64     // Retry-After jitter ordinal
 }
 
 // New builds a daemon over the config (zero value fine).
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:     cfg,
-		reg:     newRegistry(cfg.MaxDescriptions),
-		met:     &metrics{},
-		agg:     newLockedStats(),
-		sem:     make(chan struct{}, cfg.MaxConcurrent),
-		tenants: make(map[string]*tenant),
-		mux:     http.NewServeMux(),
-		jobs:    make(map[string]*jobState),
-		jobSem:  make(chan struct{}, cfg.MaxJobs),
+		cfg:      cfg,
+		reg:      newRegistry(cfg.MaxDescriptions),
+		met:      &metrics{},
+		agg:      newLockedStats(),
+		sem:      make(chan struct{}, cfg.MaxConcurrent),
+		tenants:  make(map[string]*tenant),
+		mux:      http.NewServeMux(),
+		jobs:     make(map[string]*jobState),
+		jobOwned: make(map[string]string),
+		jobSem:   make(chan struct{}, cfg.MaxJobs),
 	}
+	// Start the job id sequence past any manifests already in the job
+	// directory: a restarted daemon must not hand a new job the id (and thus
+	// the manifest/quarantine/output paths) of a job from a previous life.
+	s.jobSeq.Store(maxJobSeq(cfg.JobDir))
 	s.hardCtx, s.hardStop = context.WithCancel(context.Background())
 	if cfg.Quarantine != nil {
 		s.quarW = interp.NewQuarantine(cfg.Quarantine)

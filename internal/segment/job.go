@@ -266,37 +266,54 @@ func (j *job) fresh() error {
 		Segments: len(plan.Segs), Quar: j.cfg.QuarPath, Out: j.cfg.OutPath,
 		Created: time.Now().UTC().Format(time.RFC3339),
 	}
+	var prologue []byte
+	if j.cfg.Emit != nil && j.cfg.EmitPrologue != nil {
+		var buf bytes.Buffer
+		j.cfg.EmitPrologue(&buf, j.rr.Header())
+		prologue = buf.Bytes()
+		jl.OutBase = int64(len(prologue))
+	}
+	// The manifest's O_EXCL creation is the gate for everything below: an
+	// existing manifest means an existing job whose committed quarantine and
+	// output files must not be truncated by a fresh run aimed at the same
+	// paths. Only after the manifest is reserved do the output files get
+	// created.
+	m, err := createManifest(j.cfg.Manifest, jl)
+	if err != nil {
+		return err
+	}
+	j.m = m
+	abort := func(err error) error {
+		// Nothing committed yet: drop the reserved manifest so a corrected
+		// retry is not told to resume an empty job.
+		m.close()
+		j.m = nil
+		os.Remove(j.cfg.Manifest)
+		return err
+	}
 	if j.cfg.QuarPath != "" {
 		f, err := os.Create(j.cfg.QuarPath)
 		if err != nil {
-			return err
+			return abort(err)
 		}
 		j.quarF = f
 	}
 	if j.cfg.Emit != nil {
 		f, err := os.Create(j.cfg.OutPath)
 		if err != nil {
-			return err
+			return abort(err)
 		}
 		j.outF = f
-		if j.cfg.EmitPrologue != nil {
-			var buf bytes.Buffer
-			j.cfg.EmitPrologue(&buf, j.rr.Header())
-			if _, err := f.Write(buf.Bytes()); err != nil {
-				return err
+		if len(prologue) > 0 {
+			if _, err := f.Write(prologue); err != nil {
+				return abort(err)
 			}
 			if err := f.Sync(); err != nil {
-				return err
+				return abort(err)
 			}
-			j.outOff = int64(buf.Len())
-			jl.OutBase = j.outOff
+			j.outOff = int64(len(prologue))
 		}
 	}
-	m, err := createManifest(j.cfg.Manifest, jl)
-	if err != nil {
-		return err
-	}
-	j.m = m
 	return nil
 }
 
@@ -386,34 +403,45 @@ func (j *job) resume() error {
 	}
 
 	// Truncate outputs back to the committed frontier: anything past it was
-	// written by a batch whose manifest lines never landed.
-	if j.cfg.QuarPath != "" {
-		f, err := os.OpenFile(j.cfg.QuarPath, os.O_CREATE|os.O_WRONLY, 0o644)
+	// written by a batch whose manifest lines never landed. A file shorter
+	// than the frontier is fatal — the committed bytes are gone (truncated or
+	// replaced out-of-band), and Truncate would silently extend it with NULs.
+	reopen := func(path string, committed int64, what string) (*os.File, error) {
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		if err := f.Truncate(lastQuar); err != nil {
+		st, err := f.Stat()
+		if err != nil {
 			f.Close()
-			return err
+			return nil, err
 		}
-		if _, err := f.Seek(lastQuar, io.SeekStart); err != nil {
+		if st.Size() < committed {
 			f.Close()
+			return nil, fmt.Errorf("segment: resume: %s %s is %d bytes, manifest committed %d — the file was truncated or replaced since the last run",
+				what, path, st.Size(), committed)
+		}
+		if err := f.Truncate(committed); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if _, err := f.Seek(committed, io.SeekStart); err != nil {
+			f.Close()
+			return nil, err
+		}
+		return f, nil
+	}
+	if j.cfg.QuarPath != "" {
+		f, err := reopen(j.cfg.QuarPath, lastQuar, "quarantine file")
+		if err != nil {
 			return err
 		}
 		j.quarF = f
 		j.quarOff = lastQuar
 	}
 	if j.cfg.Emit != nil {
-		f, err := os.OpenFile(j.cfg.OutPath, os.O_CREATE|os.O_WRONLY, 0o644)
+		f, err := reopen(j.cfg.OutPath, lastOut, "output file")
 		if err != nil {
-			return err
-		}
-		if err := f.Truncate(lastOut); err != nil {
-			f.Close()
-			return err
-		}
-		if _, err := f.Seek(lastOut, io.SeekStart); err != nil {
-			f.Close()
 			return err
 		}
 		j.outF = f
@@ -426,6 +454,21 @@ func (j *job) resume() error {
 		}
 	}
 	return nil
+}
+
+// marshalSidecar snapshots the current accumulator and cumulative totals as
+// the sidecar that checkpoints segment `through`. Marshaling is
+// deterministic (json.Marshal orders map keys), so regenerating the sidecar
+// from a caught-up accumulator reproduces the bytes the original commit
+// hashed into its manifest line.
+func (j *job) marshalSidecar(through int) ([]byte, error) {
+	accJSON, err := json.Marshal(j.acc)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(&sidecarFile{
+		Through: through, Records: j.records, Errored: j.errored, Acc: accJSON,
+	})
 }
 
 // restoreAccum reloads the accumulator sidecar and replays any committed
@@ -472,6 +515,22 @@ func (j *job) restoreAccum() error {
 		}
 		j.replayed++
 	}
+	// Rewrite the sidecar from the caught-up accumulator: if the remaining
+	// work is empty (the crash landed between the final batch's manifest
+	// append and its sidecar write), run() goes straight to finalize, and
+	// without this the manifest would complete over a stale sidecar. The
+	// rewrite only lands when its bytes reproduce the hash the last commit
+	// journaled — otherwise the old sidecar stays and the next resume simply
+	// replays the same gap again.
+	sidecar, err := j.marshalSidecar(len(j.m.segs) - 1)
+	if err != nil {
+		return err
+	}
+	if HashBytes(sidecar) == j.m.segs[len(j.m.segs)-1].AccHash {
+		if err := atomicio.WriteFile(sidecarPath(j.cfg.Manifest), sidecar, 0o644); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -488,17 +547,53 @@ func (j *job) completedReport() (*Report, error) {
 		rep.Quarantined = j.m.segs[len(j.m.segs)-1].QuarCount
 	}
 	if j.cfg.Emit == nil {
+		// The sidecar trails the manifest by design (it is written after the
+		// seg lines that name its hash), so a finished manifest may sit next
+		// to a sidecar that is one batch behind — or, for a job with zero
+		// segments, next to no sidecar at all. Rather than silently serving a
+		// short accumulator, replay the uncovered segments accumulator-only
+		// (re-parsing is deterministic) and repair the sidecar on disk.
+		acc := accum.New(j.cfg.AccumCfg)
+		through := -1
 		data, err := os.ReadFile(sidecarPath(j.cfg.Manifest))
-		if err != nil {
+		switch {
+		case err == nil:
+			var sc sidecarFile
+			if err := json.Unmarshal(data, &sc); err != nil {
+				return nil, fmt.Errorf("segment: sidecar corrupt: %v", err)
+			}
+			if sc.Through < 0 || sc.Through >= len(j.m.segs) {
+				return nil, fmt.Errorf("segment: sidecar %s checkpoints segment %d, manifest committed %d", sidecarPath(j.cfg.Manifest), sc.Through, len(j.m.segs))
+			}
+			if err := json.Unmarshal(sc.Acc, acc); err != nil {
+				return nil, fmt.Errorf("segment: sidecar accumulator: %v", err)
+			}
+			through = sc.Through
+		case os.IsNotExist(err):
+		default:
 			return nil, fmt.Errorf("segment: completed job's accumulator sidecar: %w", err)
 		}
-		var sc sidecarFile
-		if err := json.Unmarshal(data, &sc); err != nil {
-			return nil, fmt.Errorf("segment: sidecar corrupt: %v", err)
-		}
-		acc := accum.New(j.cfg.AccumCfg)
-		if err := json.Unmarshal(sc.Acc, acc); err != nil {
-			return nil, fmt.Errorf("segment: sidecar accumulator: %v", err)
+		if through < len(j.m.segs)-1 {
+			j.acc = acc
+			buf := []byte(nil)
+			for i := through + 1; i < len(j.m.segs); i++ {
+				res := j.parseSeg(j.plan.Segs[i], &buf)
+				if res.fatal != nil {
+					return nil, fmt.Errorf("segment: replay segment %d: %w", i, res.fatal)
+				}
+				if res.acc != nil {
+					acc.Merge(res.acc)
+				}
+				rep.Replayed++
+			}
+			j.records, j.errored = rep.Records, rep.Errored
+			sidecar, err := j.marshalSidecar(len(j.m.segs) - 1)
+			if err != nil {
+				return nil, err
+			}
+			if err := atomicio.WriteFile(sidecarPath(j.cfg.Manifest), sidecar, 0o644); err != nil {
+				return nil, err
+			}
 		}
 		rep.Acc = acc
 	}
@@ -714,14 +809,8 @@ func (j *job) commit(batch []segResult) error {
 
 	var sidecar []byte
 	if j.acc != nil {
-		accJSON, err := json.Marshal(j.acc)
-		if err != nil {
-			return err
-		}
-		sidecar, err = json.Marshal(&sidecarFile{
-			Through: lines[len(lines)-1].Index, Records: j.records, Errored: j.errored,
-			Acc: accJSON,
-		})
+		var err error
+		sidecar, err = j.marshalSidecar(lines[len(lines)-1].Index)
 		if err != nil {
 			return err
 		}

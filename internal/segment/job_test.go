@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync/atomic"
 	"testing"
 
@@ -286,19 +287,178 @@ func TestResumeCompletedJob(t *testing.T) {
 }
 
 // TestFreshRunRefusesExistingManifest: starting over requires removing the
-// manifest explicitly — a fresh run never clobbers a journal.
+// manifest explicitly — a fresh run never clobbers a journal, and the
+// refusal must fire before the quarantine/output files are touched: a
+// truncate-then-refuse would destroy the committed outputs the manifest
+// still vouches for.
 func TestFreshRunRefusesExistingManifest(t *testing.T) {
 	desc := compileCLF(t)
 	data := clfCorpus(600)
 	dir := t.TempDir()
 	cfg := oocConfig(t, desc, dir, "job", data, 2)
-	if _, err := segment.Run(cfg); err != nil {
+	rep1, err := segment.Run(cfg)
+	if err != nil {
 		t.Fatal(err)
 	}
+	quar1 := readFile(t, cfg.QuarPath)
+	if len(quar1) == 0 {
+		t.Fatal("corpus produced no quarantine bytes; the clobber check is vacuous")
+	}
+
 	cfg2 := oocConfig(t, desc, dir, "job", data, 2)
-	_, err := segment.Run(cfg2)
+	_, err = segment.Run(cfg2)
 	if err == nil || !bytes.Contains([]byte(err.Error()), []byte("already exists")) {
 		t.Fatalf("expected an already-exists refusal, got %v", err)
+	}
+	if got := readFile(t, cfg.QuarPath); !bytes.Equal(got, quar1) {
+		t.Fatalf("refused fresh run modified the quarantine file (%d vs %d bytes)", len(got), len(quar1))
+	}
+
+	// The job is still intact: a resume re-reports the original answer.
+	again := oocConfig(t, desc, dir, "job", data, 2)
+	again.Resume = true
+	rep2, err := segment.Run(again)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reportString(t, rep2); got != reportString(t, rep1) {
+		t.Error("re-report after the refused fresh run differs from the original")
+	}
+}
+
+// TestResumeRefusesShortenedOutputs: a resume whose quarantine file is
+// shorter than the manifest's committed frontier must fail — truncating up
+// to the frontier would silently extend the file with NUL bytes in place of
+// the committed entries.
+func TestResumeRefusesShortenedOutputs(t *testing.T) {
+	desc := compileCLF(t)
+	data := clfCorpus(2000)
+	dir := t.TempDir()
+	cfg := oocConfig(t, desc, dir, "job", data, 1)
+	interruptAfterCommits(&cfg, 2)
+	if _, err := segment.Run(cfg); err == nil {
+		t.Fatal("interrupted run reported success")
+	}
+	if err := os.Truncate(cfg.QuarPath, 0); err != nil {
+		t.Fatal(err)
+	}
+	resumed := oocConfig(t, desc, dir, "job", data, 2)
+	resumed.Resume = true
+	_, err := segment.Run(resumed)
+	if err == nil || !strings.Contains(err.Error(), "truncated or replaced") {
+		t.Fatalf("resume over a shortened quarantine file: got %v", err)
+	}
+}
+
+// stripDoneLine rewrites a finalized manifest without its done line,
+// reconstructing the journal state of a crash that landed after the final
+// batch's manifest append but before finalize.
+func stripDoneLine(t *testing.T, path string) {
+	t.Helper()
+	var keep []byte
+	for _, ln := range bytes.Split(readFile(t, path), []byte("\n")) {
+		if len(ln) == 0 || bytes.Contains(ln, []byte(`"kind":"done"`)) {
+			continue
+		}
+		keep = append(append(keep, ln...), '\n')
+	}
+	if err := os.WriteFile(path, keep, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestResumeWithStaleSidecarBeforeFinalize: a crash between the final
+// batch's manifest append and its sidecar write leaves every segment
+// committed with the sidecar a batch behind (here: gone entirely). The
+// resume that finalizes such a job must leave a caught-up sidecar behind,
+// so later re-reports serve the full accumulator without replaying.
+func TestResumeWithStaleSidecarBeforeFinalize(t *testing.T) {
+	desc := compileCLF(t)
+	data := clfCorpus(900)
+	dir := t.TempDir()
+	cfg := oocConfig(t, desc, dir, "job", data, 2)
+	rep1, err := segment.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := reportString(t, rep1)
+
+	stripDoneLine(t, cfg.Manifest)
+	if err := os.Remove(cfg.Manifest + ".accum"); err != nil {
+		t.Fatal(err)
+	}
+
+	resumed := oocConfig(t, desc, dir, "job", data, 2)
+	resumed.Resume = true
+	rep2, err := segment.Run(resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Replayed != rep1.Segments {
+		t.Errorf("resume replayed %d of %d committed segments", rep2.Replayed, rep1.Segments)
+	}
+	if got := reportString(t, rep2); got != want {
+		t.Error("resumed accumulator report differs from the uninterrupted run")
+	}
+
+	again := oocConfig(t, desc, dir, "job", data, 2)
+	again.Resume = true
+	rep3, err := segment.Run(again)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep3.Replayed != 0 {
+		t.Errorf("re-report replayed %d segments; finalize left a stale sidecar", rep3.Replayed)
+	}
+	if got := reportString(t, rep3); got != want {
+		t.Error("re-reported accumulator differs from the uninterrupted run")
+	}
+}
+
+// TestCompletedJobMissingSidecarRepaired: re-reporting a finalized job whose
+// sidecar was lost (or left a batch behind by a crash between the final
+// append and finalize) replays the uncovered segments accumulator-only and
+// repairs the sidecar, instead of erroring or silently serving a short
+// accumulator.
+func TestCompletedJobMissingSidecarRepaired(t *testing.T) {
+	desc := compileCLF(t)
+	data := clfCorpus(900)
+	dir := t.TempDir()
+	cfg := oocConfig(t, desc, dir, "job", data, 2)
+	rep1, err := segment.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := reportString(t, rep1)
+	if err := os.Remove(cfg.Manifest + ".accum"); err != nil {
+		t.Fatal(err)
+	}
+
+	resumed := oocConfig(t, desc, dir, "job", data, 2)
+	resumed.Resume = true
+	rep2, err := segment.Run(resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Replayed != rep1.Segments {
+		t.Errorf("repair replayed %d of %d segments", rep2.Replayed, rep1.Segments)
+	}
+	if got := reportString(t, rep2); got != want {
+		t.Error("repaired accumulator report differs from the original run")
+	}
+
+	// The repair is durable: the next re-report reads the rewritten sidecar.
+	again := oocConfig(t, desc, dir, "job", data, 2)
+	again.Resume = true
+	rep3, err := segment.Run(again)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep3.Replayed != 0 {
+		t.Errorf("second re-report replayed %d segments; the sidecar repair did not land", rep3.Replayed)
+	}
+	if got := reportString(t, rep3); got != want {
+		t.Error("second re-report differs from the original run")
 	}
 }
 

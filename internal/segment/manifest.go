@@ -206,6 +206,13 @@ func loadManifest(path string) (*manifest, error) {
 		f.Close()
 		return nil, err
 	}
+	// Make the tail repair durable before anything appends past it: without
+	// this fsync a crash before the first new commit could resurface the
+	// torn line on some filesystems, under whatever bytes land after it.
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
 	if _, err := f.Seek(int64(good), io.SeekStart); err != nil {
 		f.Close()
 		return nil, err
